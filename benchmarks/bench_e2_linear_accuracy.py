@@ -1,0 +1,182 @@
+"""E2 — Linear CT solver accuracy and convergence order.
+
+Design objective "SystemC-AMS must support continuous-time MoCs":
+fixed-step backward-Euler and trapezoidal solutions of RC / RLC / 4th-
+order transfer-function systems against analytic references, error vs
+timestep, and the measured convergence orders (theory: BE=1, TRAP=2).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analysis import convergence_order, max_error
+from repro.baselines import rc_step_response, series_rlc_step_response
+from repro.ct import LinearDae
+from repro.eln import Capacitor, Inductor, Network, Resistor, Vsource
+
+R, C = 1e3, 1e-6
+TAU = R * C
+
+
+def rc_dae():
+    return LinearDae(
+        C=np.array([[C]]), G=np.array([[1 / R]]),
+        source=lambda t: np.array([1.0 / R]),
+    )
+
+
+def rlc_network():
+    net = Network()
+    net.add(Vsource("V1", "in", "0", 1.0))
+    net.add(Resistor("R1", "in", "a", 100.0))
+    net.add(Inductor("L1", "a", "b", 1e-3))
+    net.add(Capacitor("C1", "b", "0", 1e-8))
+    return net.assemble()
+
+
+def sweep_errors(method):
+    steps = [TAU / 10, TAU / 20, TAU / 40, TAU / 80, TAU / 160]
+    errors = []
+    dae = rc_dae()
+    for h in steps:
+        times, states = dae.transient(3 * TAU, h, x0=np.zeros(1),
+                                      method=method)
+        reference = rc_step_response(R, C, 1.0, times)
+        errors.append(max_error(states[:, 0], reference))
+    return steps, errors
+
+
+def test_e2_convergence_orders(benchmark):
+    result = {}
+
+    def measure():
+        for method in ("backward_euler", "trapezoidal"):
+            result[method] = sweep_errors(method)
+        return result
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    orders = {}
+    for method, (steps, errors) in result.items():
+        orders[method] = convergence_order(steps, errors)
+        rows.append([method] + [f"{e:.2e}" for e in errors]
+                    + [round(orders[method], 2)])
+    print_table(
+        "E2: RC step max error vs timestep",
+        ["method", "tau/10", "tau/20", "tau/40", "tau/80", "tau/160",
+         "order"],
+        rows,
+    )
+    assert orders["backward_euler"] == pytest.approx(1.0, abs=0.2)
+    assert orders["trapezoidal"] == pytest.approx(2.0, abs=0.2)
+    # TRAP beats BE at equal step size.
+    assert result["trapezoidal"][1][2] < result["backward_euler"][1][2] / 5
+
+
+def test_e2_rlc_accuracy(benchmark):
+    dae, index = rlc_network()
+    alpha = 100.0 / (2 * 1e-3)
+    w0 = 1 / np.sqrt(1e-3 * 1e-8)
+
+    def run():
+        return dae.transient(4 / alpha, 0.02 / w0,
+                             x0=np.zeros(index.size))
+
+    times, states = benchmark(run)
+    reference = series_rlc_step_response(100.0, 1e-3, 1e-8, 1.0, times)
+    error = max_error(states[:, index.node_index["b"]], reference)
+    print_table("E2: RLC vs analytic", ["metric", "value"],
+                [["max error [V]", f"{error:.2e}"],
+                 ["points", len(times)]])
+    assert error < 5e-3
+
+
+def test_e2_dae_vs_direct_evaluation_ablation(benchmark):
+    """DESIGN.md ablation: the same 2nd-order lowpass as (a) a
+    continuous LSF transfer function solved through the DAE machinery
+    and (b) a bilinear-transform digital biquad evaluated directly
+    (the fast path for feed-forward-only behaviour): accuracy is
+    comparable; the direct evaluation is cheaper per sample."""
+    import time
+
+    from repro.lib import butterworth_lowpass_sections, filter_samples
+    from repro.lsf import LsfLtfNd, LsfNetwork, LsfSource, lsf_transient
+
+    fs = 1e6
+    f_c = 10e3
+    w0 = 2 * np.pi * f_c
+    zeta = 1 / np.sqrt(2)
+    n = 20000
+    t_end = n / fs
+    t = np.arange(n + 1) / fs
+    # Analytic Butterworth step response.
+    wd = w0 * np.sqrt(1 - zeta ** 2)
+    analytic = 1 - np.exp(-zeta * w0 * t) * (
+        np.cos(wd * t) + zeta * w0 / wd * np.sin(wd * t)
+    )
+
+    def run_dae():
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfLtfNd("lp", u, y,
+                         num=[w0 ** 2],
+                         den=[w0 ** 2, 2 * zeta * w0, 1.0]))
+        return lsf_transient(net, t_end, 1 / fs)[y]
+
+    def run_direct():
+        sections = butterworth_lowpass_sections(2, f_c, fs)
+        return filter_samples(sections, np.ones(n + 1))
+
+    start = time.perf_counter()
+    dae_out = run_dae()
+    dae_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    direct_out = run_direct()
+    direct_seconds = time.perf_counter() - start
+    benchmark(run_direct)
+    err_dae = float(np.max(np.abs(dae_out - analytic)))
+    err_direct = float(np.max(np.abs(direct_out - analytic)))
+    from conftest import print_table
+
+    print_table(
+        "E2 ablation: DAE solve vs direct digital evaluation",
+        ["path", "max error vs analytic", "wall [ms]"],
+        [["LSF DAE (trapezoidal)", f"{err_dae:.2e}",
+          round(dae_seconds * 1e3, 1)],
+         ["digital biquad (bilinear)", f"{err_direct:.2e}",
+          round(direct_seconds * 1e3, 1)]],
+    )
+    # The DAE path integrates the true continuous system (error ~ h^2);
+    # the bilinear biquad matches the frequency response but its step
+    # transient deviates at the ~1% level.  Direct evaluation is the
+    # cheaper fast path.
+    assert err_dae < 1e-3
+    assert err_direct < 0.05
+    assert direct_seconds < dae_seconds
+
+
+def test_e2_fourth_order_ltf_speed(benchmark):
+    """Throughput of the factor-once linear stepper on a 4th-order
+    system (the 'solved without iterations' claim)."""
+    from repro.lsf import LsfLtfNd, LsfNetwork, LsfSource, lsf_transient
+
+    w = 2 * np.pi * 1e4
+
+    def run():
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfLtfNd(
+            "filt", u, y,
+            num=[w ** 4],
+            den=[w ** 4, 2.613 * w ** 3, 3.414 * w ** 2, 2.613 * w, 1.0],
+        ))
+        return lsf_transient(net, 2e-3, 1e-7)
+
+    result = benchmark(run)
+    final = result.raw[-1]
+    # Butterworth step response settles at DC gain 1.
+    y_index = -1  # y is the last declared signal before states
+    assert result.raw.shape[0] == 20001

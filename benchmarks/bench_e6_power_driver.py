@@ -1,0 +1,113 @@
+"""E6 — Grimm AnalogSL power driver (seed [8]).
+
+The dedicated piecewise-linear power MoC versus the general nonlinear
+DAE solver on the same PWM half-bridge + R-L load: waveform agreement
+and speedup (the raison d'être of a specialized continuous-time MoC),
+plus the periodic-steady-state shortcut.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.ct import variable_step_transient
+from repro.eln import Inductor, Resistor, Vsource
+from repro.nonlin import NMos, NonlinearNetwork
+from repro.power import HalfBridgeDriver, RLLoad
+
+V_SUPPLY = 12.0
+R_LOAD = 2.0
+L_LOAD = 500e-6
+F_PWM = 20e3
+DUTY = 0.4
+CYCLES = 12
+
+
+def run_pwl():
+    driver = HalfBridgeDriver(RLLoad(R_LOAD, L_LOAD), v_supply=V_SUPPLY,
+                              r_on=0.05, pwm_frequency=F_PWM, duty=DUTY)
+    times, states = driver.simulate(CYCLES, samples_per_segment=10)
+    return times, states[:, 0], driver
+
+
+def run_nonlinear():
+    net = NonlinearNetwork("bridge")
+    period = 1.0 / F_PWM
+
+    def gate_high(t):
+        return 25.0 if (t % period) < DUTY * period else 0.0
+
+    def gate_low(t):
+        return 0.0 if (t % period) < DUTY * period else 25.0
+
+    net.add(Vsource("Vdd", "vdd", "0", V_SUPPLY))
+    net.add(Vsource("Vgh", "gh", "0", gate_high))
+    net.add(Vsource("Vgl", "gl", "0", gate_low))
+    net.add_device(NMos("Mh", "vdd", "gh", "sw", k_prime=1.7, vth=1.0))
+    net.add_device(NMos("Ml", "sw", "gl", "0", k_prime=1.7, vth=1.0))
+    net.add(Resistor("Rload", "sw", "x", R_LOAD))
+    net.add(Inductor("Lload", "x", "0", L_LOAD))
+    system, index = net.assemble_nonlinear()
+    result = variable_step_transient(
+        system, CYCLES * period, x0=np.zeros(system.n),
+        reltol=1e-4, abstol=1e-6, h0=period / 200, h_max=period / 20,
+    )
+    return result.times, index.current_series(result.states, "Lload"), \
+        result
+
+
+def test_e6_dedicated_vs_general(benchmark):
+    t_pwl = i_pwl = None
+
+    def run_dedicated():
+        nonlocal t_pwl, i_pwl
+        t_pwl, i_pwl, _driver = run_pwl()
+
+    benchmark.pedantic(run_dedicated, rounds=3, iterations=1)
+    start = time.perf_counter()
+    t_nl, i_nl, result = run_nonlinear()
+    nonlinear_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    run_pwl()
+    pwl_seconds = time.perf_counter() - start
+    speedup = nonlinear_seconds / pwl_seconds
+
+    i_nl_resampled = np.interp(t_pwl, t_nl, i_nl)
+    tail = t_pwl > 0.5 * t_pwl[-1]
+    deviation = np.max(np.abs(i_pwl[tail] - i_nl_resampled[tail]))
+    print_table(
+        "E6: dedicated PWL MoC vs general nonlinear solver",
+        ["metric", "value"],
+        [["PWL wall [ms]", round(pwl_seconds * 1e3, 2)],
+         ["nonlinear wall [ms]", round(nonlinear_seconds * 1e3, 2)],
+         ["speedup", round(speedup, 1)],
+         ["Newton iterations", result.newton_iterations],
+         ["waveform deviation [mA]", round(deviation * 1e3, 2)]],
+    )
+    # The specialized MoC must win big at matched waveforms.
+    assert speedup > 5.0
+    assert deviation < 0.1  # < 100 mA on a ~2.4 A waveform
+
+
+def test_e6_steady_state_shortcut(benchmark):
+    """Periodic steady state by fixed-point solve vs long transient."""
+    driver = HalfBridgeDriver(RLLoad(R_LOAD, L_LOAD), v_supply=V_SUPPLY,
+                              r_on=0.0, pwm_frequency=F_PWM, duty=DUTY)
+    x_ss = benchmark(driver.steady_state)
+    # Long transient reference: simulate 40 cycles from zero.
+    times, states = driver.simulate(40, samples_per_segment=1)
+    settled = states[-2 * 1 - 1, 0]  # a period boundary near the end
+    average = driver.average_output()[0]
+    expected_avg = DUTY * V_SUPPLY / R_LOAD
+    print_table(
+        "E6: periodic steady state",
+        ["metric", "value"],
+        [["fixed-point cycle-start [A]", round(float(x_ss[0]), 4)],
+         ["transient cycle-start [A]", round(float(settled), 4)],
+         ["average current [A]", round(average, 4)],
+         ["duty*V/R [A]", round(expected_avg, 4)]],
+    )
+    assert x_ss[0] == pytest.approx(settled, rel=0.01)
+    assert average == pytest.approx(expected_avg, rel=0.01)

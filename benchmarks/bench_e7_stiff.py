@@ -1,0 +1,146 @@
+"""E7 — Phase 2: stiff nonlinear systems and variable timesteps.
+
+"The simulation of control systems ... usually requires solving stiff
+nonlinear systems" — a two-time-constant nonlinear circuit whose
+stiffness ratio is swept 10..1e5: steps taken by the adaptive solver vs
+the fixed-step count needed for the same accuracy, and the stiff Van der
+Pol oscillator against the SciPy BDF reference.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analysis import max_error
+from repro.baselines import van_der_pol_reference
+from repro.ct import (
+    FunctionSystem,
+    NonlinearStepper,
+    variable_step_transient,
+)
+
+
+def two_tau_system(stiffness: float):
+    """x1' = -x1 (slow, tau=1), x2' = -k*(x2 - x1^2) (fast, tau=1/k).
+
+    The x1^2 coupling keeps it nonlinear; the fast mode shadows the slow
+    manifold x2 = x1^2.
+    """
+
+    def static(x, t):
+        return np.array([
+            x[0],
+            stiffness * (x[1] - x[0] * x[0]),
+        ])
+
+    return FunctionSystem(
+        n=2, static=static,
+        charge=lambda x: x.copy(),
+        charge_jacobian=lambda x: np.eye(2),
+        static_jacobian=lambda x, t: np.array([
+            [1.0, 0.0],
+            [-2 * stiffness * x[0], stiffness],
+        ]),
+    )
+
+
+def analytic_slow(times):
+    return np.exp(-times)
+
+
+def test_e7_stiffness_sweep(benchmark):
+    rows = []
+    results = {}
+
+    def measure():
+        for stiffness in (1e1, 1e2, 1e3, 1e4, 1e5):
+            system = two_tau_system(stiffness)
+            result = variable_step_transient(
+                system, 5.0, x0=np.array([1.0, 1.0]),
+                reltol=1e-5, abstol=1e-8, h0=1e-4,
+            )
+            error = max_error(result.states[:, 0],
+                              analytic_slow(result.times))
+            # A fixed-step run must resolve the fast time constant over
+            # the whole span: ~10 steps per 1/k.
+            fixed_steps_needed = int(5.0 * stiffness * 10)
+            results[stiffness] = (result.accepted_steps,
+                                  result.rejected_steps,
+                                  fixed_steps_needed, error)
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    for stiffness, (accepted, rejected, fixed, error) in results.items():
+        rows.append([f"{stiffness:.0e}", accepted, rejected, fixed,
+                     round(fixed / accepted, 1), f"{error:.1e}"])
+    print_table(
+        "E7: adaptive vs fixed step on stiffness sweep (span 5 s)",
+        ["stiffness", "adaptive steps", "rejected", "fixed needed",
+         "advantage", "error"],
+        rows,
+    )
+    # Shape: adaptive step count is nearly flat in stiffness while the
+    # fixed-step requirement grows linearly -> the advantage explodes.
+    counts = [r[0] for r in results.values()]
+    assert max(counts) < 4 * min(counts)
+    assert results[1e5][2] / results[1e5][0] > 100
+    for *_rest, error in results.values():
+        assert error < 1e-3
+
+
+def test_e7_van_der_pol_vs_reference(benchmark):
+    mu = 30.0
+
+    def static(v, t):
+        x, y = v
+        return np.array([-y, -(mu * (1 - x * x) * y - x)])
+
+    def jacobian(v, t):
+        x, y = v
+        return np.array([
+            [0.0, -1.0],
+            [-(-2 * mu * x * y - 1), -(mu * (1 - x * x))],
+        ])
+
+    system = FunctionSystem(
+        n=2, static=static, charge=lambda v: v.copy(),
+        charge_jacobian=lambda v: np.eye(2),
+        static_jacobian=jacobian,
+    )
+
+    def run():
+        return variable_step_transient(
+            system, 30.0, x0=np.array([2.0, 0.0]),
+            reltol=1e-6, abstol=1e-9, h0=1e-3,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = van_der_pol_reference(mu, [2.0, 0.0], result.times)
+    error = max_error(result.states[:, 0], reference[:, 0])
+    print_table(
+        "E7: stiff Van der Pol (mu=30) vs SciPy BDF",
+        ["metric", "value"],
+        [["accepted steps", result.accepted_steps],
+         ["rejected steps", result.rejected_steps],
+         ["max |x - x_ref|", f"{error:.2e}"]],
+    )
+    assert error < 0.05  # relaxation fronts are steep; phase error tiny
+
+
+def test_e7_fixed_step_baseline(benchmark):
+    """Cost of the fixed-step (non-adaptive) alternative at k=1e3."""
+    system = two_tau_system(1e3)
+    stepper = NonlinearStepper(system, "trapezoidal")
+    h = 1.0 / (1e3 * 10)
+
+    def run_fixed():
+        x = np.array([1.0, 1.0])
+        t = 0.0
+        # 0.5 s slice of the 5 s span (full span would dominate runtime).
+        for _ in range(int(0.5 / h)):
+            x = stepper.step(x, t, h)
+            t += h
+        return x
+
+    x = benchmark.pedantic(run_fixed, rounds=1, iterations=1)
+    assert x[0] == pytest.approx(np.exp(-0.5), rel=1e-3)

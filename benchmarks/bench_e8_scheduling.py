@@ -1,0 +1,137 @@
+"""E8 — Scheduling efficiency: TDF clustering vs naive DE processes.
+
+The objective "effective at managing complexity ... in terms of
+simulation performances", and Bonnerud's virtual-clock motivation:
+identical N-block signal chains run (a) as one statically-scheduled TDF
+cluster and (b) as N event-driven DE processes.  Kernel activations,
+delta cycles, and wall-clock versus N.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.baselines import run_naive_chain, run_tdf_chain
+
+N_SAMPLES = 200
+
+
+def test_e8_activation_scaling(benchmark):
+    results = {}
+
+    def measure():
+        for n_blocks in (4, 16, 64):
+            naive_out, naive = run_naive_chain(n_blocks, N_SAMPLES)
+            tdf_out, tdf = run_tdf_chain(n_blocks, N_SAMPLES)
+            results[n_blocks] = (naive, tdf)
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for n_blocks, (naive, tdf) in results.items():
+        ratio = naive["kernel_activations"] / tdf["kernel_activations"]
+        rows.append([
+            n_blocks,
+            naive["kernel_activations"], tdf["kernel_activations"],
+            round(ratio, 1),
+            naive["delta_cycles"], tdf["delta_cycles"],
+        ])
+    print_table(
+        f"E8: kernel cost, naive DE vs TDF cluster ({N_SAMPLES} samples)",
+        ["blocks", "naive activations", "tdf activations", "ratio",
+         "naive deltas", "tdf deltas"],
+        rows,
+    )
+    ratios = [naive["kernel_activations"] / tdf["kernel_activations"]
+              for naive, tdf in results.values()]
+    # The advantage grows with chain length (cluster wakes once per
+    # sample regardless of N; naive wakes N times + delta churn).
+    assert ratios[-1] > ratios[0] * 4
+    assert ratios[-1] > 20
+
+
+def test_e8_wall_clock(benchmark):
+    timings = {}
+
+    def best_of(runner, n_blocks, repeats=3):
+        best = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            runner(n_blocks, N_SAMPLES)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def measure():
+        for n_blocks in (8, 32):
+            timings[n_blocks] = (
+                best_of(run_naive_chain, n_blocks),
+                best_of(run_tdf_chain, n_blocks),
+            )
+        return timings
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [[n, round(a * 1e3, 1), round(b * 1e3, 1), round(a / b, 2)]
+            for n, (a, b) in timings.items()]
+    print_table(
+        "E8: wall-clock, naive vs TDF",
+        ["blocks", "naive [ms]", "tdf [ms]", "speedup"], rows,
+    )
+    # TDF must not be slower; typically noticeably faster.
+    for naive_seconds, tdf_seconds in timings.values():
+        assert tdf_seconds < naive_seconds * 1.2
+
+
+def test_e8_gating_ablation(benchmark):
+    """Virtual-clock activation gating on a settled CT block: the
+    Bonnerud optimization avoids needless solver work."""
+    from repro.core import Module, SimTime, Simulator
+    from repro.eln import Capacitor, Network, Resistor, Vsource
+    from repro.lib import StepSource, TdfSink
+    from repro.sync import ElnTdfModule
+    from repro.tdf import TdfSignal
+
+    def run(gating: bool):
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                net = Network()
+                net.add(Vsource("Vin", "in", "0"))
+                net.add(Resistor("R1", "in", "out", 1e3))
+                net.add(Capacitor("C1", "out", "0", 1e-6))
+                self.src = StepSource("src", parent=self,
+                                      timestep=SimTime(10, "us"))
+                self.rc = ElnTdfModule("rc", net, parent=self)
+                if gating:
+                    self.rc.enable_gating(1e-9)
+                self.sink = TdfSink("sink", self)
+                s_in, s_out = TdfSignal("si"), TdfSignal("so")
+                self.src.out(s_in)
+                self.rc.drive_voltage("Vin")(s_in)
+                self.rc.sample_voltage("out")(s_out)
+                self.sink.inp(s_out)
+
+        top = Top()
+        Simulator(top).run(SimTime(30, "ms"))
+        final = top.sink.samples[-1]
+        return top.rc.skipped_activations, top.rc.activation_count, final
+
+    results = {}
+
+    def measure():
+        results["off"] = run(False)
+        results["on"] = run(True)
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [[k, total, skipped, round(final, 6)]
+            for k, (skipped, total, final) in results.items()]
+    print_table(
+        "E8 ablation: activation gating (30 ms, tau = 1 ms)",
+        ["gating", "activations", "skipped", "final value"], rows,
+    )
+    assert results["off"][0] == 0
+    assert results["on"][0] > 500          # most of the tail skipped
+    assert results["on"][2] == pytest.approx(results["off"][2],
+                                             abs=1e-3)

@@ -1,0 +1,146 @@
+"""E9 — Phase 3: multi-domain automotive application.
+
+A software-in-the-loop electro-mechanical virtual prototype: PWM-driven
+DC motor (electrical + rotational mechanics via the MNA analogies) with
+a DE-process PI speed controller.  Step-response metrics of the closed
+loop and a thermal co-simulation of the motor's dissipation.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.analysis import StepResponse
+from repro.core import Module, Signal, SimTime, Simulator
+from repro.eln import Network, Vsource, dc_analysis
+from repro.lib import TdfSink
+from repro.multidomain import (
+    DcMotor,
+    HeatFlowSource,
+    Inertia,
+    RotationalDamper,
+    ThermalCapacitance,
+    ThermalResistance,
+)
+from repro.sync import ElnTdfModule
+from repro.tdf import TdfDeIn, TdfModule, TdfOut, TdfSignal
+
+KT, R_A, L_A = 0.05, 1.0, 1e-3
+J, B = 5e-4, 1e-4
+TARGET = 150.0
+
+
+def build_plant() -> Network:
+    net = Network("motor")
+    net.add(Vsource("Vdrive", "vin", "0"))
+    DcMotor("mot", net, "vin", "0", "w", kt=KT, r_a=R_A, l_a=L_A)
+    net.add(Inertia("J", "w", J))
+    net.add(RotationalDamper("b", "w", "0", B))
+    return net
+
+
+class CommandBridge(TdfModule):
+    def __init__(self, name, de_signal, parent=None):
+        super().__init__(name, parent)
+        self.out = TdfOut("out")
+        self.de_in = TdfDeIn("de_in")
+        self.de_in(de_signal)
+
+    def set_attributes(self):
+        self.set_timestep(SimTime(100, "us"))
+
+    def processing(self):
+        self.out.write(float(self.de_in.read()))
+
+
+class Rig(Module):
+    def __init__(self):
+        super().__init__("rig")
+        self.command = Signal("command", initial=0.0)
+        self.bridge = CommandBridge("bridge", self.command, parent=self)
+        self.plant = ElnTdfModule("plant", build_plant(), parent=self,
+                                  oversample=4)
+        self.speed_sink = TdfSink("speed_sink", self)
+        s_cmd, s_speed = TdfSignal("c"), TdfSignal("w")
+        self.bridge.out(s_cmd)
+        self.plant.drive_voltage("Vdrive")(s_cmd)
+        self.plant.sample_voltage("w")(s_speed)
+        self.speed_sink.inp(s_speed)
+        self.thread(self.controller)
+
+    def controller(self):
+        kp, ki, dt = 0.3, 1.5, 1e-3
+        integral = 0.0
+        while True:
+            yield SimTime(1, "ms")
+            samples = self.speed_sink.samples
+            speed = samples[-1] if samples else 0.0
+            error = TARGET - speed
+            integral = float(np.clip(integral + error * dt,
+                                     -24 / ki, 24 / ki))
+            self.command.write(float(np.clip(kp * error + ki * integral,
+                                             -24.0, 24.0)))
+
+
+def test_e9_closed_loop_speed_control(benchmark):
+    def run():
+        rig = Rig()
+        Simulator(rig).run(SimTime(300, "ms"))
+        return rig
+
+    rig = benchmark.pedantic(run, rounds=1, iterations=1)
+    t, speed = rig.speed_sink.as_arrays()
+    step = StepResponse(t, speed, final_value=TARGET, initial_value=0.0)
+    settled = speed[t > 0.25]
+    steady_error = abs(np.mean(settled) - TARGET)
+    print_table(
+        "E9: closed-loop DC-motor speed step",
+        ["metric", "value"],
+        [["final speed [rad/s]", round(speed[-1], 2)],
+         ["steady error [rad/s]", round(steady_error, 3)],
+         ["rise time [ms]", round(step.rise_time * 1e3, 1)],
+         ["overshoot [%]", round(step.overshoot * 100, 1)]],
+    )
+    assert steady_error < 5.0
+    assert step.overshoot < 0.15
+
+
+def test_e9_motor_thermal_cosimulation(benchmark):
+    """Electrical dissipation feeds a thermal RC network: junction
+    temperature rise = P * R_th at steady state."""
+
+    def run():
+        net = build_plant()
+        # Fixed 12 V drive for the thermal scenario.
+        for component in net.components:
+            if component.name == "Vdrive":
+                component.waveform = lambda t: 12.0
+        dc = dc_analysis(net)
+        omega = dc.voltage("w")
+        current = abs(dc.current("mot_la"))
+        dissipation = current ** 2 * R_A
+        thermal = Network("thermal")
+        thermal.add(HeatFlowSource("p", "junction", power=dissipation))
+        thermal.add(ThermalResistance("rjc", "junction", "case", 2.0))
+        thermal.add(ThermalResistance("rca", "case", "0", 5.0))
+        thermal.add(ThermalCapacitance("cj", "junction", 0.1))
+        dae, index = thermal.assemble()
+        times, states = dae.transient(10.0, 0.01,
+                                      x0=np.zeros(index.size))
+        rise = states[:, index.node_index["junction"]]
+        return omega, current, dissipation, times, rise
+
+    omega, current, dissipation, times, rise = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    expected = dissipation * 7.0
+    print_table(
+        "E9: electro-thermal co-simulation (12 V drive)",
+        ["metric", "value"],
+        [["speed [rad/s]", round(omega, 1)],
+         ["armature current [A]", round(current, 3)],
+         ["dissipation [W]", round(dissipation, 3)],
+         ["final temp rise [K]", round(rise[-1], 2)],
+         ["P*R_th [K]", round(expected, 2)]],
+    )
+    assert rise[-1] == pytest.approx(expected, rel=0.02)

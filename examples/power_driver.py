@@ -1,0 +1,116 @@
+"""AnalogSL-style power driver (Grimm, seed [8]).
+
+A PWM half-bridge driving an R-L load, simulated three ways:
+
+1. the dedicated piecewise-linear solver (exact per PWM segment);
+2. the same circuit as a general nonlinear DAE with a MOS switch,
+   integrated by the adaptive Newton solver;
+3. the periodic-steady-state shortcut (one linear solve).
+
+Prints waveform agreement and the speedup of the dedicated MoC — the
+reason the paper calls for "specialized continuous-time MoCs, e.g. for
+power electronics".
+
+Run:  python examples/power_driver.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.ct import variable_step_transient
+from repro.eln import Resistor, Vsource
+from repro.nonlin import NMos, NonlinearNetwork
+from repro.power import HalfBridgeDriver, RLLoad
+
+V_SUPPLY = 12.0
+R_LOAD = 2.0
+L_LOAD = 500e-6
+F_PWM = 20e3
+DUTY = 0.4
+CYCLES = 40
+
+
+def run_pwl():
+    driver = HalfBridgeDriver(
+        RLLoad(R_LOAD, L_LOAD), v_supply=V_SUPPLY, r_on=0.05,
+        pwm_frequency=F_PWM, duty=DUTY,
+    )
+    start = time.perf_counter()
+    times, states = driver.simulate(CYCLES, samples_per_segment=10)
+    elapsed = time.perf_counter() - start
+    return times, states[:, 0], elapsed, driver
+
+
+def run_nonlinear():
+    """Same circuit with the switch as a gate-driven power MOSFET.
+
+    The inductor current is approximated by R-L with the MOS in triode
+    as the high switch and an ideal freewheel path via a second MOS.
+    """
+    net = NonlinearNetwork("bridge")
+    period = 1.0 / F_PWM
+
+    # 25 V gate drive keeps the high-side device (a source follower
+    # whose source sits near the 12 V rail) in deep triode, matching the
+    # PWL model's 50 mohm switch.
+    def gate_high(t):
+        return 25.0 if (t % period) < DUTY * period else 0.0
+
+    def gate_low(t):
+        return 0.0 if (t % period) < DUTY * period else 25.0
+
+    net.add(Vsource("Vdd", "vdd", "0", V_SUPPLY))
+    net.add(Vsource("Vgh", "gh", "0", gate_high))
+    net.add(Vsource("Vgl", "gl", "0", gate_low))
+    # High-side and low-side switches (large k' -> low r_on).
+    net.add_device(NMos("Mh", "vdd", "gh", "sw", k_prime=1.7, vth=1.0))
+    net.add_device(NMos("Ml", "sw", "gl", "0", k_prime=1.7, vth=1.0))
+    net.add(Resistor("Rload", "sw", "x", R_LOAD))
+    from repro.eln import Inductor
+
+    net.add(Inductor("Lload", "x", "0", L_LOAD))
+    system, index = net.assemble_nonlinear()
+    start = time.perf_counter()
+    result = variable_step_transient(
+        system, CYCLES * period, x0=np.zeros(system.n),
+        reltol=1e-4, abstol=1e-6, h0=period / 200,
+        h_max=period / 20,
+    )
+    elapsed = time.perf_counter() - start
+    current = index.current_series(result.states, "Lload")
+    return result.times, current, elapsed, result
+
+
+def main() -> None:
+    t_pwl, i_pwl, dt_pwl, driver = run_pwl()
+    t_nl, i_nl, dt_nl, result = run_nonlinear()
+
+    # Compare on the common tail (steady-ish region).
+    i_nl_resampled = np.interp(t_pwl, t_nl, i_nl)
+    tail = t_pwl > 0.5 * t_pwl[-1]
+    deviation = np.max(np.abs(i_pwl[tail] - i_nl_resampled[tail]))
+
+    print("half-bridge PWM driver, R-L load")
+    print(f"  PWL dedicated solver : {dt_pwl * 1e3:8.2f} ms "
+          f"({driver.solver.segment_count} segments)")
+    print(f"  general nonlinear    : {dt_nl * 1e3:8.2f} ms "
+          f"({result.accepted_steps} steps, "
+          f"{result.newton_iterations} Newton iterations)")
+    print(f"  speedup              : {dt_nl / dt_pwl:8.1f} x")
+    print(f"  waveform deviation   : {deviation * 1e3:8.2f} mA "
+          f"(steady-state tail)")
+
+    x_ss = driver.steady_state()
+    ripple = driver.steady_ripple()[0]
+    average = driver.average_output()[0]
+    expected = DUTY * V_SUPPLY / (R_LOAD + 0.05)
+    print(f"\nperiodic steady state (one linear solve):")
+    print(f"  cycle-start current  : {x_ss[0] * 1e3:8.2f} mA")
+    print(f"  average current      : {average:8.4f} A "
+          f"(duty*V/R = {expected:.4f} A)")
+    print(f"  peak-to-peak ripple  : {ripple * 1e3:8.2f} mA")
+
+
+if __name__ == "__main__":
+    main()

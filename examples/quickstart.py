@@ -1,0 +1,71 @@
+"""Quickstart: a mixed-signal RC filter testbench in ~40 lines.
+
+A TDF sine source drives an electrical RC network (conservative-law,
+solved by MNA + trapezoidal integration) whose output is sampled back
+into the dataflow world; the same network also gets a frequency-domain
+(AC) analysis — both from the same equations.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Module, SimTime, Simulator
+from repro.eln import Capacitor, Network, Resistor, Vsource, ac_analysis
+from repro.lib import SineSource, TdfSink
+from repro.sync import ElnTdfModule
+from repro.tdf import TdfSignal
+
+R, C = 1e3, 100e-9          # 1 kHz corner
+F_IN = 1.6e3                # near the corner
+
+
+def build_rc() -> Network:
+    net = Network("rc")
+    net.add(Vsource("Vin", "in", "0"))      # value supplied by TDF
+    net.add(Resistor("R1", "in", "out", R))
+    net.add(Capacitor("C1", "out", "0", C))
+    return net
+
+
+class Testbench(Module):
+    def __init__(self):
+        super().__init__("tb")
+        self.s_in = TdfSignal("s_in")
+        self.s_out = TdfSignal("s_out")
+        self.src = SineSource("src", frequency=F_IN, parent=self,
+                              timestep=SimTime(5, "us"))
+        self.rc = ElnTdfModule("rc", build_rc(), parent=self, oversample=4)
+        self.sink = TdfSink("sink", self)
+        self.src.out(self.s_in)
+        self.rc.drive_voltage("Vin")(self.s_in)
+        self.rc.sample_voltage("out")(self.s_out)
+        self.sink.inp(self.s_out)
+
+
+def main() -> None:
+    # --- time domain -------------------------------------------------------
+    tb = Testbench()
+    Simulator(tb).run(SimTime(10, "ms"))
+    t, v = tb.sink.as_arrays()
+    steady = v[len(v) // 2:]
+    measured_gain = np.max(np.abs(steady))
+
+    # --- frequency domain (same network, same equations) --------------------
+    freqs = np.logspace(1, 5, 201)
+    ac = ac_analysis(build_rc(), freqs, input_source="Vin")
+    h = ac.voltage("out")
+    analytic = 1 / np.sqrt(1 + (F_IN * 2 * np.pi * R * C) ** 2)
+
+    print(f"samples simulated : {len(v)}")
+    print(f"steady-state gain : {measured_gain:.4f} (transient)")
+    print(f"analytic |H(f_in)|: {analytic:.4f}")
+    k = np.argmin(np.abs(freqs - F_IN))
+    print(f"AC sweep |H(f_in)|: {abs(h[k]):.4f}")
+    corner = freqs[np.argmin(np.abs(np.abs(h) - 1 / np.sqrt(2)))]
+    print(f"-3 dB corner      : {corner:.0f} Hz "
+          f"(expected {1 / (2 * np.pi * R * C):.0f} Hz)")
+
+
+if __name__ == "__main__":
+    main()

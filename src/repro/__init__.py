@@ -1,0 +1,15 @@
+"""pysysc-ams — a Python reproduction of the SystemC-AMS framework.
+
+Reproduces "SystemC-AMS Requirements, Design Objectives and Rationale"
+(Vachoux, Grimm, Einwich — DATE 2003): a layered mixed-signal modeling
+and simulation framework comprising a discrete-event kernel
+(:mod:`repro.core`), dataflow models of computation (:mod:`repro.sdf`,
+:mod:`repro.tdf`), continuous-time solvers (:mod:`repro.ct`), linear
+signal-flow and conservative electrical-network modeling
+(:mod:`repro.lsf`, :mod:`repro.eln`), nonlinear and multi-domain
+extensions (:mod:`repro.nonlin`, :mod:`repro.power`,
+:mod:`repro.multidomain`), a synchronization layer (:mod:`repro.sync`),
+and a mixed-signal module library (:mod:`repro.lib`).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,34 @@
+"""`repro.adsl` — the Figure 1 ADSL SLIC/codec virtual prototype.
+
+The paper's motivating mixed-signal system, assembled from every layer
+of the framework, plus the frequency-domain views of its starred blocks.
+"""
+
+from .system import (
+    REG_HOOK_STATUS,
+    REG_LINE_LEVEL,
+    REG_RX_GAIN_DB,
+    REG_TX_ENABLE,
+    AdslConfig,
+    AdslSystem,
+    build_antialias_filter,
+    build_line_network,
+    build_smoothing_filter,
+    default_software_program,
+)
+from .views import (
+    antialias_transfer,
+    end_to_end_analog_transfer,
+    line_output_noise,
+    line_transfer,
+    smoothing_transfer,
+)
+
+__all__ = [
+    "AdslConfig", "AdslSystem", "REG_HOOK_STATUS", "REG_LINE_LEVEL",
+    "REG_RX_GAIN_DB", "REG_TX_ENABLE", "antialias_transfer",
+    "build_antialias_filter", "build_line_network",
+    "build_smoothing_filter", "default_software_program",
+    "end_to_end_analog_transfer", "line_output_noise", "line_transfer",
+    "smoothing_transfer",
+]

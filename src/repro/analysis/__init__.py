@@ -1,0 +1,27 @@
+"""`repro.analysis` — waveform post-processing and metrics."""
+
+from .metrics import (
+    StepResponse,
+    convergence_order,
+    estimate_frequency,
+    max_error,
+    rms,
+    rms_error,
+)
+from .spectrum import (
+    ToneAnalysis,
+    amplitude_spectrum,
+    coherent_tone_frequency,
+    enob_of_tone,
+    power_spectral_density,
+    sndr_of_tone,
+    snr_of_tone,
+    window,
+)
+
+__all__ = [
+    "StepResponse", "ToneAnalysis", "amplitude_spectrum",
+    "coherent_tone_frequency", "convergence_order", "enob_of_tone",
+    "estimate_frequency", "max_error", "power_spectral_density", "rms",
+    "rms_error", "sndr_of_tone", "snr_of_tone", "window",
+]

@@ -1,0 +1,108 @@
+"""Time-domain waveform metrics: step-response characterization and
+error norms used throughout the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def rms(samples: np.ndarray) -> float:
+    """Root-mean-square value."""
+    x = np.asarray(samples, dtype=float)
+    return float(np.sqrt(np.mean(x * x)))
+
+
+def max_error(measured: np.ndarray, reference: np.ndarray) -> float:
+    """Maximum absolute deviation."""
+    return float(np.max(np.abs(np.asarray(measured) - np.asarray(reference))))
+
+
+def rms_error(measured: np.ndarray, reference: np.ndarray) -> float:
+    """RMS deviation."""
+    return rms(np.asarray(measured) - np.asarray(reference))
+
+
+def convergence_order(step_sizes, errors) -> float:
+    """Least-squares slope of log(error) versus log(h).
+
+    For a method of order p, halving h divides the error by 2^p, so the
+    fitted slope estimates p.
+    """
+    h = np.log(np.asarray(step_sizes, dtype=float))
+    e = np.log(np.asarray(errors, dtype=float))
+    slope, _intercept = np.polyfit(h, e, 1)
+    return float(slope)
+
+
+class StepResponse:
+    """Rise time, overshoot, and settling time of a step response."""
+
+    def __init__(self, times: np.ndarray, values: np.ndarray,
+                 final_value: Optional[float] = None,
+                 initial_value: Optional[float] = None):
+        self.times = np.asarray(times, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        self.final_value = float(self.values[-1]) if final_value is None \
+            else final_value
+        self.initial_value = float(self.values[0]) if initial_value is None \
+            else initial_value
+        self._swing = self.final_value - self.initial_value
+        if self._swing == 0:
+            raise ValueError("step response has zero swing")
+
+    def _crossing_time(self, fraction: float) -> float:
+        target = self.initial_value + fraction * self._swing
+        sign = np.sign(self._swing)
+        above = sign * (self.values - target) >= 0
+        idx = np.argmax(above)
+        if not above[idx]:
+            raise ValueError(f"response never reaches {fraction:.0%}")
+        if idx == 0:
+            return float(self.times[0])
+        t0, t1 = self.times[idx - 1], self.times[idx]
+        v0, v1 = self.values[idx - 1], self.values[idx]
+        return float(t0 + (target - v0) / (v1 - v0) * (t1 - t0))
+
+    @property
+    def rise_time(self) -> float:
+        """10%-90% rise time."""
+        return self._crossing_time(0.9) - self._crossing_time(0.1)
+
+    @property
+    def overshoot(self) -> float:
+        """Peak overshoot as a fraction of the step swing."""
+        if self._swing > 0:
+            peak = np.max(self.values)
+            return max(0.0, (peak - self.final_value) / self._swing)
+        trough = np.min(self.values)
+        return max(0.0, (self.final_value - trough) / (-self._swing))
+
+    def settling_time(self, tolerance: float = 0.02) -> float:
+        """Time after which the response stays within ``tolerance`` of
+        the final value (relative to the swing)."""
+        band = abs(self._swing) * tolerance
+        outside = np.abs(self.values - self.final_value) > band
+        if not np.any(outside):
+            return float(self.times[0])
+        last_outside = np.max(np.nonzero(outside)[0])
+        if last_outside + 1 >= len(self.times):
+            raise ValueError("response does not settle within the record")
+        return float(self.times[last_outside + 1])
+
+
+def estimate_frequency(times: np.ndarray, values: np.ndarray) -> float:
+    """Fundamental frequency estimate from rising zero crossings."""
+    t = np.asarray(times, dtype=float)
+    x = np.asarray(values, dtype=float)
+    x = x - np.mean(x)
+    crossings = []
+    for k in range(1, len(x)):
+        if x[k - 1] < 0 <= x[k]:
+            fraction = -x[k - 1] / (x[k] - x[k - 1])
+            crossings.append(t[k - 1] + fraction * (t[k] - t[k - 1]))
+    if len(crossings) < 2:
+        raise ValueError("fewer than two rising zero crossings")
+    periods = np.diff(crossings)
+    return float(1.0 / np.mean(periods))

@@ -1,0 +1,30 @@
+"""`repro.baselines` — comparison implementations.
+
+SciPy/analytic golden references, the naive analog-on-DE scheduling
+baseline (E8), and an independently-coded vectorized pipelined-ADC
+golden model (E4).
+"""
+
+from .golden_adc import golden_pipeline_convert, golden_quantize
+from .naive_de import (
+    NaiveAnalogBlock,
+    NaiveAnalogSource,
+    NaiveChain,
+    TdfChain,
+    run_naive_chain,
+    run_tdf_chain,
+)
+from .scipy_ref import (
+    linear_dae_reference,
+    ode_reference,
+    rc_step_response,
+    series_rlc_step_response,
+    van_der_pol_reference,
+)
+
+__all__ = [
+    "NaiveAnalogBlock", "NaiveAnalogSource", "NaiveChain", "TdfChain",
+    "golden_pipeline_convert", "golden_quantize", "linear_dae_reference",
+    "ode_reference", "rc_step_response", "run_naive_chain",
+    "run_tdf_chain", "series_rlc_step_response", "van_der_pol_reference",
+]

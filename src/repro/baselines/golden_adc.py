@@ -1,0 +1,62 @@
+"""Independently-coded (vectorized NumPy) pipelined-ADC golden model.
+
+Bonnerud et al. validated their SystemC framework against MATLAB; this
+module plays MATLAB's role.  It is written in a deliberately different
+style from :mod:`repro.lib.adc` — fully vectorized across the sample
+array, decisions computed per stage on whole vectors — so agreement
+between the two is meaningful evidence of correctness (E4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def golden_pipeline_convert(
+    samples: np.ndarray,
+    n_stages: int,
+    backend_bits: int,
+    gain_errors: Optional[Sequence[float]] = None,
+    calibrated: bool = True,
+    vref: float = 1.0,
+) -> np.ndarray:
+    """Vectorized 1.5-bit pipelined conversion of a sample array.
+
+    Matches :class:`repro.lib.adc.PipelinedAdc` with zero comparator
+    offset and zero noise.
+    """
+    x = np.asarray(samples, dtype=float)
+    if gain_errors is None:
+        gain_errors = [0.0] * n_stages
+    gains = np.array([2.0 * (1.0 + e) for e in gain_errors])
+    residue = x.copy()
+    decisions = np.empty((n_stages, len(x)))
+    quarter = vref / 4.0
+    for stage in range(n_stages):
+        d = np.where(residue > quarter, 1.0,
+                     np.where(residue < -quarter, -1.0, 0.0))
+        decisions[stage] = d
+        residue = gains[stage] * residue - d * vref
+    # Backend mid-rise quantizer.
+    levels = 2 ** backend_bits
+    step = 2.0 * vref / levels
+    clipped = np.clip(residue, -vref, vref - step / 2)
+    backend = (np.floor(clipped / step) + 0.5) * step
+    # Fold back.
+    estimate = backend
+    recon_gains = gains if calibrated else np.full(n_stages, 2.0)
+    for stage in range(n_stages - 1, -1, -1):
+        estimate = (estimate + decisions[stage] * vref) / recon_gains[stage]
+    return estimate
+
+
+def golden_quantize(samples: np.ndarray, bits: int,
+                    full_scale: float = 1.0) -> np.ndarray:
+    """Vectorized ideal mid-rise quantizer."""
+    x = np.asarray(samples, dtype=float)
+    levels = 2 ** bits
+    step = 2.0 * full_scale / levels
+    clipped = np.clip(x, -full_scale, full_scale - step / 2)
+    return (np.floor(clipped / step) + 0.5) * step

@@ -1,0 +1,56 @@
+"""`repro.core` — the discrete-event simulation kernel.
+
+This package is the Python equivalent of the SystemC core language the
+paper extends: hierarchical modules, evaluate/update signals, events,
+method and thread processes, a delta-cycle scheduler, clocks and tracing.
+"""
+
+from .clock import Clock
+from .errors import (
+    BindingError,
+    ConvergenceError,
+    ElaborationError,
+    SchedulingError,
+    SimulationError,
+    SolverError,
+    SynchronizationError,
+)
+from .events import Event
+from .kernel import Kernel
+from .module import Module
+from .port import InOutPort, InPort, OutPort, Port
+from .process import Process
+from .signal import BitSignal, Signal
+from .simulator import Simulator
+from .time import FEMTO, TIME_UNITS, ZERO_TIME, SimTime, time
+from .trace import Trace, TraceChannel, VcdWriter
+
+__all__ = [
+    "BindingError",
+    "BitSignal",
+    "Clock",
+    "ConvergenceError",
+    "ElaborationError",
+    "Event",
+    "FEMTO",
+    "InOutPort",
+    "InPort",
+    "Kernel",
+    "Module",
+    "OutPort",
+    "Port",
+    "Process",
+    "SchedulingError",
+    "Signal",
+    "SimTime",
+    "SimulationError",
+    "Simulator",
+    "SolverError",
+    "SynchronizationError",
+    "TIME_UNITS",
+    "Trace",
+    "TraceChannel",
+    "VcdWriter",
+    "ZERO_TIME",
+    "time",
+]

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the simulation framework."""
+
+
+class SimulationError(Exception):
+    """Base class for all framework errors."""
+
+
+class ElaborationError(SimulationError):
+    """Raised when the design hierarchy cannot be elaborated.
+
+    Typical causes: unbound ports, duplicate names, rate-inconsistent
+    dataflow graphs, or singular network topologies detected before the
+    simulation starts.
+    """
+
+
+class SchedulingError(SimulationError):
+    """Raised when a static schedule cannot be constructed.
+
+    For SDF/TDF this means the balance equations have no non-trivial
+    solution or the graph deadlocks; for the DE kernel it signals an
+    inconsistent process state.
+    """
+
+
+class BindingError(ElaborationError):
+    """Raised when a port is bound incorrectly (wrong type, double bind)."""
+
+
+class SolverError(SimulationError):
+    """Raised when a continuous-time solver fails.
+
+    Examples: singular system matrix, Newton iteration divergence, or a
+    timestep underflow in the variable-step integrator.
+    """
+
+
+class ConvergenceError(SolverError):
+    """Raised when an iterative numerical method fails to converge."""
+
+
+class SynchronizationError(SimulationError):
+    """Raised when discrete and continuous parts cannot be synchronized.
+
+    Examples: inconsistent timestep assignments in a TDF cluster, or a
+    converter port accessed outside its cluster's activation window.
+    """

@@ -1,0 +1,231 @@
+"""The discrete-event simulation kernel.
+
+Implements the SystemC 2.0 scheduler loop the paper builds on ([10]):
+
+1. **Evaluation** — run every runnable process.  Processes may write
+   primitive channels (requesting updates), notify events, and spawn
+   immediate notifications that extend the current evaluation phase.
+2. **Update** — apply all requested channel updates.
+3. **Delta notification** — fire pending delta notifications; processes
+   sensitive to them become runnable.  If any did, go to 1 (next delta
+   cycle at the same simulation time).
+4. **Time advance** — otherwise advance simulation time to the earliest
+   timed notification and fire it.
+
+The kernel is deliberately independent of any analog extension: the AMS
+layers (`repro.tdf`, `repro.sync`) attach to it only through ordinary
+processes and events, exactly as the paper requires of SystemC-AMS.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from .errors import SimulationError
+from .events import Event
+from .process import Process
+from .time import SimTime, ZERO_TIME
+
+
+class _TimedEntry:
+    """Heap entry for a timed notification or a thread wake-up."""
+
+    __slots__ = ("ticks", "seq", "event", "process", "cancelled")
+
+    def __init__(self, ticks: int, seq: int, event=None, process=None):
+        self.ticks = ticks
+        self.seq = seq
+        self.event = event
+        self.process = process
+        self.cancelled = False
+
+    def __lt__(self, other: "_TimedEntry") -> bool:
+        return (self.ticks, self.seq) < (other.ticks, other.seq)
+
+
+class Kernel:
+    """Delta-cycle discrete-event scheduler."""
+
+    _current: Optional["Kernel"] = None
+
+    def __init__(self):
+        self.now_ticks = 0
+        self.delta_count = 0
+        #: Total number of process activations (a cost metric for E8).
+        self.activation_count = 0
+        self._runnable: list[Process] = []
+        self._queued_ids: set[int] = set()
+        self._update_queue: list = []
+        self._delta_events: list[Event] = []
+        self._timed: list[_TimedEntry] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+        self._initialized = False
+        self._stop_requested = False
+        self._time_callbacks: list[Callable[[int], None]] = []
+        Kernel._current = self
+
+    # -- global context -----------------------------------------------------
+
+    @classmethod
+    def current(cls) -> Optional["Kernel"]:
+        return cls._current
+
+    @property
+    def now(self) -> SimTime:
+        return SimTime.from_ticks(self.now_ticks)
+
+    # -- registration --------------------------------------------------------
+
+    def register_process(self, process: Process) -> None:
+        self._processes.append(process)
+        for event in process.static_sensitivity:
+            event._attach_kernel(self)
+            event.add_static(process)
+
+    def add_time_callback(self, callback: Callable[[int], None]) -> None:
+        """Invoke ``callback(now_ticks)`` after every time advance."""
+        self._time_callbacks.append(callback)
+
+    # -- scheduling interface used by Event / Signal / Process ----------------
+
+    def make_runnable(self, process: Process, trigger: Optional[Event] = None) -> None:
+        if process.terminated or id(process) in self._queued_ids:
+            return
+        process.last_trigger = trigger
+        self._queued_ids.add(id(process))
+        self._runnable.append(process)
+
+    def request_update(self, channel) -> None:
+        self._update_queue.append(channel)
+
+    def schedule_delta(self, event: Event) -> None:
+        self._delta_events.append(event)
+
+    def cancel_delta(self, event: Event) -> None:
+        if event in self._delta_events:
+            self._delta_events.remove(event)
+
+    def schedule_event(self, event: Event, ticks: int) -> _TimedEntry:
+        entry = _TimedEntry(ticks, self._next_seq(), event=event)
+        heapq.heappush(self._timed, entry)
+        return entry
+
+    def schedule_process_wake(self, process: Process, delay: SimTime) -> _TimedEntry:
+        entry = _TimedEntry(
+            self.now_ticks + delay.ticks, self._next_seq(), process=process
+        )
+        heapq.heappush(self._timed, entry)
+        return entry
+
+    def cancel_timed(self, entry: _TimedEntry) -> None:
+        entry.cancelled = True
+
+    def trigger_event_now(self, event: Event) -> None:
+        event._fire(self)
+
+    def stop(self) -> None:
+        """Request the simulation to halt at the end of the current delta."""
+        self._stop_requested = True
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- the scheduler loop ----------------------------------------------------
+
+    def initialize(self) -> None:
+        """Run the initialization phase: every process runs once, except
+        those marked ``dont_initialize``."""
+        if self._initialized:
+            return
+        self._initialized = True
+        for process in self._processes:
+            if not process.dont_initialize:
+                self.make_runnable(process)
+        self._settle_current_time()
+
+    def run(self, duration: Optional[SimTime] = None) -> SimTime:
+        """Run the simulation for ``duration`` (or until no activity).
+
+        Returns the simulation time at which the run stopped.
+        """
+        self.initialize()
+        limit = None if duration is None else self.now_ticks + duration.ticks
+        while not self._stop_requested:
+            entry = self._pop_next_timed()
+            if entry is None:
+                break
+            if limit is not None and entry.ticks > limit:
+                heapq.heappush(self._timed, entry)
+                self.now_ticks = limit
+                break
+            self._advance_to(entry.ticks)
+            self._dispatch_timed(entry)
+            while self._timed and not self._timed[0].cancelled and \
+                    self._timed[0].ticks == self.now_ticks:
+                self._dispatch_timed(heapq.heappop(self._timed))
+            self._settle_current_time()
+        if limit is not None and not self._stop_requested:
+            self.now_ticks = max(self.now_ticks, limit)
+        self._stop_requested = False
+        return self.now
+
+    def pending_activity(self) -> bool:
+        """True if any timed notification remains scheduled."""
+        return any(not e.cancelled for e in self._timed)
+
+    def next_activity_ticks(self) -> Optional[int]:
+        while self._timed and self._timed[0].cancelled:
+            heapq.heappop(self._timed)
+        return self._timed[0].ticks if self._timed else None
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance_to(self, ticks: int) -> None:
+        if ticks < self.now_ticks:
+            raise SimulationError("scheduler attempted to move time backwards")
+        self.now_ticks = ticks
+        for callback in self._time_callbacks:
+            callback(ticks)
+
+    def _pop_next_timed(self) -> Optional[_TimedEntry]:
+        while self._timed:
+            entry = heapq.heappop(self._timed)
+            if not entry.cancelled:
+                return entry
+        return None
+
+    def _dispatch_timed(self, entry: _TimedEntry) -> None:
+        if entry.cancelled:
+            return
+        if entry.event is not None:
+            entry.event._fire(self)
+        elif entry.process is not None:
+            entry.process._timer_handle = None
+            self.make_runnable(entry.process)
+
+    def _settle_current_time(self) -> None:
+        """Run delta cycles until the current time has no more activity."""
+        while True:
+            if not (self._runnable or self._update_queue or self._delta_events):
+                return
+            # Evaluation phase.
+            while self._runnable:
+                batch, self._runnable = self._runnable, []
+                self._queued_ids.clear()
+                for process in batch:
+                    self.activation_count += 1
+                    process._run(self)
+                if self._stop_requested:
+                    return
+            # Update phase.
+            updates, self._update_queue = self._update_queue, []
+            for channel in updates:
+                channel._update(self)
+            # Delta notification phase.
+            deltas, self._delta_events = self._delta_events, []
+            for event in deltas:
+                event._fire(self)
+            self.delta_count += 1

@@ -1,0 +1,102 @@
+"""Ports: typed connection points between modules and channels.
+
+A port is bound to a signal (or transitively to another port of a parent
+module).  Binding is resolved at elaboration time; reading or writing an
+unbound port raises :class:`~repro.core.errors.BindingError`.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar, Union
+
+from .errors import BindingError
+from .events import Event
+from .signal import Signal
+
+T = TypeVar("T")
+
+
+class Port(Generic[T]):
+    """Base port; holds the binding target."""
+
+    direction = "inout"
+
+    def __init__(self, name: str = "port"):
+        self.name = name
+        self._target: Optional[Union[Signal, "Port"]] = None
+
+    def bind(self, target: Union[Signal, "Port"]) -> None:
+        if self._target is not None:
+            raise BindingError(f"port {self.name!r} is already bound")
+        if not isinstance(target, (Signal, Port)):
+            raise BindingError(
+                f"port {self.name!r} bound to {type(target).__name__}; "
+                "expected Signal or Port"
+            )
+        self._target = target
+
+    #: ``port(sig)`` is shorthand for ``port.bind(sig)``, as in SystemC.
+    __call__ = bind
+
+    @property
+    def bound(self) -> bool:
+        return self._target is not None
+
+    def resolve(self) -> Signal:
+        """Follow port-to-port bindings down to the concrete signal."""
+        seen = set()
+        target = self._target
+        while isinstance(target, Port):
+            if id(target) in seen:
+                raise BindingError(f"port {self.name!r} has a binding cycle")
+            seen.add(id(target))
+            target = target._target
+        if target is None:
+            raise BindingError(f"port {self.name!r} is unbound")
+        return target
+
+    def default_event(self) -> Event:
+        return self.resolve().default_event()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class InPort(Port[T]):
+    """Read-only port."""
+
+    direction = "in"
+
+    def read(self) -> T:
+        return self.resolve().read()
+
+    @property
+    def value(self) -> T:
+        return self.read()
+
+    def event(self) -> bool:
+        return self.resolve().event()
+
+    def posedge_event(self) -> Event:
+        return self.resolve().posedge_event()
+
+    def negedge_event(self) -> Event:
+        return self.resolve().negedge_event()
+
+
+class OutPort(Port[T]):
+    """Write-only port."""
+
+    direction = "out"
+
+    def write(self, value: T) -> None:
+        self.resolve().write(value)
+
+
+class InOutPort(InPort[T]):
+    """Readable and writable port."""
+
+    direction = "inout"
+
+    def write(self, value: T) -> None:
+        self.resolve().write(value)

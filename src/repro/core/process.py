@@ -1,0 +1,143 @@
+"""Simulation processes.
+
+Two process kinds mirror SystemC:
+
+* **method processes** — a plain callable invoked from the beginning on
+  every trigger; static sensitivity only.
+* **thread processes** — a generator resumed on every trigger.  The values
+  a thread yields are its dynamic wait conditions: a :class:`SimTime`
+  (wait for a duration), an :class:`Event`, or a tuple of events (wait for
+  any of them).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from .errors import SimulationError
+from .events import Event
+from .time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Kernel
+
+METHOD = "method"
+THREAD = "thread"
+
+
+class Process:
+    """A schedulable unit of behaviour owned by a module."""
+
+    __slots__ = (
+        "name",
+        "kind",
+        "func",
+        "static_sensitivity",
+        "dont_initialize",
+        "_generator",
+        "_terminated",
+        "_waiting_events",
+        "_timer_handle",
+        "_queued",
+        "last_trigger",
+        "terminated_event",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        func: Callable,
+        sensitivity: Sequence[Event] = (),
+        dont_initialize: bool = False,
+    ):
+        if kind not in (METHOD, THREAD):
+            raise ValueError(f"unknown process kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.func = func
+        self.static_sensitivity = list(sensitivity)
+        self.dont_initialize = dont_initialize
+        self._generator = None
+        self._terminated = False
+        self._waiting_events: list[Event] = []
+        self._timer_handle = None
+        self._queued = False
+        #: The event that most recently made this process runnable.
+        self.last_trigger: Optional[Event] = None
+        self.terminated_event = Event(f"{name}.terminated")
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def terminated(self) -> bool:
+        return self._terminated
+
+    def clear_dynamic_waits(self) -> None:
+        """Drop all dynamic wait registrations (called when one fires)."""
+        for event in self._waiting_events:
+            event.remove_waiter(self)
+        self._waiting_events.clear()
+        if self._timer_handle is not None:
+            self._timer_handle.cancelled = True
+            self._timer_handle = None
+
+    # -- execution (kernel-internal) ---------------------------------------
+
+    def _run(self, kernel: "Kernel") -> None:
+        if self._terminated:
+            return
+        if self.kind == METHOD:
+            self.func()
+            return
+        self._resume_thread(kernel)
+
+    def _resume_thread(self, kernel: "Kernel") -> None:
+        if self._generator is None:
+            result = self.func()
+            if not inspect.isgenerator(result):
+                # A thread body with no yields: runs once to completion.
+                self._finish(kernel)
+                return
+            self._generator = result
+        try:
+            wait_request = next(self._generator)
+        except StopIteration:
+            self._finish(kernel)
+            return
+        self._register_wait(kernel, wait_request)
+
+    def _register_wait(self, kernel: "Kernel", request) -> None:
+        if isinstance(request, SimTime):
+            self._timer_handle = kernel.schedule_process_wake(self, request)
+            return
+        if isinstance(request, Event):
+            request._attach_kernel(kernel)
+            request.add_waiter(self)
+            self._waiting_events.append(request)
+            return
+        if isinstance(request, Iterable):
+            events = list(request)
+            if not events or not all(isinstance(e, Event) for e in events):
+                raise SimulationError(
+                    f"process {self.name!r} yielded an invalid wait list"
+                )
+            for event in events:
+                event._attach_kernel(kernel)
+                event.add_waiter(self)
+                self._waiting_events.append(event)
+            return
+        raise SimulationError(
+            f"process {self.name!r} yielded invalid wait condition "
+            f"{request!r}; expected SimTime, Event, or iterable of Events"
+        )
+
+    def _finish(self, kernel: "Kernel") -> None:
+        self._terminated = True
+        self._generator = None
+        self.terminated_event._attach_kernel(kernel)
+        self.terminated_event.notify()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Process({self.name!r}, {self.kind})"

@@ -1,0 +1,114 @@
+"""Primitive channels: signals with evaluate/update semantics.
+
+A write to a :class:`Signal` does not take effect until the update phase of
+the current delta cycle, so every process reading the signal within one
+evaluation phase observes the same value — the SystemC determinism rule.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+from .events import Event
+from .kernel import Kernel
+
+T = TypeVar("T")
+
+
+class Signal(Generic[T]):
+    """A single-driver signal carrying a value of any equality-comparable type."""
+
+    def __init__(self, name: str = "signal", initial: T = 0):
+        self.name = name
+        self._current: T = initial
+        self._next: T = initial
+        self._update_requested = False
+        #: the kernel the pending update was queued on; a write seen by
+        #: a *different* kernel (a fresh Simulator after an old one)
+        #: must re-queue rather than trust the stale flag.
+        self._requested_kernel = None
+        self._changed_event = Event(f"{name}.value_changed")
+        #: Delta count at which the value last changed (for ``event()``).
+        self._change_delta = -1
+        self._change_ticks = -1
+
+    def set_initial(self, value: T) -> None:
+        """Assign the pre-simulation value directly (no update phase)."""
+        self._current = value
+        self._next = value
+
+    # -- access -------------------------------------------------------------
+
+    def read(self) -> T:
+        return self._current
+
+    @property
+    def value(self) -> T:
+        return self._current
+
+    def write(self, value: T) -> None:
+        self._next = value
+        kernel = Kernel.current()
+        if kernel is None:
+            # Pre-simulation write: apply directly (initialization value).
+            self._current = value
+            return
+        if not self._update_requested or self._requested_kernel is not kernel:
+            self._update_requested = True
+            self._requested_kernel = kernel
+            kernel.request_update(self)
+
+    def default_event(self) -> Event:
+        return self._changed_event
+
+    def value_changed_event(self) -> Event:
+        return self._changed_event
+
+    def event(self) -> bool:
+        """True if the signal changed value in the immediately preceding
+        update phase at the current time."""
+        kernel = Kernel.current()
+        if kernel is None:
+            return False
+        return self._change_ticks == kernel.now_ticks and \
+            self._change_delta == kernel.delta_count
+
+    # -- kernel interface -----------------------------------------------------
+
+    def _update(self, kernel: Kernel) -> None:
+        self._update_requested = False
+        if self._next != self._current:
+            self._current = self._next
+            self._change_delta = kernel.delta_count + 1
+            self._change_ticks = kernel.now_ticks
+            self._changed_event._attach_kernel(kernel)
+            kernel.schedule_delta(self._changed_event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, value={self._current!r})"
+
+
+class BitSignal(Signal[bool]):
+    """A boolean signal with positive/negative edge events."""
+
+    def __init__(self, name: str = "bit", initial: bool = False):
+        super().__init__(name, bool(initial))
+        self._posedge = Event(f"{name}.posedge")
+        self._negedge = Event(f"{name}.negedge")
+
+    def posedge_event(self) -> Event:
+        return self._posedge
+
+    def negedge_event(self) -> Event:
+        return self._negedge
+
+    def write(self, value) -> None:
+        super().write(bool(value))
+
+    def _update(self, kernel: Kernel) -> None:
+        old = self._current
+        super()._update(kernel)
+        if self._current != old:
+            edge = self._posedge if self._current else self._negedge
+            edge._attach_kernel(kernel)
+            kernel.schedule_delta(edge)

@@ -1,0 +1,79 @@
+"""Simulation driver: elaboration plus run control.
+
+The :class:`Simulator` walks a module hierarchy, checks port bindings,
+registers processes with a fresh :class:`~repro.core.kernel.Kernel`, runs
+the AMS elaboration hooks (cluster building, solver setup — see
+`repro.sync`), and then drives the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import ElaborationError
+from .kernel import Kernel
+from .module import Module
+from .time import SimTime
+from .trace import Trace
+
+
+class Simulator:
+    """Owns one kernel and one elaborated design."""
+
+    def __init__(self, top: Module, trace: Optional[Trace] = None):
+        self.top = top
+        self.trace = trace
+        self.kernel = Kernel()
+        self._elaborated = False
+        self._finalizers: list = []
+
+    def add_elaboration_finalizer(self, callback) -> None:
+        """Register a callback run after process registration.
+
+        The AMS layers use this to build dataflow clusters and set up
+        continuous-time solvers once the whole hierarchy is known.
+        """
+        self._finalizers.append(callback)
+
+    def elaborate(self) -> None:
+        if self._elaborated:
+            return
+        modules = list(self.top.walk())
+        names = [m.full_name() for m in modules]
+        if len(set(names)) != len(names):
+            raise ElaborationError("duplicate module names in hierarchy")
+        # AMS hook: modules that participate in dataflow clusters or own
+        # equation systems expose ``ams_elaborate(simulator)``.
+        for module in modules:
+            hook = getattr(module, "ams_elaborate", None)
+            if callable(hook):
+                hook(self)
+        for module in modules:
+            module.check_bindings()
+        from .module import resolve_sensitivity
+
+        for module in modules:
+            for process in module._processes:
+                resolve_sensitivity(process)
+                self.kernel.register_process(process)
+        for callback in self._finalizers:
+            callback(self)
+        if self.trace is not None:
+            self.trace.attach(self.kernel)
+        for module in modules:
+            module.end_of_elaboration()
+        for module in modules:
+            module.start_of_simulation()
+        self._elaborated = True
+
+    def run(self, duration: Optional[SimTime] = None) -> SimTime:
+        """Elaborate on first call, then run for ``duration``."""
+        self.elaborate()
+        return self.kernel.run(duration)
+
+    @property
+    def now(self) -> SimTime:
+        return self.kernel.now
+
+    def stop(self) -> None:
+        self.kernel.stop()

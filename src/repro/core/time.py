@@ -1,0 +1,120 @@
+"""Simulation time.
+
+Time is represented as an integer count of femtoseconds, mirroring the
+SystemC notion of a fixed minimum resolvable time.  Integer arithmetic keeps
+the discrete-event kernel exact: two notifications scheduled for the same
+instant compare equal, which floating-point time cannot guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import total_ordering
+
+#: Femtoseconds per unit, for every accepted unit string.
+TIME_UNITS = {
+    "fs": 1,
+    "ps": 10**3,
+    "ns": 10**6,
+    "us": 10**9,
+    "ms": 10**12,
+    "s": 10**15,
+}
+
+#: Seconds represented by one femtosecond tick.
+FEMTO = 1e-15
+
+
+@total_ordering
+class SimTime:
+    """A point in (or duration of) simulation time.
+
+    Internally an integer number of femtoseconds.  Construct from a value
+    and unit (``SimTime(5, "ns")``), from seconds (:meth:`from_seconds`),
+    or from raw ticks (:meth:`from_ticks`).
+    """
+
+    __slots__ = ("ticks",)
+
+    def __init__(self, value: float = 0, unit: str = "s"):
+        if unit not in TIME_UNITS:
+            raise ValueError(
+                f"unknown time unit {unit!r}; expected one of {sorted(TIME_UNITS)}"
+            )
+        scaled = value * TIME_UNITS[unit]
+        if isinstance(scaled, float) and not math.isfinite(scaled):
+            raise ValueError(f"non-finite time value: {value!r} {unit}")
+        self.ticks = int(round(scaled))
+
+    @classmethod
+    def from_ticks(cls, ticks: int) -> "SimTime":
+        t = cls.__new__(cls)
+        t.ticks = int(ticks)
+        return t
+
+    @classmethod
+    def from_seconds(cls, seconds: float) -> "SimTime":
+        return cls(seconds, "s")
+
+    def to_seconds(self) -> float:
+        return self.ticks * FEMTO
+
+    def __add__(self, other: "SimTime") -> "SimTime":
+        return SimTime.from_ticks(self.ticks + _ticks_of(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "SimTime") -> "SimTime":
+        return SimTime.from_ticks(self.ticks - _ticks_of(other))
+
+    def __mul__(self, factor: int) -> "SimTime":
+        return SimTime.from_ticks(self.ticks * factor)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other):
+        if isinstance(other, SimTime):
+            return self.ticks // other.ticks
+        return SimTime.from_ticks(self.ticks // other)
+
+    def __mod__(self, other: "SimTime") -> "SimTime":
+        return SimTime.from_ticks(self.ticks % _ticks_of(other))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimTime):
+            return NotImplemented
+        return self.ticks == other.ticks
+
+    def __lt__(self, other: "SimTime") -> bool:
+        return self.ticks < _ticks_of(other)
+
+    def __hash__(self) -> int:
+        return hash(self.ticks)
+
+    def __bool__(self) -> bool:
+        return self.ticks != 0
+
+    def __repr__(self) -> str:
+        return f"SimTime({self})"
+
+    def __str__(self) -> str:
+        for unit in ("s", "ms", "us", "ns", "ps"):
+            per = TIME_UNITS[unit]
+            if self.ticks and self.ticks % per == 0:
+                return f"{self.ticks // per} {unit}"
+        return f"{self.ticks} fs"
+
+
+#: The zero time constant.
+ZERO_TIME = SimTime.from_ticks(0)
+
+
+def _ticks_of(t) -> int:
+    if isinstance(t, SimTime):
+        return t.ticks
+    raise TypeError(f"expected SimTime, got {type(t).__name__}")
+
+
+def time(value: float, unit: str = "s") -> SimTime:
+    """Convenience constructor: ``time(5, 'ns')``."""
+    return SimTime(value, unit)

@@ -1,0 +1,161 @@
+"""Waveform tracing.
+
+Two recorders are provided:
+
+* :class:`Trace` — an in-memory recorder sampling signals on change (for
+  DE values) plus an explicit :meth:`sample` interface used by the AMS
+  layers to record continuous waveforms at solver timepoints.
+* :class:`VcdWriter` — writes the recorded DE traces in Value Change Dump
+  format for external waveform viewers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO
+
+import numpy as np
+
+from .kernel import Kernel
+from .signal import Signal
+from .time import FEMTO, SimTime
+
+
+class TraceChannel:
+    """Recorded (time, value) history of one named quantity."""
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: list[int] = []
+        self.values: list = []
+
+    def record(self, ticks: int, value) -> None:
+        if self.times and self.times[-1] == ticks:
+            self.values[-1] = value
+            return
+        self.times.append(ticks)
+        self.values.append(value)
+
+    def as_arrays(self):
+        """Return (time_seconds, values) as NumPy arrays."""
+        t = np.asarray(self.times, dtype=float) * FEMTO
+        return t, np.asarray(self.values)
+
+    def value_at(self, t: SimTime):
+        """Most recent recorded value at or before ``t`` (DE semantics)."""
+        idx = np.searchsorted(self.times, t.ticks, side="right") - 1
+        if idx < 0:
+            raise ValueError(f"no sample of {self.name!r} at or before {t}")
+        return self.values[idx]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class Trace:
+    """In-memory waveform recorder."""
+
+    def __init__(self):
+        self.channels: dict[str, TraceChannel] = {}
+        self._watched: list[tuple[Signal, TraceChannel]] = []
+
+    def channel(self, name: str) -> TraceChannel:
+        if name not in self.channels:
+            self.channels[name] = TraceChannel(name)
+        return self.channels[name]
+
+    def watch(self, signal: Signal, name: Optional[str] = None) -> TraceChannel:
+        """Record every value change of a DE signal.
+
+        The caller must invoke :meth:`attach` (done by the Simulator) so
+        the recorder sees the kernel; value changes are captured via a
+        per-signal method process installed at elaboration.
+        """
+        chan = self.channel(name or signal.name)
+        self._watched.append((signal, chan))
+        return chan
+
+    def sample(self, name: str, ticks: int, value) -> None:
+        """Record an explicit sample (used by AMS solvers)."""
+        self.channel(name).record(ticks, value)
+
+    def attach(self, kernel: Kernel) -> None:
+        """Install change-capture processes; called at elaboration."""
+        from .process import METHOD, Process
+
+        for signal, chan in self._watched:
+            chan.record(kernel.now_ticks, signal.read())
+
+            def capture(signal=signal, chan=chan, kernel=kernel):
+                chan.record(kernel.now_ticks, signal.read())
+
+            proc = Process(
+                f"trace.{chan.name}",
+                METHOD,
+                capture,
+                [signal.default_event()],
+                dont_initialize=True,
+            )
+            kernel.register_process(proc)
+
+    def __getitem__(self, name: str) -> TraceChannel:
+        return self.channels[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.channels
+
+
+class VcdWriter:
+    """Serialize a :class:`Trace` to VCD."""
+
+    _ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+    def __init__(self, trace: Trace, timescale: str = "1 fs"):
+        self.trace = trace
+        self.timescale = timescale
+
+    def write(self, stream: TextIO) -> None:
+        channels = list(self.trace.channels.values())
+        ids = {c.name: self._ident(i) for i, c in enumerate(channels)}
+        stream.write(f"$timescale {self.timescale} $end\n")
+        stream.write("$scope module top $end\n")
+        for chan in channels:
+            kind, width = self._var_type(chan)
+            safe = chan.name.replace(" ", "_")
+            stream.write(f"$var {kind} {width} {ids[chan.name]} {safe} $end\n")
+        stream.write("$upscope $end\n$enddefinitions $end\n")
+        # Merge all change lists by time.
+        merged: dict[int, list[tuple[str, object]]] = {}
+        for chan in channels:
+            for ticks, value in zip(chan.times, chan.values):
+                merged.setdefault(ticks, []).append((ids[chan.name], value))
+        for ticks in sorted(merged):
+            stream.write(f"#{ticks}\n")
+            for ident, value in merged[ticks]:
+                stream.write(self._format_change(ident, value))
+
+    def _ident(self, index: int) -> str:
+        chars = self._ID_CHARS
+        ident = ""
+        index += 1
+        while index:
+            index, rem = divmod(index - 1, len(chars))
+            ident = chars[rem] + ident
+        return ident
+
+    @staticmethod
+    def _var_type(chan: TraceChannel) -> tuple[str, int]:
+        if chan.values and isinstance(chan.values[0], bool):
+            return "wire", 1
+        if chan.values and isinstance(chan.values[0], (int, np.integer)):
+            return "integer", 32
+        return "real", 64
+
+    @staticmethod
+    def _format_change(ident: str, value) -> str:
+        if isinstance(value, bool):
+            return f"{int(value)}{ident}\n"
+        if isinstance(value, (int, np.integer)):
+            return f"b{int(value) & 0xFFFFFFFF:b} {ident}\n"
+        return f"r{float(value):.16g} {ident}\n"

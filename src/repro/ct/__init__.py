@@ -1,0 +1,76 @@
+"""`repro.ct` — continuous-time models of computation.
+
+Solvers for linear and nonlinear DAE systems with fixed and variable
+timesteps, DC operating-point computation, small-signal AC and noise
+analyses, threshold-crossing detection, and the plug-in API for external
+solvers.
+"""
+
+from .ac import (
+    ac_sweep,
+    corner_frequency,
+    linearize,
+    magnitude_db,
+    phase_deg,
+    transfer_function,
+)
+from .harmonic import HarmonicBalanceResult, harmonic_balance
+from .sweep import dc_sweep, sweep_source
+from .events import (
+    EITHER,
+    FALLING,
+    RISING,
+    CrossingDetector,
+    linear_crossing,
+    refine_crossing,
+    sampled_crossings,
+)
+from .linear import (
+    METHOD_ORDERS,
+    LinearDae,
+    LinearStepper,
+    state_space_to_dae,
+)
+from .noise import (
+    BOLTZMANN,
+    ELEMENTARY_CHARGE,
+    NoiseSource,
+    flicker_psd,
+    integrated_noise,
+    output_noise_psd,
+    per_source_contributions,
+    shot_noise_psd,
+    snr_db,
+    thermal_current_psd,
+)
+from .nonlinear import (
+    FunctionSystem,
+    NonlinearStepper,
+    NonlinearSystem,
+    VariableStepResult,
+    dc_operating_point,
+    newton,
+    numeric_jacobian,
+    variable_step_transient,
+)
+from .solver_api import (
+    LinearTransientSolver,
+    NonlinearTransientSolver,
+    ScipyIvpSolver,
+    TransientSolver,
+)
+
+__all__ = [
+    "BOLTZMANN", "CrossingDetector", "EITHER", "ELEMENTARY_CHARGE",
+    "HarmonicBalanceResult", "dc_sweep", "harmonic_balance", "sweep_source",
+    "FALLING", "FunctionSystem", "LinearDae", "LinearStepper",
+    "LinearTransientSolver", "METHOD_ORDERS", "NoiseSource",
+    "NonlinearStepper", "NonlinearSystem", "NonlinearTransientSolver",
+    "RISING", "ScipyIvpSolver", "TransientSolver", "VariableStepResult",
+    "ac_sweep", "corner_frequency", "dc_operating_point", "flicker_psd",
+    "integrated_noise", "linear_crossing", "linearize", "magnitude_db",
+    "newton", "numeric_jacobian", "output_noise_psd",
+    "per_source_contributions", "phase_deg", "refine_crossing",
+    "sampled_crossings", "shot_noise_psd", "snr_db", "state_space_to_dae",
+    "thermal_current_psd", "transfer_function", "variable_step_transient",
+]

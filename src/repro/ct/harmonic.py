@@ -1,0 +1,176 @@
+"""Single-tone harmonic balance: large-signal periodic steady state.
+
+The paper's Phase 2 requires "frequency-domain simulation" beyond small
+-signal AC — the "large-signal nonlinear frequency-domain analyses" of
+its Section 3 taxonomy (Kundert's RF methods [12]).  This module solves
+for the periodic steady state of a :class:`NonlinearSystem` driven at a
+known fundamental, directly in the frequency domain:
+
+The unknown is the truncated Fourier series of every state variable
+(DC + K harmonics).  Collocation on 2K+1 (oversampled) time points turns
+the DAE residual
+
+    d/dt q(x(t)) + f(x(t), t) = 0
+
+into an algebraic system in the Fourier coefficients: differentiation is
+exact (multiplication by ``j*k*w``) and the nonlinear terms are
+evaluated in the time domain and transformed back (the standard
+HB "FFT sandwich").  Newton with a finite-difference Jacobian suffices
+for the small systems this framework targets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import ConvergenceError, SolverError
+from .nonlinear import NonlinearSystem, dc_operating_point, newton
+
+
+class HarmonicBalanceResult:
+    """Fourier-domain periodic steady state."""
+
+    def __init__(self, fundamental: float, coefficients: np.ndarray,
+                 times: np.ndarray, waveforms: np.ndarray,
+                 iterations: int):
+        #: fundamental frequency [Hz].
+        self.fundamental = fundamental
+        #: complex spectrum, shape (K+1, n): row k is harmonic k.
+        self.coefficients = coefficients
+        #: collocation time points over one period.
+        self.times = times
+        #: time-domain waveforms at the collocation points, shape (T, n).
+        self.waveforms = waveforms
+        self.iterations = iterations
+
+    def harmonic(self, k: int, state: int = 0) -> complex:
+        """Complex amplitude of harmonic ``k`` (peak convention)."""
+        return complex(self.coefficients[k, state])
+
+    def magnitude(self, k: int, state: int = 0) -> float:
+        return abs(self.harmonic(k, state))
+
+    def thd(self, state: int = 0) -> float:
+        """Total harmonic distortion of a state (power ratio)."""
+        fundamental = self.magnitude(1, state)
+        if fundamental == 0:
+            raise SolverError("no fundamental content in this state")
+        harmonics = sum(self.magnitude(k, state) ** 2
+                        for k in range(2, self.coefficients.shape[0]))
+        return np.sqrt(harmonics) / fundamental
+
+    def evaluate(self, t: np.ndarray, state: int = 0) -> np.ndarray:
+        """Reconstruct the waveform at arbitrary times."""
+        t = np.asarray(t, dtype=float)
+        w = 2 * np.pi * self.fundamental
+        out = np.full_like(t, self.coefficients[0, state].real)
+        for k in range(1, self.coefficients.shape[0]):
+            c = self.coefficients[k, state]
+            out = out + c.real * np.cos(k * w * t) \
+                - c.imag * np.sin(k * w * t)
+        return out
+
+
+def harmonic_balance(
+    system: NonlinearSystem,
+    fundamental: float,
+    harmonics: int = 7,
+    oversample: int = 4,
+    x0_guess: Optional[np.ndarray] = None,
+    abstol: float = 1e-9,
+    max_iterations: int = 80,
+) -> HarmonicBalanceResult:
+    """Solve for the periodic steady state at ``fundamental`` Hz.
+
+    The system's ``static(x, t)`` must be periodic in ``t`` with the
+    fundamental period (i.e. all sources are harmonics of it).
+
+    Real-coefficient parameterization per state: ``a_0`` plus
+    ``(a_k, b_k)`` for ``x(t) = a_0 + sum a_k cos(kwt) - b_k sin(kwt)``.
+    """
+    if fundamental <= 0:
+        raise SolverError("fundamental frequency must be positive")
+    if harmonics < 1:
+        raise SolverError("need at least one harmonic")
+    n = system.n
+    K = harmonics
+    T = oversample * (2 * K + 1)
+    period = 1.0 / fundamental
+    times = period * np.arange(T) / T
+    w = 2 * np.pi * fundamental
+
+    # Fourier synthesis/analysis matrices (real parameterization).
+    # columns: [a0, a1, b1, a2, b2, ...] -> values at collocation times.
+    n_coeff = 2 * K + 1
+    synth = np.empty((T, n_coeff))
+    synth[:, 0] = 1.0
+    d_synth = np.zeros((T, n_coeff))
+    for k in range(1, K + 1):
+        c = np.cos(k * w * times)
+        s = np.sin(k * w * times)
+        synth[:, 2 * k - 1] = c
+        synth[:, 2 * k] = -s
+        d_synth[:, 2 * k - 1] = -k * w * s
+        d_synth[:, 2 * k] = -k * w * c
+    # Least-squares analysis (pseudo-inverse maps samples -> coeffs).
+    analysis = np.linalg.pinv(synth)
+
+    def unpack(z: np.ndarray) -> np.ndarray:
+        """Coefficient vector -> (T, n) waveforms."""
+        return synth @ z.reshape(n_coeff, n, order="F")
+
+    def residual(z: np.ndarray) -> np.ndarray:
+        coeffs = z.reshape(n_coeff, n, order="F")
+        x_t = synth @ coeffs          # (T, n)
+        # Time-domain residual: d/dt q(x) + f(x, t).
+        # d/dt q = C(x(t)) * x'(t) with x' from exact differentiation.
+        xdot_t = d_synth @ coeffs
+        r_t = np.empty((T, n))
+        for i in range(T):
+            cq = system.charge_jacobian(x_t[i])
+            r_t[i] = cq @ xdot_t[i] + system.static(x_t[i], times[i])
+        # Project back onto the harmonic space (Galerkin).
+        return (analysis @ r_t).reshape(-1, order="F")
+
+    # Initial guess: DC operating point at t=0 in the a0 slots.
+    z0 = np.zeros(n_coeff * n)
+    if x0_guess is not None:
+        z0[:] = np.asarray(x0_guess, dtype=float)
+    else:
+        try:
+            x_dc = dc_operating_point(system, t=0.0)
+        except ConvergenceError:
+            x_dc = system.initial_guess()
+        coeffs0 = np.zeros((n_coeff, n))
+        coeffs0[0] = x_dc
+        z0 = coeffs0.reshape(-1, order="F")
+
+    def jacobian(z: np.ndarray) -> np.ndarray:
+        # Analytic Galerkin Jacobian: project the per-timepoint
+        # linearizations (C(x_i), G(x_i, t_i)) onto the harmonic basis.
+        # For state-dependent charge Jacobians this omits the
+        # dC/dx * x' term (a quasi-Newton approximation that still
+        # converges; the residual itself stays exact).
+        coeffs = z.reshape(n_coeff, n, order="F")
+        x_t = synth @ coeffs
+        jac = np.zeros((n_coeff * n, n_coeff * n))
+        for i in range(T):
+            cq = system.charge_jacobian(x_t[i])
+            g = system.static_jacobian(x_t[i], times[i])
+            jac += np.kron(cq, np.outer(analysis[:, i], d_synth[i]))
+            jac += np.kron(g, np.outer(analysis[:, i], synth[i]))
+        return jac
+
+    z, iterations = newton(residual, jacobian, z0, abstol=abstol,
+                           max_iterations=max_iterations)
+    coeffs = z.reshape(n_coeff, n, order="F")
+    # Convert to complex harmonic amplitudes: X_k = a_k + j*b_k.
+    spectrum = np.zeros((K + 1, n), dtype=complex)
+    spectrum[0] = coeffs[0]
+    for k in range(1, K + 1):
+        spectrum[k] = coeffs[2 * k - 1] + 1j * coeffs[2 * k]
+    waveforms = unpack(z)
+    return HarmonicBalanceResult(fundamental, spectrum, times,
+                                 waveforms, iterations)

@@ -1,0 +1,190 @@
+"""Linear DAE systems and their fixed-timestep solution.
+
+The paper's Phase 1 requires a "linear dynamic continuous-time MoC" with
+fixed-timestep time-domain simulation.  Systems have the standard
+linear-network / state-space form
+
+    C * dx/dt + G * x = b(t)
+
+where ``C`` may be singular (a genuine DAE, as produced by Modified Nodal
+Analysis of an electrical network) and ``b`` collects the independent
+sources.  Because the system is linear, each timestep is one solve with a
+constant matrix — "the resulting system of equations can be solved without
+iterations" — and the matrix is LU-factorized once per timestep value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from ..core.errors import SolverError
+
+#: Supported fixed-step integration methods and their theoretical orders.
+METHOD_ORDERS = {"backward_euler": 1, "trapezoidal": 2}
+
+
+class LinearDae:
+    """A linear differential-algebraic system ``C x' + G x = b(t)``."""
+
+    def __init__(
+        self,
+        C: np.ndarray,
+        G: np.ndarray,
+        source: Optional[Callable[[float], np.ndarray]] = None,
+        names: Optional[Sequence[str]] = None,
+    ):
+        self.C = np.asarray(C, dtype=float)
+        self.G = np.asarray(G, dtype=float)
+        n = self.G.shape[0]
+        if self.C.shape != (n, n) or self.G.shape != (n, n):
+            raise SolverError(
+                f"inconsistent system shapes C{self.C.shape} G{self.G.shape}"
+            )
+        self.n = n
+        self.source = source or (lambda t: np.zeros(n))
+        self.names = list(names) if names else [f"x{i}" for i in range(n)]
+
+    # -- static analyses --------------------------------------------------------
+
+    def dc(self) -> np.ndarray:
+        """DC operating point: solve ``G x = b(0)`` (derivatives zero)."""
+        b = np.asarray(self.source(0.0), dtype=float)
+        try:
+            return np.linalg.solve(self.G, b)
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(
+                "singular conductance matrix in DC analysis; the network "
+                "likely has a floating node or an inductor loop"
+            ) from exc
+
+    def ac(self, frequencies: np.ndarray,
+           b_ac: Optional[np.ndarray] = None) -> np.ndarray:
+        """Small-signal frequency-domain analysis.
+
+        Solves ``(G + j*2*pi*f*C) X = b_ac`` for each frequency.  Returns a
+        complex array of shape ``(len(frequencies), n)``.  ``b_ac`` defaults
+        to the source vector at t=0 interpreted as a unit-phasor excitation
+        pattern.
+        """
+        freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+        if b_ac is None:
+            b_ac = np.asarray(self.source(0.0), dtype=float)
+        out = np.empty((len(freqs), self.n), dtype=complex)
+        for k, f in enumerate(freqs):
+            A = self.G + 2j * np.pi * f * self.C
+            try:
+                out[k] = np.linalg.solve(A, b_ac)
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(
+                    f"singular system matrix in AC analysis at f={f}"
+                ) from exc
+        return out
+
+    # -- transient -----------------------------------------------------------------
+
+    def transient(
+        self,
+        t_end: float,
+        h: float,
+        x0: Optional[np.ndarray] = None,
+        t0: float = 0.0,
+        method: str = "trapezoidal",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fixed-step time-domain simulation.
+
+        Returns ``(times, states)`` with ``states[k]`` the solution at
+        ``times[k]``; ``times[0] == t0`` holds the initial condition
+        (default: the DC operating point).
+        """
+        stepper = LinearStepper(self, h, method)
+        x = self.dc() if x0 is None else np.asarray(x0, dtype=float)
+        steps = int(round((t_end - t0) / h))
+        times = t0 + h * np.arange(steps + 1)
+        states = np.empty((steps + 1, self.n))
+        states[0] = x
+        for k in range(steps):
+            x = stepper.step(x, times[k])
+            states[k + 1] = x
+        return times, states
+
+
+class LinearStepper:
+    """Reusable one-step integrator for a :class:`LinearDae`.
+
+    Factorizes the iteration matrix once; re-factorizes only when the
+    timestep changes.  This is the object the synchronization layer drives
+    timestep by timestep in lockstep with a TDF cluster.
+    """
+
+    def __init__(self, system: LinearDae, h: float,
+                 method: str = "trapezoidal"):
+        if method not in METHOD_ORDERS:
+            raise SolverError(
+                f"unknown integration method {method!r}; "
+                f"expected one of {sorted(METHOD_ORDERS)}"
+            )
+        if h <= 0:
+            raise SolverError(f"timestep must be positive, got {h}")
+        self.system = system
+        self.method = method
+        self.h = h
+        self._factorization = None
+        self._prepare()
+
+    def _prepare(self) -> None:
+        C, G, h = self.system.C, self.system.G, self.h
+        if self.method == "backward_euler":
+            A = C / h + G
+        else:  # trapezoidal
+            A = 2.0 * C / h + G
+        try:
+            self._factorization = lu_factor(A)
+        except ValueError as exc:
+            raise SolverError("cannot factorize iteration matrix") from exc
+        singular = not np.all(np.isfinite(self._factorization[0]))
+        if singular:
+            raise SolverError("iteration matrix is singular")
+
+    def set_timestep(self, h: float) -> None:
+        if h != self.h:
+            if h <= 0:
+                raise SolverError(f"timestep must be positive, got {h}")
+            self.h = h
+            self._prepare()
+
+    def step(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Advance from time ``t`` to ``t + h``."""
+        C, h = self.system.C, self.h
+        b_next = np.asarray(self.system.source(t + h), dtype=float)
+        if self.method == "backward_euler":
+            rhs = C @ x / h + b_next
+        else:
+            b_now = np.asarray(self.system.source(t), dtype=float)
+            rhs = (2.0 * C / h - self.system.G) @ x + b_next + b_now
+        return lu_solve(self._factorization, rhs)
+
+
+def state_space_to_dae(
+    A: np.ndarray,
+    B: np.ndarray,
+    u: Callable[[float], np.ndarray],
+    C_out: Optional[np.ndarray] = None,
+) -> LinearDae:
+    """Wrap a state-space model ``x' = A x + B u(t)`` as a LinearDae.
+
+    The DAE form is ``I x' - A x = B u(t)``.  ``C_out`` is not part of the
+    DAE; output selection is applied by the caller on the state vector.
+    """
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    n = A.shape[0]
+    if B.shape[0] != n:
+        raise SolverError(f"B has {B.shape[0]} rows; expected {n}")
+
+    def source(t: float) -> np.ndarray:
+        return B @ np.atleast_1d(np.asarray(u(t), dtype=float))
+
+    return LinearDae(np.eye(n), -A, source)

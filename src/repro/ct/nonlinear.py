@@ -1,0 +1,392 @@
+"""Nonlinear DAE systems, Newton iteration, and variable-timestep
+transient analysis (the paper's Phase 2 solver requirements).
+
+Systems are stated in charge/flux form, the native output of nonlinear
+circuit stamping:
+
+    d/dt q(x) + f(x, t) = 0
+
+where ``q`` collects charges/fluxes (possibly constant-zero rows for
+purely algebraic unknowns — an index-1 DAE) and ``f`` collects resistive
+currents minus sources.  Discretization by backward Euler or the
+trapezoidal rule yields a nonlinear algebraic system per step, solved by
+damped Newton; the embedded BE/TRAP pair provides the local truncation
+error estimate that drives the variable-step controller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.errors import ConvergenceError, SolverError
+
+
+class NonlinearSystem:
+    """Interface for nonlinear DAE systems in charge form.
+
+    Subclasses implement the four model evaluations.  The default
+    implementations make a purely static (resistive) system.
+    """
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def charge(self, x: np.ndarray) -> np.ndarray:
+        """q(x) — the dynamic part."""
+        return np.zeros(self.n)
+
+    def charge_jacobian(self, x: np.ndarray) -> np.ndarray:
+        """dq/dx — the (incremental) capacitance matrix."""
+        return np.zeros((self.n, self.n))
+
+    def static(self, x: np.ndarray, t: float) -> np.ndarray:
+        """f(x, t) — resistive currents minus sources."""
+        raise NotImplementedError
+
+    def static_jacobian(self, x: np.ndarray, t: float) -> np.ndarray:
+        """df/dx — the (incremental) conductance matrix."""
+        raise NotImplementedError
+
+    def initial_guess(self) -> np.ndarray:
+        return np.zeros(self.n)
+
+
+class FunctionSystem(NonlinearSystem):
+    """Adapter building a :class:`NonlinearSystem` from plain callables.
+
+    This realizes the paper's *equation interface*: "allow a user to
+    formulate behavioral models ... as a set of DAEs".  Jacobians default
+    to forward-difference approximations.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        static: Callable[[np.ndarray, float], np.ndarray],
+        charge: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        static_jacobian: Optional[Callable] = None,
+        charge_jacobian: Optional[Callable] = None,
+        x0: Optional[np.ndarray] = None,
+    ):
+        super().__init__(n)
+        self._static = static
+        self._charge = charge or (lambda x: np.zeros(n))
+        self._static_jac = static_jacobian
+        self._charge_jac = charge_jacobian
+        self._x0 = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float)
+
+    def charge(self, x):
+        return np.asarray(self._charge(x), dtype=float)
+
+    def charge_jacobian(self, x):
+        if self._charge_jac is not None:
+            return np.asarray(self._charge_jac(x), dtype=float)
+        return numeric_jacobian(self._charge, x)
+
+    def static(self, x, t):
+        return np.asarray(self._static(x, t), dtype=float)
+
+    def static_jacobian(self, x, t):
+        if self._static_jac is not None:
+            return np.asarray(self._static_jac(x, t), dtype=float)
+        return numeric_jacobian(lambda v: self._static(v, t), x)
+
+    def initial_guess(self):
+        return self._x0.copy()
+
+
+def limexp(x, threshold: float = 80.0):
+    """Linearized exponential (SPICE's ``limexp``).
+
+    Equal to ``exp(x)`` below the threshold; continues linearly (with a
+    continuous first derivative) above it.  Hard clipping would zero the
+    gradient and stall Newton; the linear continuation keeps the Newton
+    step informative for arbitrarily bad iterates.
+    """
+    x = np.asarray(x, dtype=float)
+    clipped = np.minimum(x, threshold)
+    base = np.exp(clipped)
+    result = np.where(x > threshold, base * (1.0 + x - threshold), base)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def dlimexp(x, threshold: float = 80.0):
+    """Derivative of :func:`limexp`."""
+    x = np.asarray(x, dtype=float)
+    result = np.exp(np.minimum(x, threshold))
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def numeric_jacobian(func: Callable[[np.ndarray], np.ndarray],
+                     x: np.ndarray, eps: float = 1e-7) -> np.ndarray:
+    """Forward-difference Jacobian of ``func`` at ``x``."""
+    x = np.asarray(x, dtype=float)
+    f0 = np.asarray(func(x), dtype=float)
+    jac = np.empty((f0.size, x.size))
+    for j in range(x.size):
+        step = eps * max(1.0, abs(x[j]))
+        xp = x.copy()
+        xp[j] += step
+        jac[:, j] = (np.asarray(func(xp), dtype=float) - f0) / step
+    return jac
+
+
+def newton(
+    residual: Callable[[np.ndarray], np.ndarray],
+    jacobian: Callable[[np.ndarray], np.ndarray],
+    x0: np.ndarray,
+    abstol: float = 1e-10,
+    reltol: float = 1e-9,
+    max_iterations: int = 60,
+    damping: bool = True,
+) -> tuple[np.ndarray, int]:
+    """Damped Newton-Raphson.
+
+    Returns ``(solution, iterations)``.  Raises
+    :class:`~repro.core.errors.ConvergenceError` on failure.  With
+    ``damping``, the step is halved (up to 16 times) whenever the residual
+    norm would not decrease — the standard globalization for diode-style
+    exponential nonlinearities.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    f = np.asarray(residual(x), dtype=float)
+    fnorm = np.linalg.norm(f)
+    stagnant = 0
+    for iteration in range(1, max_iterations + 1):
+        jac = np.asarray(jacobian(x), dtype=float)
+        try:
+            dx = np.linalg.solve(jac, -f)
+        except np.linalg.LinAlgError:
+            dx, *_ = np.linalg.lstsq(jac, -f, rcond=None)
+        scale = 1.0
+        for _ in range(16 if damping else 1):
+            x_new = x + scale * dx
+            f_new = np.asarray(residual(x_new), dtype=float)
+            fnorm_new = np.linalg.norm(f_new)
+            if np.isfinite(fnorm_new) and (fnorm_new < fnorm or not damping):
+                break
+            scale *= 0.5
+        else:
+            x_new, f_new, fnorm_new = x + dx, None, np.inf
+            f_new = np.asarray(residual(x_new), dtype=float)
+            fnorm_new = np.linalg.norm(f_new)
+        step_small = np.linalg.norm(scale * dx) <= (
+            abstol + reltol * max(np.linalg.norm(x), 1.0)
+        )
+        stagnant = stagnant + 1 if fnorm_new > 0.5 * fnorm else 0
+        x, f, fnorm = x_new, f_new, fnorm_new
+        # A small step alone is not convergence (a singular Jacobian can
+        # stall with a large residual); require the residual to be small
+        # too, with a relaxed threshold for the step-based criterion.
+        if fnorm <= abstol or (step_small and fnorm <= 1e4 * abstol):
+            return x, iteration
+        # Stagnation acceptance: finite-difference Jacobians (and float
+        # cancellation in stiff residuals) bottom out above abstol.  If
+        # the *step* is already negligible and the residual has stopped
+        # improving near that floor, the iterate is as good as this
+        # Jacobian can make it.  (Without step_small this would accept
+        # the slow-crawl phase of damped Newton on exponentials.)
+        if step_small and stagnant >= 3 and fnorm <= 1e6 * abstol:
+            return x, iteration
+    raise ConvergenceError(
+        f"Newton failed to converge after {max_iterations} iterations "
+        f"(|F| = {fnorm:.3e})"
+    )
+
+
+def dc_operating_point(
+    system: NonlinearSystem,
+    t: float = 0.0,
+    x0: Optional[np.ndarray] = None,
+    gmin_stepping: bool = True,
+    gmin_start: float = 1e-2,
+    gmin_steps: int = 8,
+) -> np.ndarray:
+    """Quiescent state: solve ``f(x, t) = 0``.
+
+    Plain Newton is attempted first; on divergence, gmin stepping is used:
+    a shunt conductance ``g`` is added to every unknown and reduced
+    geometrically to zero, each solution seeding the next (a homotopy).
+    The paper calls the consistent initial state computation a formal
+    requirement of the synchronization layer; this is its workhorse.
+    """
+    guess = system.initial_guess() if x0 is None else np.asarray(x0, float)
+
+    def solve_with_gmin(g: float, start: np.ndarray) -> np.ndarray:
+        result, _ = newton(
+            lambda x: system.static(x, t) + g * x,
+            lambda x: system.static_jacobian(x, t) + g * np.eye(system.n),
+            start,
+        )
+        return result
+
+    try:
+        return solve_with_gmin(0.0, guess)
+    except ConvergenceError:
+        if not gmin_stepping:
+            raise
+    x = guess
+    for g in np.geomspace(gmin_start, gmin_start * 1e-9, gmin_steps):
+        x = solve_with_gmin(g, x)
+    return solve_with_gmin(0.0, x)
+
+
+class NonlinearStepper:
+    """One-step BE/TRAP integrator for a :class:`NonlinearSystem`.
+
+    The per-step Newton tolerance must sit well below the LTE
+    controller's tolerance: the BE/TRAP difference used as the error
+    estimate bottoms out at the Newton noise floor, and if that floor
+    is comparable to the accept threshold the controller stalls
+    (rejecting forever with an h-independent "error").
+    """
+
+    def __init__(self, system: NonlinearSystem, method: str = "trapezoidal",
+                 newton_abstol: float = 1e-12,
+                 newton_reltol: float = 1e-12):
+        if method not in ("backward_euler", "trapezoidal"):
+            raise SolverError(f"unknown integration method {method!r}")
+        self.system = system
+        self.method = method
+        self.newton_abstol = newton_abstol
+        self.newton_reltol = newton_reltol
+        self.newton_iterations = 0
+
+    def step(self, x: np.ndarray, t: float, h: float) -> np.ndarray:
+        """Advance the solution from ``t`` to ``t + h``."""
+        if h <= 0:
+            raise SolverError(f"timestep must be positive, got {h}")
+        sys = self.system
+        q0 = sys.charge(x)
+        t1 = t + h
+        if self.method == "backward_euler":
+            def residual(x1):
+                return (sys.charge(x1) - q0) / h + sys.static(x1, t1)
+
+            def jacobian(x1):
+                return sys.charge_jacobian(x1) / h + sys.static_jacobian(x1, t1)
+        else:
+            f0 = sys.static(x, t)
+
+            def residual(x1):
+                return (sys.charge(x1) - q0) / h + 0.5 * (
+                    sys.static(x1, t1) + f0
+                )
+
+            def jacobian(x1):
+                return sys.charge_jacobian(x1) / h + \
+                    0.5 * sys.static_jacobian(x1, t1)
+        x1, iterations = newton(residual, jacobian, x,
+                                abstol=self.newton_abstol,
+                                reltol=self.newton_reltol)
+        self.newton_iterations += iterations
+        return x1
+
+
+class VariableStepResult:
+    """Output record of a variable-step transient run."""
+
+    __slots__ = ("times", "states", "accepted_steps", "rejected_steps",
+                 "newton_iterations")
+
+    def __init__(self, times, states, accepted, rejected, newton_iterations):
+        self.times = np.asarray(times)
+        self.states = np.asarray(states)
+        self.accepted_steps = accepted
+        self.rejected_steps = rejected
+        self.newton_iterations = newton_iterations
+
+    def at(self, t: float) -> np.ndarray:
+        """Linear interpolation of the state trajectory at ``t``."""
+        return np.array([
+            np.interp(t, self.times, self.states[:, j])
+            for j in range(self.states.shape[1])
+        ])
+
+
+def variable_step_transient(
+    system: NonlinearSystem,
+    t_end: float,
+    x0: Optional[np.ndarray] = None,
+    t0: float = 0.0,
+    h0: Optional[float] = None,
+    h_min: Optional[float] = None,
+    h_max: Optional[float] = None,
+    abstol: float = 1e-6,
+    reltol: float = 1e-4,
+    max_steps: int = 1_000_000,
+) -> VariableStepResult:
+    """Adaptive-timestep transient using an embedded BE/TRAP pair.
+
+    Each step is computed with both backward Euler (order 1) and the
+    trapezoidal rule (order 2); their difference estimates the BE local
+    truncation error and drives the standard step-size controller.  The
+    order-2 solution is kept (local extrapolation).  This is the
+    "nonlinear DAEs ... simulation using variable time steps" of Phase 2.
+    """
+    span = t_end - t0
+    if span <= 0:
+        raise SolverError("t_end must exceed t0")
+    h = h0 if h0 is not None else span / 1000.0
+    h_min = h_min if h_min is not None else span * 1e-12
+    h_max = h_max if h_max is not None else span / 10.0
+    be = NonlinearStepper(system, "backward_euler")
+    trap = NonlinearStepper(system, "trapezoidal")
+    if x0 is None:
+        x = dc_operating_point(system, t0)
+    else:
+        # A user-provided x0 may violate the algebraic constraints
+        # (e.g. all-zeros with a nonzero source).  One vanishing BE step
+        # snaps the algebraic unknowns while differential states stay
+        # put; without this the BE/TRAP error estimate never converges.
+        h_snap = span * 1e-9
+        x = be.step(np.asarray(x0, dtype=float), t0 - h_snap, h_snap)
+    times, states = [t0], [x.copy()]
+    t = t0
+    accepted = rejected = 0
+    consecutive_rejects = 0
+    while t < t_end - 1e-15 * span:
+        h = min(h, t_end - t, h_max)
+        try:
+            x_be = be.step(x, t, h)
+            x_tr = trap.step(x, t, h)
+        except ConvergenceError:
+            h *= 0.25
+            rejected += 1
+            if h < h_min:
+                raise SolverError(
+                    f"timestep underflow at t={t:.6e} (h={h:.3e})"
+                )
+            continue
+        scale = abstol + reltol * np.maximum(np.abs(x_tr), np.abs(x))
+        error = np.max(np.abs(x_tr - x_be) / scale)
+        if error <= 1.0:
+            t += h
+            x = x_tr
+            times.append(t)
+            states.append(x.copy())
+            accepted += 1
+            consecutive_rejects = 0
+            if len(times) > max_steps:
+                raise SolverError("variable-step transient exceeded max_steps")
+        else:
+            rejected += 1
+            consecutive_rejects += 1
+            if consecutive_rejects > 60:
+                raise SolverError(
+                    f"step controller stalled at t={t:.6e}: {error=:.3e} "
+                    "does not shrink with h (inconsistent initial state "
+                    "or discontinuous model?)"
+                )
+        factor = 0.9 / np.sqrt(max(error, 1e-10))
+        h = float(np.clip(h * np.clip(factor, 0.2, 5.0), h_min, h_max))
+    return VariableStepResult(
+        times, states, accepted, rejected,
+        be.newton_iterations + trap.newton_iterations,
+    )

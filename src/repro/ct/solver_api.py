@@ -1,0 +1,310 @@
+"""The solver plug-in interface.
+
+The paper requires SystemC-AMS to "support the coupling with existing
+continuous-time simulators": an open architecture in which mature solvers
+can be plugged in and synchronized with the discrete-time MoCs.  The
+:class:`TransientSolver` protocol below is that architecture's contract —
+the synchronization layer drives *any* implementation purely through
+``initialize`` / ``advance_to``.  Three implementations are provided:
+
+* :class:`LinearTransientSolver` — the built-in fixed-step linear engine;
+* :class:`NonlinearTransientSolver` — the built-in adaptive Newton engine;
+* :class:`ScipyIvpSolver` — an adapter around ``scipy.integrate.solve_ivp``
+  standing in for an external, mature simulator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+from ..core.errors import SolverError
+from .linear import LinearDae, LinearStepper
+from .nonlinear import (
+    NonlinearStepper,
+    NonlinearSystem,
+    dc_operating_point,
+)
+
+
+class TransientSolver(abc.ABC):
+    """Contract every pluggable continuous-time solver fulfils."""
+
+    @abc.abstractmethod
+    def initialize(self, t0: float = 0.0,
+                   x0: Optional[np.ndarray] = None) -> np.ndarray:
+        """Compute/accept the consistent initial state; returns it."""
+
+    @abc.abstractmethod
+    def advance_to(self, t: float) -> np.ndarray:
+        """Advance the internal state to time ``t`` and return it."""
+
+    @property
+    @abc.abstractmethod
+    def time(self) -> float:
+        """Current solver time."""
+
+    @property
+    @abc.abstractmethod
+    def state(self) -> np.ndarray:
+        """Current solver state vector."""
+
+
+class LinearTransientSolver(TransientSolver):
+    """Built-in fixed-step solver for :class:`LinearDae` systems.
+
+    ``advance_to`` divides the requested interval into an integer number
+    of internal steps no larger than ``h_internal`` (defaulting to the
+    sync interval itself).
+    """
+
+    def __init__(self, system: LinearDae,
+                 h_internal: Optional[float] = None,
+                 method: str = "trapezoidal"):
+        self.system = system
+        self.method = method
+        self.h_internal = h_internal
+        self._stepper: Optional[LinearStepper] = None
+        self._t = 0.0
+        self._x = np.zeros(system.n)
+        self.step_count = 0
+
+    def initialize(self, t0: float = 0.0, x0=None) -> np.ndarray:
+        self._t = t0
+        self._x = self.system.dc() if x0 is None \
+            else np.asarray(x0, dtype=float)
+        return self._x
+
+    def snap_algebraic(self, h_reference: float) -> np.ndarray:
+        """Consistent (re)initialization after an input discontinuity.
+
+        Differential states must be continuous, but algebraic unknowns
+        jump when a source or the topology changes discontinuously.  One
+        backward-Euler step of vanishing size (``h_reference * 1e-9``)
+        pins the differential states (the C/h term dominates) while the
+        algebraic rows re-solve against the current source values.
+        """
+        h_tiny = h_reference * 1e-9
+        stepper = LinearStepper(self.system, h_tiny, "backward_euler")
+        self._x = stepper.step(self._x, self._t - h_tiny)
+        return self._x
+
+    def advance_to(self, t: float) -> np.ndarray:
+        interval = t - self._t
+        if interval < 0:
+            raise SolverError("cannot advance a transient solver backwards")
+        if interval == 0:
+            return self._x
+        budget = self.h_internal or interval
+        substeps = max(1, int(np.ceil(interval / budget - 1e-12)))
+        h = interval / substeps
+        if self._stepper is None:
+            self._stepper = LinearStepper(self.system, h, self.method)
+        else:
+            self._stepper.set_timestep(h)
+        x = self._x
+        for k in range(substeps):
+            x = self._stepper.step(x, self._t + k * h)
+            self.step_count += 1
+        self._t = t
+        self._x = x
+        return x
+
+    @property
+    def time(self) -> float:
+        return self._t
+
+    @property
+    def state(self) -> np.ndarray:
+        return self._x
+
+
+class NonlinearTransientSolver(TransientSolver):
+    """Built-in adaptive solver for :class:`NonlinearSystem` systems.
+
+    Between synchronization points it takes variable internal steps with
+    the embedded BE/TRAP error estimate, always landing exactly on the
+    requested time (lockstep synchronization without backtracking).
+    """
+
+    def __init__(
+        self,
+        system: NonlinearSystem,
+        abstol: float = 1e-8,
+        reltol: float = 1e-5,
+        h_min_fraction: float = 1e-12,
+        h_max: Optional[float] = None,
+    ):
+        self.system = system
+        self.abstol = abstol
+        self.reltol = reltol
+        self.h_min_fraction = h_min_fraction
+        self.h_max = h_max
+        self._be = NonlinearStepper(system, "backward_euler")
+        self._trap = NonlinearStepper(system, "trapezoidal")
+        self._t = 0.0
+        self._x = np.zeros(system.n)
+        self._h = None
+        self.step_count = 0
+        self.rejected_count = 0
+
+    def initialize(self, t0: float = 0.0, x0=None) -> np.ndarray:
+        self._t = t0
+        self._x = dc_operating_point(self.system, t0) if x0 is None \
+            else np.asarray(x0, dtype=float)
+        return self._x
+
+    def snap_algebraic(self, h_reference: float) -> np.ndarray:
+        """Consistent re-initialization after an input discontinuity
+        (see :meth:`LinearTransientSolver.snap_algebraic`)."""
+        h_tiny = h_reference * 1e-9
+        self._x = NonlinearStepper(self.system, "backward_euler").step(
+            self._x, self._t - h_tiny, h_tiny
+        )
+        return self._x
+
+    def advance_to(self, t: float) -> np.ndarray:
+        from ..core.errors import ConvergenceError
+
+        span = t - self._t
+        if span < 0:
+            raise SolverError("cannot advance a transient solver backwards")
+        if span == 0:
+            return self._x
+        if self._h is None:
+            self._h = span / 8.0
+        h_min = span * self.h_min_fraction
+        consecutive_rejects = 0
+        while self._t < t - 1e-15 * max(abs(t), 1.0):
+            h = min(self._h, t - self._t)
+            if self.h_max is not None:
+                h = min(h, self.h_max)
+            try:
+                x_be = self._be.step(self._x, self._t, h)
+                x_tr = self._trap.step(self._x, self._t, h)
+            except ConvergenceError:
+                self._h = h * 0.25
+                self.rejected_count += 1
+                if self._h < h_min:
+                    raise SolverError(
+                        f"timestep underflow at t={self._t:.6e}"
+                    )
+                continue
+            scale = self.abstol + self.reltol * np.maximum(
+                np.abs(x_tr), np.abs(self._x)
+            )
+            error = float(np.max(np.abs(x_tr - x_be) / scale))
+            if error <= 1.0:
+                self._t += h
+                self._x = x_tr
+                self.step_count += 1
+                consecutive_rejects = 0
+            else:
+                self.rejected_count += 1
+                consecutive_rejects += 1
+                if consecutive_rejects > 60:
+                    raise SolverError(
+                        f"step controller stalled at t={self._t:.6e}; "
+                        "error estimate does not shrink with h "
+                        "(inconsistent state after a discontinuity?)"
+                    )
+            factor = 0.9 / np.sqrt(max(error, 1e-10))
+            self._h = float(np.clip(h * np.clip(factor, 0.2, 5.0),
+                                    h_min, span))
+        self._t = t
+        return self._x
+
+    @property
+    def time(self) -> float:
+        return self._t
+
+    @property
+    def state(self) -> np.ndarray:
+        return self._x
+
+
+class ScipyIvpSolver(TransientSolver):
+    """Adapter plugging SciPy's mature IVP integrators into the framework.
+
+    Accepts either an explicit ODE right-hand side ``rhs(t, x)`` or a
+    :class:`LinearDae` whose ``C`` matrix is invertible (the ODE form the
+    paper notes most CSSL-descendant tools support).
+    """
+
+    def __init__(
+        self,
+        rhs: Optional[Callable[[float, np.ndarray], np.ndarray]] = None,
+        linear_system: Optional[LinearDae] = None,
+        n: Optional[int] = None,
+        method: str = "LSODA",
+        rtol: float = 1e-8,
+        atol: float = 1e-10,
+    ):
+        if (rhs is None) == (linear_system is None):
+            raise SolverError(
+                "provide exactly one of rhs= or linear_system="
+            )
+        if linear_system is not None:
+            try:
+                c_inverse = np.linalg.inv(linear_system.C)
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(
+                    "ScipyIvpSolver requires an invertible C matrix "
+                    "(a pure ODE system); use the built-in DAE solver "
+                    "for singular C"
+                ) from exc
+
+            def rhs(t, x, _ci=c_inverse, _sys=linear_system):
+                return _ci @ (_sys.source(t) - _sys.G @ x)
+
+            n = linear_system.n
+        if n is None:
+            raise SolverError("n= is required when passing a bare rhs")
+        self.rhs = rhs
+        self.n = n
+        self.method = method
+        self.rtol = rtol
+        self.atol = atol
+        self._linear = linear_system
+        self._t = 0.0
+        self._x = np.zeros(n)
+        self.segment_count = 0
+
+    def initialize(self, t0: float = 0.0, x0=None) -> np.ndarray:
+        self._t = t0
+        if x0 is not None:
+            self._x = np.asarray(x0, dtype=float)
+        elif self._linear is not None:
+            self._x = self._linear.dc()
+        else:
+            self._x = np.zeros(self.n)
+        return self._x
+
+    def advance_to(self, t: float) -> np.ndarray:
+        if t < self._t:
+            raise SolverError("cannot advance a transient solver backwards")
+        if t == self._t:
+            return self._x
+        result = solve_ivp(
+            self.rhs, (self._t, t), self._x,
+            method=self.method, rtol=self.rtol, atol=self.atol,
+        )
+        if not result.success:
+            raise SolverError(
+                f"external solver failed: {result.message}"
+            )
+        self.segment_count += 1
+        self._t = t
+        self._x = result.y[:, -1]
+        return self._x
+
+    @property
+    def time(self) -> float:
+        return self._t
+
+    @property
+    def state(self) -> np.ndarray:
+        return self._x

@@ -1,0 +1,82 @@
+"""DC sweep: static transfer curves.
+
+The paper's static-analysis taxonomy includes "transfer functions of
+the system".  :func:`dc_sweep` computes the DC solution over a swept
+parameter with continuation (each solution seeds the next Newton
+solve), which keeps hard nonlinear curves — inverter VTCs, rectifier
+characteristics — cheap and robust.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.errors import ConvergenceError
+from .nonlinear import NonlinearSystem, dc_operating_point
+
+
+def dc_sweep(
+    system: NonlinearSystem,
+    set_value: Callable[[float], None],
+    values: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Solve the DC operating point for each swept value.
+
+    ``set_value(v)`` mutates the swept parameter (typically a source's
+    waveform) before each solve.  Returns an array of shape
+    ``(len(values), n)``.  Continuation: each converged point seeds the
+    next; the first point falls back to gmin homotopy if needed.
+    """
+    values = np.atleast_1d(np.asarray(values, dtype=float))
+    out = np.empty((len(values), system.n))
+    guess = x0
+    for k, value in enumerate(values):
+        set_value(float(value))
+        try:
+            solution = dc_operating_point(system, x0=guess,
+                                          gmin_stepping=k == 0)
+        except ConvergenceError:
+            # A sharp corner in the curve: re-run with full homotopy.
+            solution = dc_operating_point(system, x0=guess,
+                                          gmin_stepping=True)
+        out[k] = solution
+        guess = solution
+    return out
+
+
+def sweep_source(
+    network,
+    source_name: str,
+    values: np.ndarray,
+) -> tuple[np.ndarray, "object"]:
+    """Convenience wrapper: sweep a named source of a
+    :class:`~repro.nonlin.network.NonlinearNetwork`.
+
+    Returns ``(states, index)`` with ``states[k]`` the MNA solution at
+    ``values[k]``.
+    """
+    source = None
+    for component in network.components:
+        if component.name == source_name:
+            source = component
+            break
+    if source is None:
+        from ..core.errors import ElaborationError
+
+        raise ElaborationError(
+            f"no source named {source_name!r} in network"
+        )
+    # Install the mutable level BEFORE assembly: MNA stamping captures
+    # the waveform callables, so a later reassignment would be ignored.
+    level = {"value": 0.0}
+    source.waveform = lambda t: level["value"]
+    system, index = network.assemble_nonlinear()
+
+    def set_value(v: float) -> None:
+        level["value"] = v
+
+    states = dc_sweep(system, set_value, values)
+    return states, index

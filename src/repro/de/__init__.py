@@ -1,0 +1,24 @@
+"""`repro.de` — discrete-event modeling helpers.
+
+RTL primitives (registers, counters, edge detectors, synchronizers,
+combinational blocks) and the bus-functional substrate (bus, master,
+register file) used by software-driven controllers in mixed-signal
+virtual prototypes.
+"""
+
+from .bus import Bus, BusMaster, RegisterFile
+from .fsm import Fsm, Transition
+from .rtl import (
+    CombinationalLogic,
+    Counter,
+    DFlipFlop,
+    EdgeDetector,
+    ShiftRegister,
+    Synchronizer,
+)
+
+__all__ = [
+    "Bus", "BusMaster", "CombinationalLogic", "Counter", "DFlipFlop",
+    "EdgeDetector", "Fsm", "RegisterFile", "ShiftRegister",
+    "Synchronizer", "Transition",
+]

@@ -1,0 +1,137 @@
+"""A simple synchronous bus: bus-functional master and register file.
+
+Figure 1 of the paper embeds "the control software ... in an
+event-driven digital model using a bus functional model".  This module
+provides that substrate: a clocked bus with one master, a register file
+slave, and a generator-based transaction API so software models read
+like sequential programs::
+
+    def program(self):
+        yield from self.bus.write(0x00, 0x5A)
+        value = yield from self.bus.read(0x04)
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.clock import Clock
+from ..core.errors import ElaborationError
+from ..core.module import Module
+from ..core.signal import BitSignal, Signal
+
+
+class Bus:
+    """The signal bundle of a single-master synchronous bus."""
+
+    def __init__(self, name: str = "bus"):
+        self.name = name
+        self.addr = Signal(f"{name}.addr", initial=0)
+        self.wdata = Signal(f"{name}.wdata", initial=0)
+        self.rdata = Signal(f"{name}.rdata", initial=0)
+        self.write_enable = BitSignal(f"{name}.we", initial=False)
+        self.read_enable = BitSignal(f"{name}.re", initial=False)
+
+
+class BusMaster(Module):
+    """Bus-functional model: drives transactions from generator code.
+
+    ``write``/``read`` are sub-generators to be driven with
+    ``yield from`` inside a thread process.  Each transaction takes one
+    clock cycle: signals are driven, the next rising edge latches them
+    in the slave, then the strobes deassert.
+    """
+
+    def __init__(self, name: str, bus: Bus, clock: Clock,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.bus = bus
+        self.clock = clock
+        self.transaction_count = 0
+
+    def write(self, address: int, data):
+        """Sub-generator: one write transaction."""
+        self.bus.addr.write(address)
+        self.bus.wdata.write(data)
+        self.bus.write_enable.write(True)
+        yield self.clock.posedge_event()
+        self.bus.write_enable.write(False)
+        self.transaction_count += 1
+
+    def read(self, address: int):
+        """Sub-generator: one read transaction; returns the data."""
+        self.bus.addr.write(address)
+        self.bus.read_enable.write(True)
+        yield self.clock.posedge_event()
+        self.bus.read_enable.write(False)
+        # The slave updated rdata at the edge; let the delta settle.
+        yield self.clock.signal.default_event()  # next change = negedge
+        self.transaction_count += 1
+        return self.bus.rdata.read()
+
+    def idle(self, cycles: int = 1):
+        """Sub-generator: wait ``cycles`` clock edges."""
+        for _ in range(cycles):
+            yield self.clock.posedge_event()
+
+
+class RegisterFile(Module):
+    """Synchronous register-file slave.
+
+    Registers are plain integers addressed 0..size-1.  Writes latch on
+    the rising clock edge while ``write_enable`` is high; reads drive
+    ``rdata`` on the edge while ``read_enable`` is high.  Individual
+    registers can be mirrored onto DE signals (:meth:`mirror`) so
+    hardware (e.g. an AMS block's control input) can react to software
+    writes.
+    """
+
+    def __init__(self, name: str, bus: Bus, clock: Clock, size: int = 32,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        if size < 1:
+            raise ElaborationError("register file needs at least one register")
+        self.bus = bus
+        self.registers = [0] * size
+        self._mirrors: dict[int, Signal] = {}
+        self.write_count = 0
+        self.method(self._edge, sensitivity=[clock.posedge_event()],
+                    dont_initialize=True)
+
+    def mirror(self, address: int, initial=0) -> Signal:
+        """Expose a register as a DE signal updated on every write."""
+        if not 0 <= address < len(self.registers):
+            raise ElaborationError(f"register address {address} out of range")
+        signal = self._mirrors.get(address)
+        if signal is None:
+            signal = Signal(f"{self.name}.reg{address}", initial=initial)
+            self._mirrors[address] = signal
+            self.registers[address] = initial
+        return signal
+
+    def _edge(self) -> None:
+        if self.bus.write_enable.read():
+            address = int(self.bus.addr.read())
+            if 0 <= address < len(self.registers):
+                value = self.bus.wdata.read()
+                self.registers[address] = value
+                self.write_count += 1
+                mirror = self._mirrors.get(address)
+                if mirror is not None:
+                    mirror.write(value)
+        if self.bus.read_enable.read():
+            address = int(self.bus.addr.read())
+            if 0 <= address < len(self.registers):
+                self.bus.rdata.write(self.registers[address])
+
+    def poke(self, address: int, value) -> None:
+        """Backdoor write (hardware-originated status updates)."""
+        self.registers[address] = value
+        mirror = self._mirrors.get(address)
+        if mirror is not None:
+            mirror.write(value)
+
+    def peek(self, address: int):
+        """Backdoor read."""
+        return self.registers[address]

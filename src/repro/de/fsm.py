@@ -1,0 +1,128 @@
+"""Finite-state machines — one of the MoCs the paper's introduction
+lists ("discrete-event, dataflow, FSMs, sequential, continuous-time").
+
+A declarative, clocked Moore/Mealy machine: states are strings,
+transitions are guarded by predicates over input signals, Moore outputs
+are per-state values, Mealy outputs per-transition actions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.clock import Clock
+from ..core.errors import ElaborationError
+from ..core.module import Module
+from ..core.signal import Signal
+
+
+class Transition:
+    __slots__ = ("target", "guard", "action")
+
+    def __init__(self, target: str, guard: Callable[..., bool],
+                 action: Optional[Callable] = None):
+        self.target = target
+        self.guard = guard
+        self.action = action
+
+
+class Fsm(Module):
+    """A clocked finite-state machine.
+
+    Declare states with :meth:`state` (optionally with Moore outputs),
+    transitions with :meth:`transition`.  Guards receive the values of
+    the declared input signals, in declaration order.  The current state
+    name is published on the ``state_signal``; each Moore output gets
+    its own signal.
+
+    Example::
+
+        fsm = Fsm("ctrl", clock, inputs=[start, done], parent=top)
+        fsm.state("IDLE", initial=True, outputs={"busy": 0})
+        fsm.state("RUN", outputs={"busy": 1})
+        fsm.transition("IDLE", "RUN", lambda start, done: start)
+        fsm.transition("RUN", "IDLE", lambda start, done: done)
+    """
+
+    def __init__(self, name: str, clock: Clock, inputs: list,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.inputs = list(inputs)
+        self._states: dict[str, dict] = {}
+        self._transitions: dict[str, list[Transition]] = {}
+        self._initial: Optional[str] = None
+        self.state_signal = Signal(f"{name}.state", initial="")
+        self.output_signals: dict[str, Signal] = {}
+        self.transition_count = 0
+        self.method(self._edge, sensitivity=[clock.posedge_event()],
+                    dont_initialize=True)
+
+    # -- declaration ---------------------------------------------------------
+
+    def state(self, name: str, initial: bool = False,
+              outputs: Optional[dict] = None) -> None:
+        if name in self._states:
+            raise ElaborationError(f"duplicate FSM state {name!r}")
+        if initial and self._initial is not None:
+            raise ElaborationError(
+                f"FSM {self.name!r} already has initial state "
+                f"{self._initial!r}"
+            )
+        self._states[name] = dict(outputs or {})
+        self._transitions[name] = []
+        for key, value in (outputs or {}).items():
+            if key not in self.output_signals:
+                self.output_signals[key] = Signal(
+                    f"{self.name}.{key}", initial=value
+                )
+        if initial:
+            self._initial = name
+            # Declaration-time assignment: a write would queue on
+            # whatever kernel happens to be current, not this design's.
+            self.state_signal.set_initial(name)
+            for key, value in self._states[name].items():
+                self.output_signals[key].set_initial(value)
+
+    def transition(self, source: str, target: str,
+                   guard: Callable[..., bool],
+                   action: Optional[Callable] = None) -> None:
+        if source not in self._states:
+            raise ElaborationError(f"unknown FSM state {source!r}")
+        if target not in self._states:
+            raise ElaborationError(f"unknown FSM state {target!r}")
+        self._transitions[source].append(Transition(target, guard, action))
+
+    def output(self, name: str) -> Signal:
+        if name not in self.output_signals:
+            raise ElaborationError(
+                f"FSM {self.name!r} has no output {name!r}"
+            )
+        return self.output_signals[name]
+
+    @property
+    def current_state(self) -> str:
+        return self.state_signal.read()
+
+    # -- execution ------------------------------------------------------------
+
+    def end_of_elaboration(self) -> None:
+        if self._initial is None:
+            raise ElaborationError(
+                f"FSM {self.name!r} has no initial state"
+            )
+
+    def _edge(self) -> None:
+        current = self.state_signal.read()
+        values = [sig.read() for sig in self.inputs]
+        for transition in self._transitions.get(current, ()):
+            if transition.guard(*values):
+                if transition.action is not None:
+                    transition.action()
+                self.state_signal.write(transition.target)
+                self._apply_outputs(transition.target)
+                self.transition_count += 1
+                return
+
+    def _apply_outputs(self, state: str) -> None:
+        for key, value in self._states[state].items():
+            self.output_signals[key].write(value)

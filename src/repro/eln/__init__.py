@@ -1,0 +1,41 @@
+"""`repro.eln` — conservative-law electrical linear networks.
+
+Networks of R/L/C, independent and controlled sources, transformers,
+gyrators, op-amps, switches and probes, formulated by Modified Nodal
+Analysis into the linear DAE form solved by :mod:`repro.ct`.
+"""
+
+from .analysis import (
+    AcResult,
+    DcResult,
+    TransientResult,
+    ac_analysis,
+    dc_analysis,
+    noise_analysis,
+    transient_analysis,
+)
+from .components import (
+    Capacitor,
+    Cccs,
+    Ccvs,
+    Gyrator,
+    IdealOpAmp,
+    IdealTransformer,
+    Inductor,
+    Isource,
+    Probe,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    Vsource,
+)
+from .network import GROUND, Component, Network, NetworkIndex, Stamper
+
+__all__ = [
+    "AcResult", "Capacitor", "Cccs", "Ccvs", "Component", "DcResult",
+    "GROUND", "Gyrator", "IdealOpAmp", "IdealTransformer", "Inductor",
+    "Isource", "Network", "NetworkIndex", "Probe", "Resistor", "Stamper",
+    "Switch", "TransientResult", "Vccs", "Vcvs", "Vsource", "ac_analysis",
+    "dc_analysis", "noise_analysis", "transient_analysis",
+]

@@ -1,0 +1,236 @@
+"""Electrical linear networks and Modified Nodal Analysis.
+
+The paper requires conservative-law modeling "as linear network
+macromodels based on simple electrical R, L, C, and controled source
+primitives", with the system of equations "generated from a network using
+the Modified Nodal Analysis method".  A :class:`Network` collects
+components connected between named nodes; :meth:`Network.assemble`
+produces the ``C x' + G x = b(t)`` matrices consumed by the
+:mod:`repro.ct` solvers for DC, AC, transient, and noise analyses.
+
+Unknown ordering: node voltages first (ground eliminated), then one
+branch current per component that introduces a current unknown
+(voltage sources, inductors, ideal transformers, short-style probes).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.errors import ElaborationError, SolverError
+from ..ct.linear import LinearDae
+from ..ct.noise import NoiseSource, thermal_current_psd
+
+#: The reference node name.
+GROUND = "0"
+
+
+class Component:
+    """Base class for network primitives.
+
+    Subclasses declare ``nodes`` (names), whether they need a branch
+    current unknown (:attr:`needs_current`), and implement :meth:`stamp`.
+    """
+
+    needs_current = False
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        self.name = name
+        self.nodes = [str(n) for n in nodes]
+
+    def stamp(self, stamper: "Stamper") -> None:
+        raise NotImplementedError
+
+    def noise_sources(self, stamper: "Stamper") -> list[NoiseSource]:
+        """Noise injections contributed by this component (default none)."""
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.nodes})"
+
+
+class Stamper:
+    """Index bookkeeping plus stamping surface handed to components."""
+
+    def __init__(self, node_index: dict[str, int],
+                 current_index: dict[str, int], size: int):
+        self._node_index = node_index
+        self._current_index = current_index
+        self.size = size
+        self.G = np.zeros((size, size))
+        self.C = np.zeros((size, size))
+        #: time-dependent source contributions: (row, waveform) pairs.
+        self.sources: list[tuple[int, Callable[[float], float]]] = []
+
+    # -- index resolution ---------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Matrix row/column of a node voltage; -1 denotes ground."""
+        if name == GROUND:
+            return -1
+        return self._node_index[name]
+
+    def branch(self, component_name: str) -> int:
+        """Matrix row/column of a component's branch-current unknown."""
+        return self._current_index[component_name]
+
+    # -- primitive stamps ------------------------------------------------------
+
+    def conductance(self, a: int, b: int, g: float) -> None:
+        """Stamp a conductance ``g`` between unknowns ``a`` and ``b``."""
+        if a >= 0:
+            self.G[a, a] += g
+        if b >= 0:
+            self.G[b, b] += g
+        if a >= 0 and b >= 0:
+            self.G[a, b] -= g
+            self.G[b, a] -= g
+
+    def capacitance(self, a: int, b: int, c: float) -> None:
+        if a >= 0:
+            self.C[a, a] += c
+        if b >= 0:
+            self.C[b, b] += c
+        if a >= 0 and b >= 0:
+            self.C[a, b] -= c
+            self.C[b, a] -= c
+
+    def g_entry(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.G[row, col] += value
+
+    def c_entry(self, row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            self.C[row, col] += value
+
+    def source_entry(self, row: int,
+                     waveform: Callable[[float], float]) -> None:
+        if row >= 0:
+            self.sources.append((row, waveform))
+
+
+class Network:
+    """A conservative-law electrical network."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.components: list[Component] = []
+        self._names: set[str] = set()
+
+    def add(self, component: Component) -> Component:
+        if component.name in self._names:
+            raise ElaborationError(
+                f"duplicate component name {component.name!r} in network "
+                f"{self.name!r}"
+            )
+        self._names.add(component.name)
+        self.components.append(component)
+        return component
+
+    def node_names(self) -> list[str]:
+        """All non-ground node names, in first-appearance order."""
+        seen: list[str] = []
+        for component in self.components:
+            for node in component.nodes:
+                if node != GROUND and node not in seen:
+                    seen.append(node)
+        return seen
+
+    def assemble(self) -> tuple[LinearDae, "NetworkIndex"]:
+        """Build the MNA system.  Returns (dae, index)."""
+        if not self.components:
+            raise ElaborationError(f"network {self.name!r} is empty")
+        nodes = self.node_names()
+        node_index = {name: i for i, name in enumerate(nodes)}
+        current_index: dict[str, int] = {}
+        offset = len(nodes)
+        for component in self.components:
+            if component.needs_current:
+                current_index[component.name] = offset
+                offset += 1
+        stamper = Stamper(node_index, current_index, offset)
+        for component in self.components:
+            component.stamp(stamper)
+        source_rows = stamper.sources
+
+        def source(t: float) -> np.ndarray:
+            b = np.zeros(offset)
+            for row, waveform in source_rows:
+                b[row] += waveform(t)
+            return b
+
+        names = [f"v({n})" for n in nodes] + [
+            f"i({c})" for c in current_index
+        ]
+        dae = LinearDae(stamper.C, stamper.G, source, names=names)
+        index = NetworkIndex(node_index, current_index, self, stamper)
+        return dae, index
+
+    def noise_sources(self) -> tuple[list[NoiseSource], "NetworkIndex"]:
+        """All component noise injections, mapped into MNA coordinates."""
+        dae, index = self.assemble()
+        sources: list[NoiseSource] = []
+        for component in self.components:
+            sources.extend(component.noise_sources(index.stamper))
+        return sources, index
+
+
+class NetworkIndex:
+    """Maps node/branch names to rows of the assembled MNA system."""
+
+    def __init__(self, node_index, current_index, network, stamper):
+        self.node_index = dict(node_index)
+        self.current_index = dict(current_index)
+        self.network = network
+        self.stamper = stamper
+        self.size = stamper.size
+
+    def voltage(self, x: np.ndarray, node: str) -> float:
+        """Extract a node voltage from a solution vector."""
+        if node == GROUND:
+            return 0.0
+        return float(np.asarray(x)[..., self.node_index[node]])
+
+    def voltage_series(self, states: np.ndarray, node: str) -> np.ndarray:
+        if node == GROUND:
+            return np.zeros(np.asarray(states).shape[0])
+        return np.asarray(states)[:, self.node_index[node]]
+
+    def current(self, x: np.ndarray, component_name: str) -> float:
+        if component_name not in self.current_index:
+            raise SolverError(
+                f"component {component_name!r} has no branch-current "
+                "unknown; only voltage sources, inductors and probes do"
+            )
+        return float(np.asarray(x)[..., self.current_index[component_name]])
+
+    def current_series(self, states: np.ndarray,
+                       component_name: str) -> np.ndarray:
+        if component_name not in self.current_index:
+            raise SolverError(
+                f"component {component_name!r} has no branch-current unknown"
+            )
+        return np.asarray(states)[:, self.current_index[component_name]]
+
+    def selection_vector(self, node_plus: str,
+                         node_minus: str = GROUND) -> np.ndarray:
+        """A vector ``d`` with ``d @ x == v(node_plus) - v(node_minus)``."""
+        d = np.zeros(self.size)
+        if node_plus != GROUND:
+            d[self.node_index[node_plus]] = 1.0
+        if node_minus != GROUND:
+            d[self.node_index[node_minus]] -= 1.0
+        return d
+
+    def injection_vector(self, node_plus: str,
+                         node_minus: str = GROUND) -> np.ndarray:
+        """A vector ``b`` injecting a unit current into ``node_plus`` and
+        out of ``node_minus`` (for AC/noise excitations)."""
+        b = np.zeros(self.size)
+        if node_plus != GROUND:
+            b[self.node_index[node_plus]] = 1.0
+        if node_minus != GROUND:
+            b[self.node_index[node_minus]] -= 1.0
+        return b

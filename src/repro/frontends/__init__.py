@@ -1,0 +1,14 @@
+"""`repro.frontends` — description layers (views).
+
+The two interface layers the paper requires: a SPICE-flavoured netlist
+parser common to all continuous-time MoCs, and an equation interface for
+behavioural DAE formulation ("true simultaneous statements").
+"""
+
+from .equations import EquationSystem, Variable
+from .netlist import NetlistError, parse_netlist, parse_value
+
+__all__ = [
+    "EquationSystem", "NetlistError", "Variable", "parse_netlist",
+    "parse_value",
+]

@@ -1,0 +1,81 @@
+"""`repro.lib` — the mixed-signal module library.
+
+Sources, amplifiers, mixers, comparators, sample-and-hold, data
+converters (flash / pipelined-with-noise-cancellation ADCs, ΣΔ
+modulators, DACs), and digital filters — the Phase 1/2 libraries of the
+paper plus the functional blocks its seed work describes.
+"""
+
+from .adaptive import LmsFilter, lms_cancel
+from .adc import (
+    FlashAdc,
+    IdealAdc,
+    PipelineStage,
+    PipelinedAdc,
+    PipelinedAdcModule,
+    quantize_code,
+    quantize_midrise,
+)
+from .blocks import (
+    Add2,
+    Comparator,
+    DeadbandBlock,
+    LinearAmp,
+    MapBlock,
+    Mixer,
+    QuadratureOscillator,
+    SampleHold,
+    SaturatingAmp,
+    TdfSink,
+    Vga,
+)
+from .dac import IdealDac, SwitchedCapDac
+from .filters import (
+    Biquad,
+    FirFilter,
+    IirFilter,
+    butterworth_lowpass_sections,
+    cascade_response,
+    filter_samples,
+    fir_bandpass,
+    fir_frequency_response,
+    fir_highpass,
+    fir_lowpass,
+)
+from .goertzel import GoertzelDetector, goertzel_magnitude
+from .pll import BehavioralPll
+from .sigma_delta import (
+    CicDecimator,
+    SigmaDelta1,
+    SigmaDelta2,
+    cic_decimate,
+    sigma_delta1_bitstream,
+    sigma_delta2_bitstream,
+)
+from .sources import (
+    ConstSource,
+    FunctionSource,
+    GaussianNoiseSource,
+    PrbsSource,
+    PulseSource,
+    RampSource,
+    SampleListSource,
+    SineSource,
+    StepSource,
+    TdfSourceBase,
+)
+
+__all__ = [
+    "Add2", "BehavioralPll", "Biquad", "CicDecimator", "Comparator", "ConstSource",
+    "DeadbandBlock", "FirFilter", "FlashAdc", "FunctionSource",
+    "GaussianNoiseSource", "GoertzelDetector", "IdealAdc", "IdealDac", "IirFilter", "LmsFilter",
+    "LinearAmp", "MapBlock", "Mixer", "PipelineStage", "PipelinedAdc",
+    "PipelinedAdcModule", "PrbsSource", "PulseSource",
+    "QuadratureOscillator", "RampSource", "SampleHold", "SampleListSource",
+    "SaturatingAmp", "SigmaDelta1", "SigmaDelta2", "SineSource",
+    "StepSource", "SwitchedCapDac", "TdfSink", "TdfSourceBase", "Vga",
+    "butterworth_lowpass_sections", "cascade_response", "cic_decimate",
+    "filter_samples", "fir_bandpass", "fir_frequency_response", "lms_cancel",
+    "fir_highpass", "fir_lowpass", "goertzel_magnitude", "quantize_code", "quantize_midrise",
+    "sigma_delta1_bitstream", "sigma_delta2_bitstream",
+]

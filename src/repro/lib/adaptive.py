@@ -1,0 +1,74 @@
+"""Adaptive filtering: LMS, the workhorse of the ADSL line card's echo
+cancellation (the hybrid leakage path of Figure 1's application).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.module import Module
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfIn, TdfOut
+
+
+class LmsFilter(TdfModule):
+    """Normalized-LMS adaptive FIR.
+
+    Ports: ``reference`` (the signal whose echo is to be removed, e.g.
+    the transmitted samples), ``desired`` (the observed signal =
+    wanted + echo), ``out`` (the error = observed minus echo estimate —
+    i.e. the cleaned signal), ``estimate`` (the echo estimate).
+
+    Update: ``w += mu * e * x / (||x||^2 + eps)``.
+    """
+
+    def __init__(self, name: str, taps: int, mu: float = 0.5,
+                 eps: float = 1e-9,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        if taps < 1:
+            raise ValueError("need at least one tap")
+        if not 0.0 < mu <= 2.0:
+            raise ValueError("NLMS step size must lie in (0, 2]")
+        self.reference = TdfIn("reference")
+        self.desired = TdfIn("desired")
+        self.out = TdfOut("out")
+        self.estimate = TdfOut("estimate")
+        self.mu = mu
+        self.eps = eps
+        self.weights = np.zeros(taps)
+        self._history = np.zeros(taps)
+
+    def processing(self):
+        self._history = np.roll(self._history, 1)
+        self._history[0] = self.reference.read()
+        estimate = float(self.weights @ self._history)
+        error = self.desired.read() - estimate
+        power = float(self._history @ self._history) + self.eps
+        self.weights = self.weights + (
+            self.mu * error / power
+        ) * self._history
+        self.out.write(error)
+        self.estimate.write(estimate)
+
+
+def lms_cancel(reference: np.ndarray, desired: np.ndarray,
+               taps: int, mu: float = 0.5,
+               eps: float = 1e-9) -> tuple[np.ndarray, np.ndarray]:
+    """Offline NLMS run over arrays: returns (error, final_weights)."""
+    reference = np.asarray(reference, dtype=float)
+    desired = np.asarray(desired, dtype=float)
+    weights = np.zeros(taps)
+    history = np.zeros(taps)
+    error_out = np.empty(len(reference))
+    for k in range(len(reference)):
+        history = np.roll(history, 1)
+        history[0] = reference[k]
+        estimate = float(weights @ history)
+        error = desired[k] - estimate
+        power = float(history @ history) + eps
+        weights = weights + (mu * error / power) * history
+        error_out[k] = error
+    return error_out, weights

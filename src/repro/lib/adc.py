@@ -1,0 +1,216 @@
+"""Analog-to-digital converter models.
+
+Includes the pipelined ADC with *digital noise cancellation* that
+Bonnerud et al. (seed work [2]) built their SystemC mixed-signal
+framework around: 1.5-bit stages with gain error, comparator offset and
+thermal noise, reconstructed either with nominal radix-2 weights or with
+the calibrated (actual) inter-stage gains.  The digital correction
+recovers the resolution lost to analog gain errors — the claim
+benchmarked in experiment E4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.module import Module
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfIn, TdfOut
+
+
+def quantize_midrise(value: float, bits: int, full_scale: float = 1.0) -> float:
+    """Ideal mid-rise quantizer over ``[-full_scale, +full_scale]``."""
+    levels = 2 ** bits
+    step = 2.0 * full_scale / levels
+    clipped = np.clip(value, -full_scale, full_scale - step / 2)
+    return (np.floor(clipped / step) + 0.5) * step
+
+
+def quantize_code(value: float, bits: int, full_scale: float = 1.0) -> int:
+    """Ideal ADC: returns the integer code in ``[0, 2**bits - 1]``."""
+    levels = 2 ** bits
+    step = 2.0 * full_scale / levels
+    code = int(np.floor((value + full_scale) / step))
+    return int(np.clip(code, 0, levels - 1))
+
+
+class IdealAdc(TdfModule):
+    """Ideal N-bit quantizer (TDF in, quantized analog value out)."""
+
+    def __init__(self, name: str, bits: int, full_scale: float = 1.0,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.bits = bits
+        self.full_scale = full_scale
+
+    def processing(self):
+        self.out.write(
+            float(quantize_midrise(self.inp.read(), self.bits,
+                                   self.full_scale))
+        )
+
+
+class FlashAdc(TdfModule):
+    """Flash ADC: ``2**bits - 1`` comparators with individual offsets.
+
+    Comparator offsets model the dominant flash non-ideality; bubble
+    errors are suppressed by counting ones in the thermometer code.
+    Output is the quantized analog value.
+    """
+
+    def __init__(self, name: str, bits: int, full_scale: float = 1.0,
+                 offset_rms: float = 0.0, seed: int = 0,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.bits = bits
+        self.full_scale = full_scale
+        levels = 2 ** bits
+        self.step = 2.0 * full_scale / levels
+        rng = np.random.default_rng(seed)
+        nominal = (-full_scale
+                   + self.step * np.arange(1, levels))
+        offsets = rng.normal(0.0, offset_rms, levels - 1) \
+            if offset_rms > 0 else np.zeros(levels - 1)
+        self.thresholds = nominal + offsets
+
+    def processing(self):
+        value = self.inp.read()
+        code = int(np.sum(value > self.thresholds))
+        self.out.write(-self.full_scale + (code + 0.5) * self.step)
+
+
+class PipelineStage:
+    """One 1.5-bit pipelined-ADC stage (MDAC).
+
+    Residue transfer: ``v_out = G * v_in - d * Vref`` with sub-ADC
+    decision ``d in {-1, 0, +1}`` at thresholds ``+/- Vref/4`` (plus
+    comparator offsets).  The nominal gain is 2; ``gain_error`` is the
+    relative deviation (the imperfection digital calibration removes).
+    """
+
+    def __init__(self, gain_error: float = 0.0,
+                 comparator_offset: float = 0.0,
+                 noise_rms: float = 0.0,
+                 vref: float = 1.0):
+        self.gain = 2.0 * (1.0 + gain_error)
+        self.comparator_offset = comparator_offset
+        self.noise_rms = noise_rms
+        self.vref = vref
+
+    def decide(self, v: float) -> int:
+        quarter = self.vref / 4.0
+        if v > quarter + self.comparator_offset:
+            return 1
+        if v < -quarter + self.comparator_offset:
+            return -1
+        return 0
+
+    def residue(self, v: float, d: int, rng: np.random.Generator) -> float:
+        out = self.gain * v - d * self.vref
+        if self.noise_rms > 0.0:
+            out += rng.normal(0.0, self.noise_rms)
+        return out
+
+
+class PipelinedAdc:
+    """A pipelined ADC: N 1.5-bit stages plus a backend flash.
+
+    ``convert`` produces the per-stage decisions and backend code;
+    ``reconstruct`` folds them back into an analog estimate using either
+    the nominal radix-2 gains (``calibrated=False``) or the actual stage
+    gains (``calibrated=True`` — the digital noise cancellation of
+    Bonnerud [2]).
+    """
+
+    def __init__(
+        self,
+        n_stages: int = 8,
+        backend_bits: int = 3,
+        gain_errors: Optional[Sequence[float]] = None,
+        comparator_offsets: Optional[Sequence[float]] = None,
+        noise_rms: float = 0.0,
+        vref: float = 1.0,
+        seed: int = 0,
+    ):
+        if gain_errors is None:
+            gain_errors = [0.0] * n_stages
+        if comparator_offsets is None:
+            comparator_offsets = [0.0] * n_stages
+        if len(gain_errors) != n_stages or \
+                len(comparator_offsets) != n_stages:
+            raise ValueError("per-stage parameter length mismatch")
+        self.stages = [
+            PipelineStage(ge, co, noise_rms, vref)
+            for ge, co in zip(gain_errors, comparator_offsets)
+        ]
+        self.backend_bits = backend_bits
+        self.vref = vref
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def nominal_bits(self) -> int:
+        return len(self.stages) + self.backend_bits
+
+    def convert(self, v: float) -> tuple[list[int], float]:
+        """Run the analog pipeline: (stage decisions, backend estimate)."""
+        residue = v
+        decisions = []
+        for stage in self.stages:
+            d = stage.decide(residue)
+            decisions.append(d)
+            residue = stage.residue(residue, d, self._rng)
+        backend = float(quantize_midrise(
+            np.clip(residue, -self.vref, self.vref),
+            self.backend_bits, self.vref,
+        ))
+        return decisions, backend
+
+    def reconstruct(self, decisions: Sequence[int], backend: float,
+                    calibrated: bool) -> float:
+        """Digital reconstruction: fold the residue chain back.
+
+        ``v_i = (v_{i+1} + d_i * Vref) / G_i`` — with the true gains the
+        analog gain error cancels digitally; with the nominal gain of 2
+        it aliases into conversion error.
+        """
+        estimate = backend
+        for stage, d in zip(reversed(self.stages), reversed(list(decisions))):
+            gain = stage.gain if calibrated else 2.0
+            estimate = (estimate + d * self.vref) / gain
+        return float(estimate)
+
+    def sample(self, v: float, calibrated: bool = True) -> float:
+        decisions, backend = self.convert(v)
+        return self.reconstruct(decisions, backend, calibrated)
+
+    def convert_array(self, samples: np.ndarray,
+                      calibrated: bool = True) -> np.ndarray:
+        return np.array([self.sample(float(v), calibrated)
+                         for v in np.asarray(samples, dtype=float)])
+
+
+class PipelinedAdcModule(TdfModule):
+    """TDF wrapper around :class:`PipelinedAdc`.
+
+    Emits both reconstructions so a testbench can compare them in one
+    run: ``out`` (calibrated) and ``out_raw`` (nominal radix-2).
+    """
+
+    def __init__(self, name: str, adc: PipelinedAdc,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.out_raw = TdfOut("out_raw")
+        self.adc = adc
+
+    def processing(self):
+        decisions, backend = self.adc.convert(self.inp.read())
+        self.out.write(self.adc.reconstruct(decisions, backend, True))
+        self.out_raw.write(self.adc.reconstruct(decisions, backend, False))

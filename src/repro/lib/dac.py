@@ -1,0 +1,93 @@
+"""Digital-to-analog converter models.
+
+The switched-capacitor DAC mirrors the functional models of Bonnerud's
+module library (seed work [2]): binary-weighted capacitors with random
+mismatch produce code-dependent (INL/DNL) errors, and a finite settling
+factor models incomplete charge transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.module import Module
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfIn, TdfOut
+
+
+class IdealDac(TdfModule):
+    """Maps integer codes in ``[0, 2**bits - 1]`` to analog levels in
+    ``[-full_scale, +full_scale)``."""
+
+    def __init__(self, name: str, bits: int, full_scale: float = 1.0,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.bits = bits
+        self.full_scale = full_scale
+        self.step = 2.0 * full_scale / 2 ** bits
+
+    def processing(self):
+        code = int(self.inp.read())
+        code = int(np.clip(code, 0, 2 ** self.bits - 1))
+        self.out.write(-self.full_scale + (code + 0.5) * self.step)
+
+
+class SwitchedCapDac(TdfModule):
+    """Binary-weighted switched-capacitor DAC with mismatch and settling.
+
+    Each bit ``k`` has nominal weight ``2**k`` perturbed by a Gaussian
+    relative mismatch; the output slews toward the target with a
+    per-sample settling factor ``alpha`` (1.0 = complete settling).
+    """
+
+    def __init__(self, name: str, bits: int, full_scale: float = 1.0,
+                 mismatch_rms: float = 0.0, settling: float = 1.0,
+                 seed: int = 0,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        if not 0.0 < settling <= 1.0:
+            raise ValueError("settling must lie in (0, 1]")
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.bits = bits
+        self.full_scale = full_scale
+        self.settling = settling
+        rng = np.random.default_rng(seed)
+        nominal = 2.0 ** np.arange(bits)
+        if mismatch_rms > 0.0:
+            # Mismatch scales with 1/sqrt(unit count): bigger caps match
+            # better.
+            sigma = mismatch_rms / np.sqrt(nominal)
+            self.weights = nominal * (1.0 + rng.normal(0.0, 1.0, bits)
+                                      * sigma)
+        else:
+            self.weights = nominal
+        self.total = float(np.sum(self.weights))
+        self._state = 0.0
+
+    def level(self, code: int) -> float:
+        """Static transfer: the settled output for a given code."""
+        code = int(np.clip(code, 0, 2 ** self.bits - 1))
+        acc = 0.0
+        for k in range(self.bits):
+            if (code >> k) & 1:
+                acc += self.weights[k]
+        return -self.full_scale + 2.0 * self.full_scale * acc / self.total
+
+    def processing(self):
+        target = self.level(int(self.inp.read()))
+        self._state += self.settling * (target - self._state)
+        self.out.write(self._state)
+
+    def inl(self) -> np.ndarray:
+        """Integral nonlinearity (in LSB) over all codes."""
+        codes = np.arange(2 ** self.bits)
+        actual = np.array([self.level(int(c)) for c in codes])
+        step = 2.0 * self.full_scale / 2 ** self.bits
+        # Endpoint-fit line through first and last level.
+        fit = actual[0] + (actual[-1] - actual[0]) * codes / (len(codes) - 1)
+        return (actual - fit) / step

@@ -1,0 +1,203 @@
+"""Digital filters: FIR design and filtering, biquad cascades, and
+Butterworth IIR design via the bilinear transform — all implemented from
+first principles (no scipy.signal), as library substrate for the digital
+filter blocks of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.module import Module
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfIn, TdfOut
+
+
+# -- FIR design -----------------------------------------------------------------
+
+
+def fir_lowpass(num_taps: int, cutoff: float, sample_rate: float,
+                window_name: str = "hann") -> np.ndarray:
+    """Windowed-sinc lowpass FIR taps (unity DC gain).
+
+    ``cutoff`` is the -6 dB frequency in hertz.
+    """
+    if not 0.0 < cutoff < sample_rate / 2:
+        raise ValueError("cutoff must lie inside (0, fs/2)")
+    if num_taps < 3:
+        raise ValueError("need at least 3 taps")
+    fc = cutoff / sample_rate
+    n = np.arange(num_taps) - (num_taps - 1) / 2.0
+    taps = 2 * fc * np.sinc(2 * fc * n)
+    from ..analysis.spectrum import window
+
+    taps *= window(window_name, num_taps)
+    return taps / np.sum(taps)
+
+
+def fir_highpass(num_taps: int, cutoff: float, sample_rate: float,
+                 window_name: str = "hann") -> np.ndarray:
+    """Spectral inversion of the windowed-sinc lowpass."""
+    if num_taps % 2 == 0:
+        raise ValueError("highpass FIR needs an odd tap count")
+    taps = -fir_lowpass(num_taps, cutoff, sample_rate, window_name)
+    taps[(num_taps - 1) // 2] += 1.0
+    return taps
+
+
+def fir_bandpass(num_taps: int, low: float, high: float,
+                 sample_rate: float,
+                 window_name: str = "hann") -> np.ndarray:
+    """Difference of two lowpass designs."""
+    if not 0.0 < low < high < sample_rate / 2:
+        raise ValueError("need 0 < low < high < fs/2")
+    return (fir_lowpass(num_taps, high, sample_rate, window_name)
+            - fir_lowpass(num_taps, low, sample_rate, window_name))
+
+
+def fir_frequency_response(taps: np.ndarray, frequencies: np.ndarray,
+                           sample_rate: float) -> np.ndarray:
+    """Complex response H(e^{j*2*pi*f/fs})."""
+    taps = np.asarray(taps, dtype=float)
+    w = 2j * np.pi * np.asarray(frequencies, dtype=float) / sample_rate
+    n = np.arange(len(taps))
+    return np.exp(-np.outer(w, n)) @ taps
+
+
+# -- biquads & Butterworth IIR -----------------------------------------------------
+
+
+class Biquad:
+    """One second-order IIR section, direct form II transposed.
+
+    Coefficients follow the usual convention:
+        y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]
+    """
+
+    __slots__ = ("b0", "b1", "b2", "a1", "a2", "_z1", "_z2")
+
+    def __init__(self, b0, b1, b2, a1, a2):
+        self.b0, self.b1, self.b2 = float(b0), float(b1), float(b2)
+        self.a1, self.a2 = float(a1), float(a2)
+        self._z1 = 0.0
+        self._z2 = 0.0
+
+    def step(self, x: float) -> float:
+        y = self.b0 * x + self._z1
+        self._z1 = self.b1 * x - self.a1 * y + self._z2
+        self._z2 = self.b2 * x - self.a2 * y
+        return y
+
+    def reset(self) -> None:
+        self._z1 = self._z2 = 0.0
+
+    def response(self, frequencies: np.ndarray,
+                 sample_rate: float) -> np.ndarray:
+        z = np.exp(2j * np.pi * np.asarray(frequencies, dtype=float)
+                   / sample_rate)
+        zi = 1.0 / z
+        return ((self.b0 + self.b1 * zi + self.b2 * zi ** 2)
+                / (1.0 + self.a1 * zi + self.a2 * zi ** 2))
+
+
+def butterworth_lowpass_sections(order: int, cutoff: float,
+                                 sample_rate: float) -> list[Biquad]:
+    """Butterworth lowpass as a cascade of biquads via the bilinear
+    transform with frequency pre-warping.
+
+    Odd orders include one first-order section (implemented as a
+    degenerate biquad).
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if not 0.0 < cutoff < sample_rate / 2:
+        raise ValueError("cutoff must lie inside (0, fs/2)")
+    # Pre-warp the analog cutoff so the digital filter lands exactly.
+    warped = 2.0 * sample_rate * np.tan(np.pi * cutoff / sample_rate)
+    sections: list[Biquad] = []
+    # Butterworth poles: s_k = warped * exp(j*(pi/2 + (2k+1)pi/(2N))).
+    k2 = 2.0 * sample_rate
+    for k in range(order // 2):
+        theta = np.pi / 2 + (2 * k + 1) * np.pi / (2 * order)
+        # Conjugate pole pair -> s^2 + 2*zeta*w*s + w^2 with
+        # zeta = -cos(theta).
+        zeta = -np.cos(theta)
+        w = warped
+        # Bilinear transform of w^2 / (s^2 + 2 zeta w s + w^2):
+        a0 = k2 ** 2 + 2 * zeta * w * k2 + w ** 2
+        b0 = w ** 2 / a0
+        b1 = 2 * w ** 2 / a0
+        b2 = w ** 2 / a0
+        a1 = (2 * w ** 2 - 2 * k2 ** 2) / a0
+        a2 = (k2 ** 2 - 2 * zeta * w * k2 + w ** 2) / a0
+        sections.append(Biquad(b0, b1, b2, a1, a2))
+    if order % 2:
+        # First-order section w / (s + w).
+        w = warped
+        a0 = k2 + w
+        sections.append(Biquad(w / a0, w / a0, 0.0, (w - k2) / a0, 0.0))
+    return sections
+
+
+def filter_samples(sections: Sequence[Biquad],
+                   samples: np.ndarray) -> np.ndarray:
+    """Run a biquad cascade over an array (stateful; resets first)."""
+    for section in sections:
+        section.reset()
+    out = np.empty(len(samples))
+    for k, x in enumerate(np.asarray(samples, dtype=float)):
+        y = x
+        for section in sections:
+            y = section.step(y)
+        out[k] = y
+    return out
+
+
+def cascade_response(sections: Sequence[Biquad],
+                     frequencies: np.ndarray,
+                     sample_rate: float) -> np.ndarray:
+    result = np.ones(len(np.atleast_1d(frequencies)), dtype=complex)
+    for section in sections:
+        result *= section.response(frequencies, sample_rate)
+    return result
+
+
+# -- TDF filter modules -------------------------------------------------------------
+
+
+class FirFilter(TdfModule):
+    """Streaming FIR filter."""
+
+    def __init__(self, name: str, taps: Sequence[float],
+                 parent: Optional[Module] = None, rate: int = 1):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp", rate=rate)
+        self.out = TdfOut("out", rate=rate)
+        self.taps = np.asarray(taps, dtype=float)
+        self._history = np.zeros(len(self.taps))
+
+    def processing(self):
+        for k in range(self.inp.rate):
+            self._history = np.roll(self._history, 1)
+            self._history[0] = self.inp.read(k)
+            self.out.write(float(self.taps @ self._history), k)
+
+
+class IirFilter(TdfModule):
+    """Streaming biquad-cascade IIR filter."""
+
+    def __init__(self, name: str, sections: Sequence[Biquad],
+                 parent: Optional[Module] = None, rate: int = 1):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp", rate=rate)
+        self.out = TdfOut("out", rate=rate)
+        self.sections = list(sections)
+
+    def processing(self):
+        for k in range(self.inp.rate):
+            y = self.inp.read(k)
+            for section in self.sections:
+                y = section.step(y)
+            self.out.write(y, k)

@@ -1,0 +1,68 @@
+"""Behavioral phase-locked loop (Phase 2 RF/wireless library).
+
+A classic type-II PLL at the phase/behavioural abstraction: multiplier
+phase detector, proportional-integral loop filter, and an NCO whose
+frequency is steered by the filter output.  Useful for carrier recovery
+and clock-multiplication workloads in receiver models.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.module import Module
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfIn, TdfOut
+
+
+class BehavioralPll(TdfModule):
+    """Multiplier PD + PI filter + NCO, sample-rate behavioural model.
+
+    Ports: ``inp`` (the reference carrier), ``out`` (the NCO output),
+    plus diagnostic outputs ``freq`` (instantaneous NCO frequency [Hz])
+    and ``phase_error`` (loop-filter input, after the PD's lowpass).
+    """
+
+    def __init__(self, name: str, center_frequency: float,
+                 loop_bandwidth: float = None,
+                 kp: Optional[float] = None, ki: Optional[float] = None,
+                 pd_pole: Optional[float] = None,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.freq = TdfOut("freq")
+        self.phase_error = TdfOut("phase_error")
+        self.center_frequency = center_frequency
+        bandwidth = loop_bandwidth or center_frequency / 100.0
+        # Standard 2nd-order design: natural frequency ~ bandwidth,
+        # damping 0.707.  PD gain for unit carriers is 1/2.
+        wn = 2 * np.pi * bandwidth
+        self.kp = kp if kp is not None else 2 * 0.707 * wn / (0.5 * np.pi)
+        self.ki = ki if ki is not None else wn * wn / (0.5 * np.pi)
+        self.pd_pole = pd_pole or 4 * bandwidth
+        self._phase = 0.0
+        self._integrator = 0.0
+        self._pd_state = 0.0
+
+    def processing(self):
+        dt = self.timestep.to_seconds()
+        reference = self.inp.read()
+        nco = np.cos(self._phase)
+        # Multiplier PD followed by a one-pole lowpass (kills the 2f
+        # component); with sin/cos inputs the useful term is
+        # 0.5*sin(phase difference).
+        product = reference * -np.sin(self._phase)
+        alpha = 1.0 - np.exp(-2 * np.pi * self.pd_pole * dt)
+        self._pd_state += alpha * (product - self._pd_state)
+        error = self._pd_state
+        self._integrator += self.ki * error * dt
+        control = self.kp * error + self._integrator
+        frequency = self.center_frequency + control
+        self._phase += 2 * np.pi * frequency * dt
+        self._phase = float(np.mod(self._phase, 2 * np.pi * 1e6))
+        self.out.write(nco)
+        self.freq.write(frequency)
+        self.phase_error.write(error)

@@ -1,0 +1,150 @@
+"""Sigma-delta (ΣΔ) modulators and decimation filters.
+
+The "Σ∆ prefi" / "Σ∆ pofi" blocks of the paper's Figure 1 (the ADSL
+codec's oversampled converters): first- and second-order single-bit
+modulators as TDF modules, a CIC (sinc^K) decimator, and fast NumPy
+behavioural equivalents used by the refinement experiment (E12) as the
+highest abstraction level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.module import Module
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfIn, TdfOut
+
+
+class SigmaDelta1(TdfModule):
+    """First-order single-bit ΣΔ modulator.
+
+    Discrete-time loop: ``integ += (in - fb); out = sign(integ)``.
+    Input must stay within ``(-full_scale, +full_scale)``.
+    """
+
+    def __init__(self, name: str, full_scale: float = 1.0,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.full_scale = full_scale
+        self._integrator = 0.0
+        self._feedback = 0.0
+
+    def processing(self):
+        self._integrator += self.inp.read() - self._feedback
+        bit = self.full_scale if self._integrator >= 0.0 \
+            else -self.full_scale
+        self._feedback = bit
+        self.out.write(bit)
+
+
+class SigmaDelta2(TdfModule):
+    """Second-order single-bit ΣΔ modulator (CIFB structure).
+
+    ``i1 += in - fb;  i2 += i1 - fb;  out = sign(i2)``, with the classic
+    0.5 inter-stage scaling for stability.
+    """
+
+    def __init__(self, name: str, full_scale: float = 1.0,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.full_scale = full_scale
+        self._i1 = 0.0
+        self._i2 = 0.0
+        self._feedback = 0.0
+
+    def processing(self):
+        value = self.inp.read()
+        self._i1 += 0.5 * (value - self._feedback)
+        self._i2 += 0.5 * (self._i1 - self._feedback)
+        bit = self.full_scale if self._i2 >= 0.0 else -self.full_scale
+        self._feedback = bit
+        self.out.write(bit)
+
+
+class CicDecimator(TdfModule):
+    """CIC (sinc^order) decimation filter.
+
+    Consumes ``factor`` samples per activation, produces one.  The
+    integrator/comb cascade has unity DC gain (normalized by
+    ``factor**order``).
+    """
+
+    def __init__(self, name: str, factor: int, order: int = 2,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        if factor < 2:
+            raise ValueError("decimation factor must be >= 2")
+        if order < 1:
+            raise ValueError("CIC order must be >= 1")
+        self.inp = TdfIn("inp", rate=factor)
+        self.out = TdfOut("out")
+        self.factor = factor
+        self.order = order
+        self._integrators = np.zeros(order)
+        self._combs = np.zeros(order)
+        self._gain = float(factor) ** order
+
+    def processing(self):
+        # Integrators run at the input rate.
+        for k in range(self.factor):
+            value = self.inp.read(k)
+            for i in range(self.order):
+                self._integrators[i] += value
+                value = self._integrators[i]
+        # Combs run at the output rate.
+        value = self._integrators[-1]
+        for i in range(self.order):
+            delayed = self._combs[i]
+            self._combs[i] = value
+            value = value - delayed
+        self.out.write(value / self._gain)
+
+
+# -- behavioural (array) models: the top abstraction level of E12 -------------
+
+
+def sigma_delta1_bitstream(samples: np.ndarray,
+                           full_scale: float = 1.0) -> np.ndarray:
+    """NumPy behavioural model of :class:`SigmaDelta1`."""
+    x = np.asarray(samples, dtype=float)
+    bits = np.empty_like(x)
+    integrator = 0.0
+    feedback = 0.0
+    for k, value in enumerate(x):
+        integrator += value - feedback
+        feedback = full_scale if integrator >= 0.0 else -full_scale
+        bits[k] = feedback
+    return bits
+
+
+def sigma_delta2_bitstream(samples: np.ndarray,
+                           full_scale: float = 1.0) -> np.ndarray:
+    """NumPy behavioural model of :class:`SigmaDelta2`."""
+    x = np.asarray(samples, dtype=float)
+    bits = np.empty_like(x)
+    i1 = i2 = feedback = 0.0
+    for k, value in enumerate(x):
+        i1 += 0.5 * (value - feedback)
+        i2 += 0.5 * (i1 - feedback)
+        feedback = full_scale if i2 >= 0.0 else -full_scale
+        bits[k] = feedback
+    return bits
+
+
+def cic_decimate(bits: np.ndarray, factor: int,
+                 order: int = 2) -> np.ndarray:
+    """NumPy behavioural model of :class:`CicDecimator`."""
+    x = np.asarray(bits, dtype=float)
+    for _ in range(order):
+        x = np.cumsum(x)
+    x = x[factor - 1::factor]
+    for _ in range(order):
+        x = np.diff(x, prepend=0.0)
+    return x / float(factor) ** order

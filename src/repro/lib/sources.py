@@ -1,0 +1,206 @@
+"""TDF signal sources for the mixed-signal library."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.module import Module
+from ..core.time import SimTime
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfOut
+
+
+class TdfSourceBase(TdfModule):
+    """Shared scaffolding: one output port, optional timestep setting."""
+
+    def __init__(self, name: str, parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent)
+        self.out = TdfOut("out", rate=rate)
+        self._timestep = timestep
+
+    def set_attributes(self):
+        if self._timestep is not None:
+            self.set_timestep(self._timestep)
+
+    def _sample_time(self, k: int) -> float:
+        """Time of sample ``k`` within the current activation."""
+        step = self.timestep.to_seconds() / self.out.rate
+        return self.local_time.to_seconds() + k * step
+
+
+class SineSource(TdfSourceBase):
+    """``amplitude * sin(2*pi*frequency*t + phase) + offset``."""
+
+    def __init__(self, name: str, frequency: float, amplitude: float = 1.0,
+                 phase: float = 0.0, offset: float = 0.0,
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        self.frequency = frequency
+        self.amplitude = amplitude
+        self.phase = phase
+        self.offset = offset
+
+    def processing(self):
+        for k in range(self.out.rate):
+            t = self._sample_time(k)
+            value = self.offset + self.amplitude * np.sin(
+                2 * np.pi * self.frequency * t + self.phase
+            )
+            self.out.write(value, k)
+
+
+class ConstSource(TdfSourceBase):
+    """Constant level."""
+
+    def __init__(self, name: str, level: float = 0.0,
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        self.level = level
+
+    def processing(self):
+        for k in range(self.out.rate):
+            self.out.write(self.level, k)
+
+
+class StepSource(TdfSourceBase):
+    """0 before ``step_time``, ``level`` at and after it."""
+
+    def __init__(self, name: str, level: float = 1.0,
+                 step_time: float = 0.0,
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        self.level = level
+        self.step_time = step_time
+
+    def processing(self):
+        for k in range(self.out.rate):
+            t = self._sample_time(k)
+            self.out.write(self.level if t >= self.step_time else 0.0, k)
+
+
+class PulseSource(TdfSourceBase):
+    """Periodic pulse train: ``high`` for the first ``duty`` fraction of
+    each period, ``low`` for the rest."""
+
+    def __init__(self, name: str, period: float, duty: float = 0.5,
+                 high: float = 1.0, low: float = 0.0,
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty must lie strictly between 0 and 1")
+        self.period = period
+        self.duty = duty
+        self.high = high
+        self.low = low
+
+    def processing(self):
+        for k in range(self.out.rate):
+            phase = (self._sample_time(k) / self.period) % 1.0
+            self.out.write(self.high if phase < self.duty else self.low, k)
+
+
+class RampSource(TdfSourceBase):
+    """``offset + slope * t``."""
+
+    def __init__(self, name: str, slope: float = 1.0, offset: float = 0.0,
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        self.slope = slope
+        self.offset = offset
+
+    def processing(self):
+        for k in range(self.out.rate):
+            self.out.write(self.offset + self.slope * self._sample_time(k),
+                           k)
+
+
+class GaussianNoiseSource(TdfSourceBase):
+    """White Gaussian noise with given RMS; reproducible via ``seed``."""
+
+    def __init__(self, name: str, rms: float = 1.0, seed: int = 0,
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        self.rms = rms
+        self._rng = np.random.default_rng(seed)
+
+    def processing(self):
+        for k in range(self.out.rate):
+            self.out.write(float(self._rng.normal(0.0, self.rms)), k)
+
+
+class PrbsSource(TdfSourceBase):
+    """Pseudo-random binary sequence (maximal-length LFSR, 15 bits).
+
+    Emits ``+amplitude`` / ``-amplitude``; ``samples_per_bit`` stretches
+    each bit over several samples (for eye-diagram-style workloads).
+    """
+
+    TAPS = (15, 14)  # x^15 + x^14 + 1
+
+    def __init__(self, name: str, amplitude: float = 1.0,
+                 samples_per_bit: int = 1, seed: int = 0b101010101010101,
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        self.amplitude = amplitude
+        self.samples_per_bit = samples_per_bit
+        self._state = seed & 0x7FFF or 1
+        self._bit = self._advance()
+        self._count = 0
+
+    def _advance(self) -> int:
+        bit = ((self._state >> (self.TAPS[0] - 1))
+               ^ (self._state >> (self.TAPS[1] - 1))) & 1
+        self._state = ((self._state << 1) | bit) & 0x7FFF
+        return self._state & 1
+
+    def processing(self):
+        for k in range(self.out.rate):
+            if self._count == self.samples_per_bit:
+                self._bit = self._advance()
+                self._count = 0
+            self._count += 1
+            self.out.write(
+                self.amplitude if self._bit else -self.amplitude, k
+            )
+
+
+class SampleListSource(TdfSourceBase):
+    """Plays back a pre-computed sample array (cycling at the end)."""
+
+    def __init__(self, name: str, samples: Sequence[float],
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        self.samples = np.asarray(samples, dtype=float)
+        if self.samples.size == 0:
+            raise ValueError("sample list must be non-empty")
+        self._index = 0
+
+    def processing(self):
+        for k in range(self.out.rate):
+            self.out.write(float(self.samples[self._index]), k)
+            self._index = (self._index + 1) % len(self.samples)
+
+
+class FunctionSource(TdfSourceBase):
+    """Samples an arbitrary function of time."""
+
+    def __init__(self, name: str, func: Callable[[float], float],
+                 parent: Optional[Module] = None,
+                 timestep: Optional[SimTime] = None, rate: int = 1):
+        super().__init__(name, parent, timestep, rate)
+        self.func = func
+
+    def processing(self):
+        for k in range(self.out.rate):
+            self.out.write(float(self.func(self._sample_time(k))), k)

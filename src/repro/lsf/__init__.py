@@ -1,0 +1,36 @@
+"""`repro.lsf` — linear signal-flow modeling.
+
+Directed-graph models of continuous-time behaviour: sources, gains,
+adders, integrators, differentiators, Laplace transfer functions
+(numerator/denominator and zero-pole forms), and state-space blocks,
+elaborated into a linear DAE for transient and AC analyses.
+"""
+
+from .blocks import (
+    LsfAdd,
+    LsfDot,
+    LsfGain,
+    LsfInteg,
+    LsfLtfNd,
+    LsfLtfZp,
+    LsfSource,
+    LsfStateSpace,
+    LsfSub,
+)
+from .network import (
+    LsfBlock,
+    LsfBuilder,
+    LsfIndex,
+    LsfNetwork,
+    LsfResult,
+    LsfSignal,
+    lsf_ac,
+    lsf_transient,
+)
+
+__all__ = [
+    "LsfAdd", "LsfBlock", "LsfBuilder", "LsfDot", "LsfGain", "LsfIndex",
+    "LsfInteg", "LsfLtfNd", "LsfLtfZp", "LsfNetwork", "LsfResult",
+    "LsfSignal", "LsfSource", "LsfStateSpace", "LsfSub", "lsf_ac",
+    "lsf_transient",
+]

@@ -1,0 +1,318 @@
+"""Linear signal-flow blocks.
+
+The Phase 1 "predefined linear operators": sources, weighted adders,
+gains, integrators, differentiators, Laplace transfer functions in
+numerator/denominator and zero-pole form, and state-space equations.
+
+Polynomial coefficient convention: ascending powers of ``s`` —
+``den=[a0, a1, a2]`` means ``a0 + a1*s + a2*s^2`` (the SystemC-AMS
+``sca_ltf_nd`` convention).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.errors import ElaborationError
+from .network import LsfBlock, LsfBuilder, LsfSignal
+
+Waveform = Union[float, Callable[[float], float]]
+
+
+class LsfSource(LsfBlock):
+    """Drives a signal with a time waveform; optionally an AC excitation."""
+
+    def __init__(self, name: str, out: LsfSignal, waveform: Waveform = 0.0,
+                 ac: float = 0.0):
+        super().__init__(name)
+        self.out = out
+        self.waveform = waveform
+        self.ac_magnitude = ac
+
+    def driven_signals(self):
+        return [self.out]
+
+    def build(self, builder: LsfBuilder) -> None:
+        row = builder.new_row()
+        builder.g(row, self.out.index, 1.0)
+        builder.source(row, self.waveform)
+        if self.ac_magnitude:
+            builder.ac(row, self.ac_magnitude)
+
+
+class LsfGain(LsfBlock):
+    """``out = gain * in``."""
+
+    def __init__(self, name: str, inp: LsfSignal, out: LsfSignal,
+                 gain: float):
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.gain = gain
+
+    def driven_signals(self):
+        return [self.out]
+
+    def build(self, builder: LsfBuilder) -> None:
+        row = builder.new_row()
+        builder.g(row, self.out.index, 1.0)
+        builder.g(row, self.inp.index, -self.gain)
+
+
+class LsfAdd(LsfBlock):
+    """Weighted sum: ``out = sum(w_k * in_k)`` (weights default to 1)."""
+
+    def __init__(self, name: str, inputs: Sequence[LsfSignal],
+                 out: LsfSignal,
+                 weights: Optional[Sequence[float]] = None):
+        super().__init__(name)
+        self.inputs = list(inputs)
+        self.out = out
+        self.weights = list(weights) if weights is not None \
+            else [1.0] * len(self.inputs)
+        if len(self.weights) != len(self.inputs):
+            raise ElaborationError(
+                f"adder {name!r}: {len(self.inputs)} inputs but "
+                f"{len(self.weights)} weights"
+            )
+
+    def driven_signals(self):
+        return [self.out]
+
+    def build(self, builder: LsfBuilder) -> None:
+        row = builder.new_row()
+        builder.g(row, self.out.index, 1.0)
+        for sig, weight in zip(self.inputs, self.weights):
+            builder.g(row, sig.index, -weight)
+
+
+class LsfSub(LsfAdd):
+    """``out = a - b``."""
+
+    def __init__(self, name: str, a: LsfSignal, b: LsfSignal,
+                 out: LsfSignal):
+        super().__init__(name, [a, b], out, weights=[1.0, -1.0])
+
+
+class LsfInteg(LsfBlock):
+    """``d(out)/dt = gain * in`` with initial value ``initial``."""
+
+    def __init__(self, name: str, inp: LsfSignal, out: LsfSignal,
+                 gain: float = 1.0, initial: float = 0.0):
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.gain = gain
+        self.initial = initial
+
+    def driven_signals(self):
+        return [self.out]
+
+    def build(self, builder: LsfBuilder) -> None:
+        row = builder.new_row()
+        builder.c(row, self.out.index, 1.0)
+        builder.g(row, self.inp.index, -self.gain)
+        builder.init_overrides.append((row, self.out.index, self.initial))
+
+
+class LsfDot(LsfBlock):
+    """``out = gain * d(in)/dt`` (differentiator)."""
+
+    def __init__(self, name: str, inp: LsfSignal, out: LsfSignal,
+                 gain: float = 1.0):
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.gain = gain
+
+    def driven_signals(self):
+        return [self.out]
+
+    def build(self, builder: LsfBuilder) -> None:
+        row = builder.new_row()
+        builder.g(row, self.out.index, 1.0)
+        builder.c(row, self.inp.index, -self.gain)
+
+
+class LsfLtfNd(LsfBlock):
+    """Laplace transfer function ``out = H(s) * in`` with
+    ``H(s) = num(s) / den(s)``, coefficients in ascending powers of s.
+
+    Realized in controllable canonical form; requires a proper transfer
+    function (num degree <= den degree).  Direct feedthrough (equal
+    degrees) is handled by polynomial division.
+    """
+
+    def __init__(self, name: str, inp: LsfSignal, out: LsfSignal,
+                 num: Sequence[float], den: Sequence[float],
+                 gain: float = 1.0,
+                 initial: Optional[Sequence[float]] = None):
+        super().__init__(name)
+        self.inp = inp
+        self.out = out
+        self.num = np.asarray(num, dtype=float) * gain
+        self.den = np.asarray(den, dtype=float)
+        self.initial = initial
+        num_degree = _degree(self.num)
+        den_degree = _degree(self.den)
+        if den_degree < 1:
+            raise ElaborationError(
+                f"transfer function {name!r} needs a dynamic denominator"
+            )
+        if num_degree > den_degree:
+            raise ElaborationError(
+                f"transfer function {name!r} is improper "
+                f"(num degree {num_degree} > den degree {den_degree})"
+            )
+        self.order = den_degree
+
+    def driven_signals(self):
+        return [self.out]
+
+    def state_count(self):
+        return self.order
+
+    def build(self, builder: LsfBuilder) -> None:
+        n = self.order
+        base = builder.state_index[self.name]
+        a = np.zeros(n + 1)
+        a[: len(self.den)] = self.den
+        an = a[n]
+        b = np.zeros(n + 1)
+        b[: len(self.num)] = self.num
+        # Direct feedthrough via polynomial division: if deg(num) == n,
+        # H = b_n/a_n + (b - b_n/a_n * a)/den.
+        feedthrough = b[n] / an
+        c_out = b[:n] - feedthrough * a[:n]
+        initial = np.zeros(n) if self.initial is None \
+            else np.asarray(self.initial, dtype=float)
+        if initial.shape != (n,):
+            raise ElaborationError(
+                f"transfer function {self.name!r}: initial state must have "
+                f"{n} entries"
+            )
+        # States x_1..x_n with x_k = z^{(k-1)}, D(d/dt) z = in.  Each
+        # state row is registered for initial-state pinning: the block
+        # starts from its declared internal state, not from DC.
+        for k in range(n - 1):
+            row = builder.new_row()
+            builder.c(row, base + k, 1.0)
+            builder.g(row, base + k + 1, -1.0)
+            builder.init_overrides.append((row, base + k, initial[k]))
+        row = builder.new_row()
+        builder.c(row, base + n - 1, an)
+        for k in range(n):
+            builder.g(row, base + k, a[k])
+        builder.g(row, self.inp.index, -1.0)
+        builder.init_overrides.append((row, base + n - 1, initial[n - 1]))
+        # Output equation.
+        row = builder.new_row()
+        builder.g(row, self.out.index, 1.0)
+        for k in range(n):
+            builder.g(row, base + k, -c_out[k])
+        if feedthrough:
+            builder.g(row, self.inp.index, -feedthrough)
+
+
+class LsfLtfZp(LsfLtfNd):
+    """Laplace transfer function given as zeros, poles, gain:
+
+        H(s) = gain * prod(s - z_k) / prod(s - p_k)
+    """
+
+    def __init__(self, name: str, inp: LsfSignal, out: LsfSignal,
+                 zeros: Sequence[complex], poles: Sequence[complex],
+                 gain: float = 1.0):
+        num = _poly_from_roots(zeros)
+        den = _poly_from_roots(poles)
+        super().__init__(name, inp, out, num=num, den=den, gain=gain)
+        self.zeros = list(zeros)
+        self.poles = list(poles)
+
+
+class LsfStateSpace(LsfBlock):
+    """State-space equations ``x' = A x + B u``, ``y = C x + D u``.
+
+    ``inputs`` and ``outputs`` are lists of signals matching the column
+    counts of ``B``/``D`` and row counts of ``C``/``D``.
+    """
+
+    def __init__(self, name: str, inputs: Sequence[LsfSignal],
+                 outputs: Sequence[LsfSignal],
+                 A, B, C, D=None,
+                 initial: Optional[Sequence[float]] = None):
+        super().__init__(name)
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.A = np.atleast_2d(np.asarray(A, dtype=float))
+        self.B = np.atleast_2d(np.asarray(B, dtype=float))
+        self.Cm = np.atleast_2d(np.asarray(C, dtype=float))
+        n = self.A.shape[0]
+        p = len(self.outputs)
+        m = len(self.inputs)
+        self.D = np.zeros((p, m)) if D is None \
+            else np.atleast_2d(np.asarray(D, dtype=float))
+        if self.A.shape != (n, n):
+            raise ElaborationError(f"state-space {name!r}: A must be square")
+        if self.B.shape != (n, m):
+            raise ElaborationError(
+                f"state-space {name!r}: B shape {self.B.shape} != ({n},{m})"
+            )
+        if self.Cm.shape != (p, n):
+            raise ElaborationError(
+                f"state-space {name!r}: C shape {self.Cm.shape} != ({p},{n})"
+            )
+        if self.D.shape != (p, m):
+            raise ElaborationError(
+                f"state-space {name!r}: D shape {self.D.shape} != ({p},{m})"
+            )
+        self.initial = np.zeros(n) if initial is None \
+            else np.asarray(initial, dtype=float)
+
+    def driven_signals(self):
+        return list(self.outputs)
+
+    def state_count(self):
+        return self.A.shape[0]
+
+    def build(self, builder: LsfBuilder) -> None:
+        base = builder.state_index[self.name]
+        n = self.A.shape[0]
+        for k in range(n):
+            row = builder.new_row()
+            builder.c(row, base + k, 1.0)
+            for j in range(n):
+                builder.g(row, base + j, -self.A[k, j])
+            for j, sig in enumerate(self.inputs):
+                builder.g(row, sig.index, -self.B[k, j])
+            builder.init_overrides.append((row, base + k, self.initial[k]))
+        for i, out in enumerate(self.outputs):
+            row = builder.new_row()
+            builder.g(row, out.index, 1.0)
+            for j in range(n):
+                builder.g(row, base + j, -self.Cm[i, j])
+            for j, sig in enumerate(self.inputs):
+                builder.g(row, sig.index, -self.D[i, j])
+
+
+def _degree(coefficients: np.ndarray) -> int:
+    nonzero = np.nonzero(coefficients)[0]
+    if nonzero.size == 0:
+        raise ElaborationError("all-zero polynomial in transfer function")
+    return int(nonzero[-1])
+
+
+def _poly_from_roots(roots: Sequence[complex]) -> np.ndarray:
+    """Monic polynomial with the given roots, ascending coefficients.
+
+    Complex roots must come in conjugate pairs (the result must be real).
+    """
+    descending = np.atleast_1d(np.poly(np.asarray(roots, dtype=complex))) \
+        if len(roots) else np.array([1.0])
+    if np.max(np.abs(descending.imag)) > 1e-12 * np.max(np.abs(descending)):
+        raise ElaborationError(
+            "complex zeros/poles must come in conjugate pairs"
+        )
+    return descending.real[::-1].copy()

@@ -1,0 +1,34 @@
+"""`repro.multidomain` — multi-discipline modeling (Phase 3).
+
+Mechanical (translational and rotational) and thermal primitives mapped
+onto the conservative MNA core via through/across analogies, plus
+electro-mechanical transducers (DC motor).
+"""
+
+from .mechanical import (
+    Damper,
+    ForceSource,
+    Inertia,
+    Mass,
+    PositionSensor,
+    RotationalDamper,
+    Spring,
+    TorqueSource,
+    TorsionSpring,
+    VelocitySource,
+)
+from .thermal import (
+    AmbientTemperature,
+    HeatFlowSource,
+    ThermalCapacitance,
+    ThermalResistance,
+)
+from .transducers import DcMotor
+
+__all__ = [
+    "AmbientTemperature", "Damper", "DcMotor", "ForceSource",
+    "HeatFlowSource", "Inertia", "Mass", "PositionSensor",
+    "RotationalDamper", "Spring", "ThermalCapacitance",
+    "ThermalResistance", "TorqueSource", "TorsionSpring",
+    "VelocitySource",
+]

@@ -1,0 +1,141 @@
+"""Mechanical modeling via the mobility analogy.
+
+The paper's Phase 3 requires "conservative-law mixed-domain models".
+Mechanical networks map onto the MNA core with the mobility analogy:
+
+=================  ======================  =====================
+mechanical         electrical equivalent   mapping
+=================  ======================  =====================
+velocity (across)  voltage                 node value
+force (through)    current                 branch value
+mass M             capacitor to ground     C = M
+spring k           inductor                L = 1/k
+damper d           resistor                R = 1/d
+force source       current source          force into + node
+velocity source    voltage source
+=================  ======================  =====================
+
+Rotational elements follow the same pattern with angular velocity and
+torque.  A :class:`PositionSensor` integrates a node's velocity behind a
+unity-gain buffer so it does not load the mechanical network.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.errors import ElaborationError
+from ..eln.components import (
+    Capacitor,
+    Inductor,
+    Isource,
+    Resistor,
+    Vcvs,
+    Vsource,
+)
+from ..eln.network import GROUND, Network
+
+Waveform = Union[float, callable]
+
+
+class Mass(Capacitor):
+    """Point mass attached to a velocity node (referenced to ground —
+    the inertial frame)."""
+
+    def __init__(self, name: str, node: str, mass: float):
+        if mass <= 0:
+            raise ElaborationError(f"mass {name!r} must be positive")
+        super().__init__(name, node, GROUND, mass)
+        self.mass = mass
+
+
+class Inertia(Capacitor):
+    """Rotational inertia on an angular-velocity node."""
+
+    def __init__(self, name: str, node: str, inertia: float):
+        if inertia <= 0:
+            raise ElaborationError(f"inertia {name!r} must be positive")
+        super().__init__(name, node, GROUND, inertia)
+        self.inertia = inertia
+
+
+class Spring(Inductor):
+    """Linear spring between two velocity nodes (L = 1/k).
+
+    The branch current of this component is the spring *force*.
+    """
+
+    def __init__(self, name: str, a: str, b: str, stiffness: float):
+        if stiffness <= 0:
+            raise ElaborationError(f"spring {name!r} stiffness must be positive")
+        super().__init__(name, a, b, 1.0 / stiffness)
+        self.stiffness = stiffness
+
+
+class TorsionSpring(Spring):
+    """Rotational spring between two angular-velocity nodes."""
+
+
+class Damper(Resistor):
+    """Viscous damper between two velocity nodes (R = 1/d).
+
+    Dampers are modeled noiseless (mechanical element).
+    """
+
+    def __init__(self, name: str, a: str, b: str, damping: float):
+        if damping <= 0:
+            raise ElaborationError(f"damper {name!r} damping must be positive")
+        super().__init__(name, a, b, 1.0 / damping)
+        self.damping = damping
+
+    def noise_sources(self, stamper):
+        return []
+
+
+class RotationalDamper(Damper):
+    """Rotational friction between two angular-velocity nodes."""
+
+
+class ForceSource(Isource):
+    """Applies a force to node ``a`` (reacting against ``b``)."""
+
+    def __init__(self, name: str, a: str, b: str = GROUND,
+                 force: Waveform = 0.0):
+        super().__init__(name, a, b, force)
+
+
+class TorqueSource(ForceSource):
+    """Applies a torque to an angular-velocity node."""
+
+
+class VelocitySource(Vsource):
+    """Imposes a velocity on a node (e.g. a cam or base excitation)."""
+
+
+class PositionSensor:
+    """Measures the position (integral of velocity) of a node.
+
+    Internally a unity-gain buffer drives an isolated 1 H inductor: the
+    inductor current is the integral of the buffered velocity, i.e. the
+    position, without loading the mechanical network.
+    """
+
+    def __init__(self, name: str, network: Network, node: str):
+        self.name = name
+        self._buffer = Vcvs(f"{name}_buf", f"{name}_s", GROUND,
+                            node, GROUND, gain=1.0)
+        self._integrator = Inductor(f"{name}_int", f"{name}_s", GROUND,
+                                    1.0)
+        network.add(self._buffer)
+        network.add(self._integrator)
+
+    @property
+    def branch(self) -> str:
+        """Branch name whose current is the position."""
+        return self._integrator.name
+
+    def position(self, index, x) -> float:
+        return index.current(x, self._integrator.name)
+
+    def position_series(self, index, states):
+        return index.current_series(states, self._integrator.name)

@@ -1,0 +1,60 @@
+"""Thermal modeling via the electro-thermal analogy.
+
+=====================  ======================  ==================
+thermal                electrical equivalent   mapping
+=====================  ======================  ==================
+temperature (across)   voltage                 node value [K]
+heat flow (through)    current                 branch value [W]
+thermal capacitance    capacitor to ground     C [J/K]
+thermal resistance     resistor                R [K/W]
+heat-flow source       current source
+fixed temperature      voltage source
+=====================  ======================  ==================
+
+Temperatures are handled relative to an ambient reference (node "0");
+an :class:`AmbientTemperature` source pins a node to an absolute value.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core.errors import ElaborationError
+from ..eln.components import Capacitor, Isource, Resistor, Vsource
+from ..eln.network import GROUND
+
+Waveform = Union[float, callable]
+
+
+class ThermalCapacitance(Capacitor):
+    """Heat-storing element on a temperature node [J/K]."""
+
+    def __init__(self, name: str, node: str, capacitance: float):
+        if capacitance <= 0:
+            raise ElaborationError(
+                f"thermal capacitance {name!r} must be positive"
+            )
+        super().__init__(name, node, GROUND, capacitance)
+
+
+class ThermalResistance(Resistor):
+    """Conductive/convective path between two temperature nodes [K/W].
+
+    Modeled noiseless (the Johnson-noise analogy is meaningless here).
+    """
+
+    def noise_sources(self, stamper):
+        return []
+
+
+class HeatFlowSource(Isource):
+    """Injects heat flow [W] into node ``a`` (e.g. device dissipation)."""
+
+    def __init__(self, name: str, a: str, b: str = GROUND,
+                 power: Waveform = 0.0):
+        super().__init__(name, a, b, power)
+
+
+class AmbientTemperature(Vsource):
+    """Pins a node to a fixed (or time-varying) temperature [K above
+    the reference]."""

@@ -1,0 +1,60 @@
+"""Electro-mechanical transducers.
+
+The DC motor couples an electrical armature branch with a rotational
+mechanical node: back-EMF is a velocity-controlled voltage source on the
+electrical side, motor torque a current-controlled current source on the
+mechanical side — an energy-conserving gyrator-style coupling when
+``kt == ke`` (SI units).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ElaborationError
+from ..eln.components import Cccs, Inductor, Resistor, Vcvs
+from ..eln.network import GROUND, Network
+
+
+class DcMotor:
+    """Permanent-magnet DC motor added into an existing network.
+
+    Electrical terminals ``plus``/``minus``; mechanical output is the
+    angular-velocity node ``shaft``.  Adds:
+
+    * armature resistance ``r_a`` and inductance ``l_a`` in series;
+    * back-EMF ``e = ke * omega(shaft)`` (a VCVS);
+    * torque ``tau = kt * i_armature`` injected into ``shaft`` (a CCCS
+      controlled by the armature inductor's branch current).
+
+    Attach :class:`~repro.multidomain.mechanical.Inertia`,
+    :class:`~repro.multidomain.mechanical.RotationalDamper`, and load
+    torque sources to ``shaft`` to complete the mechanical side.
+    """
+
+    def __init__(self, name: str, network: Network, plus: str, minus: str,
+                 shaft: str, kt: float, r_a: float, l_a: float,
+                 ke: float = None):
+        if kt <= 0 or r_a <= 0 or l_a <= 0:
+            raise ElaborationError(
+                f"motor {name!r}: kt, r_a, l_a must be positive"
+            )
+        self.name = name
+        self.kt = kt
+        self.ke = kt if ke is None else ke
+        mid = f"{name}_mid"
+        emf = f"{name}_emf"
+        self.armature = Inductor(f"{name}_la", mid, emf, l_a)
+        network.add(Resistor(f"{name}_ra", plus, mid, r_a))
+        network.add(self.armature)
+        # Back-EMF: v(emf, minus) = ke * omega(shaft).
+        network.add(Vcvs(f"{name}_bemf", emf, minus, shaft, GROUND,
+                         gain=self.ke))
+        # Torque into the shaft node: the CCCS conducts kt*i from its
+        # p node to its n node, so p=ground, n=shaft injects +kt*i into
+        # the shaft for positive armature current.
+        network.add(Cccs(f"{name}_torque", GROUND, shaft,
+                         control=self.armature.name, gain=self.kt))
+
+    @property
+    def current_branch(self) -> str:
+        """Component name whose branch current is the armature current."""
+        return self.armature.name

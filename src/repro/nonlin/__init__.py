@@ -1,0 +1,21 @@
+"""`repro.nonlin` — nonlinear conservative-law networks (Phase 2).
+
+Nonlinear devices (diode, square-law MOSFET, arbitrary I-V / Q-V
+elements) stamped on top of the linear MNA skeleton, producing
+charge-form nonlinear DAEs for DC, variable-step transient, and
+small-signal analyses.
+"""
+
+from .devices import (
+    Diode,
+    NMos,
+    NonlinearCapacitor,
+    NonlinearConductor,
+    NonlinearDevice,
+)
+from .network import MnaNonlinearSystem, NonlinearNetwork
+
+__all__ = [
+    "Diode", "MnaNonlinearSystem", "NMos", "NonlinearCapacitor",
+    "NonlinearConductor", "NonlinearDevice", "NonlinearNetwork",
+]

@@ -1,0 +1,259 @@
+"""Nonlinear circuit devices.
+
+Each device contributes currents (and charges) plus their derivatives to
+the MNA equations of a :class:`~repro.nonlin.network.NonlinearNetwork`.
+Node indices are resolved once at assembly; evaluation then works on the
+raw unknown vector for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ElaborationError
+from ..ct.nonlinear import dlimexp, limexp
+
+
+class NonlinearDevice:
+    """Base class: declares nodes, contributes stamps at evaluation."""
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        self.name = name
+        self.nodes = [str(n) for n in nodes]
+        #: resolved unknown indices (-1 = ground), set at assembly.
+        self.index: list[int] = []
+
+    def resolve(self, node_of: Callable[[str], int]) -> None:
+        self.index = [node_of(n) for n in self.nodes]
+
+    def add_static(self, x: np.ndarray, t: float, f: np.ndarray) -> None:
+        """Add this device's currents into the residual vector."""
+        raise NotImplementedError
+
+    def add_static_jacobian(self, x: np.ndarray, t: float,
+                            jac: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def add_charge(self, x: np.ndarray, q: np.ndarray) -> None:
+        """Add this device's charges (default: none)."""
+
+    def add_charge_jacobian(self, x: np.ndarray, c: np.ndarray) -> None:
+        pass
+
+    # -- helpers -------------------------------------------------------------
+
+    def _v(self, x: np.ndarray, k: int) -> float:
+        idx = self.index[k]
+        return 0.0 if idx < 0 else float(x[idx])
+
+    def _kcl(self, vec: np.ndarray, k: int, value: float) -> None:
+        idx = self.index[k]
+        if idx >= 0:
+            vec[idx] += value
+
+    def _jac(self, jac: np.ndarray, row_k: int, col_k: int,
+             value: float) -> None:
+        row, col = self.index[row_k], self.index[col_k]
+        if row >= 0 and col >= 0:
+            jac[row, col] += value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.nodes})"
+
+
+class Diode(NonlinearDevice):
+    """Shockley diode with junction capacitance.
+
+    ``i = Is * (limexp(v / (n*Vt)) - 1)`` from anode to cathode, plus an
+    optional diffusion-style charge ``q = tau * i`` (transit time) and a
+    constant junction capacitance.
+    """
+
+    def __init__(self, name: str, anode: str, cathode: str,
+                 i_sat: float = 1e-14, emission: float = 1.0,
+                 vt: float = 0.02585, transit_time: float = 0.0,
+                 junction_cap: float = 0.0):
+        super().__init__(name, [anode, cathode])
+        if i_sat <= 0:
+            raise ElaborationError(f"diode {name!r}: i_sat must be positive")
+        self.i_sat = i_sat
+        self.n_vt = emission * vt
+        self.transit_time = transit_time
+        self.junction_cap = junction_cap
+
+    def _current(self, v: float) -> float:
+        return self.i_sat * (limexp(v / self.n_vt) - 1.0)
+
+    def _conductance(self, v: float) -> float:
+        return self.i_sat * dlimexp(v / self.n_vt) / self.n_vt
+
+    def add_static(self, x, t, f):
+        v = self._v(x, 0) - self._v(x, 1)
+        i = self._current(v)
+        self._kcl(f, 0, i)
+        self._kcl(f, 1, -i)
+
+    def add_static_jacobian(self, x, t, jac):
+        v = self._v(x, 0) - self._v(x, 1)
+        g = self._conductance(v)
+        self._jac(jac, 0, 0, g)
+        self._jac(jac, 0, 1, -g)
+        self._jac(jac, 1, 0, -g)
+        self._jac(jac, 1, 1, g)
+
+    def add_charge(self, x, q):
+        v = self._v(x, 0) - self._v(x, 1)
+        charge = self.junction_cap * v + \
+            self.transit_time * self._current(v)
+        if charge:
+            self._kcl(q, 0, charge)
+            self._kcl(q, 1, -charge)
+
+    def add_charge_jacobian(self, x, c):
+        v = self._v(x, 0) - self._v(x, 1)
+        cap = self.junction_cap + self.transit_time * self._conductance(v)
+        if cap:
+            self._jac(c, 0, 0, cap)
+            self._jac(c, 0, 1, -cap)
+            self._jac(c, 1, 0, -cap)
+            self._jac(c, 1, 1, cap)
+
+
+class NMos(NonlinearDevice):
+    """Square-law (level-1) N-channel MOSFET.
+
+    Nodes ``(drain, gate, source)``; bulk tied to source.  The drain
+    current includes channel-length modulation and is symmetrized for
+    reverse operation (drain/source swap when v_ds < 0).
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str,
+                 k_prime: float = 2e-3, vth: float = 0.7,
+                 lam: float = 0.0):
+        super().__init__(name, [drain, gate, source])
+        if k_prime <= 0:
+            raise ElaborationError(f"NMOS {name!r}: k' must be positive")
+        self.k = k_prime
+        self.vth = vth
+        self.lam = lam
+
+    def _ids_and_derivs(self, vgs: float, vds: float):
+        """Returns (ids, gm, gds) for vds >= 0."""
+        vov = vgs - self.vth
+        if vov <= 0.0:
+            return 0.0, 0.0, 0.0
+        clm = 1.0 + self.lam * vds
+        if vds < vov:  # triode
+            ids = self.k * (vov * vds - 0.5 * vds * vds) * clm
+            gm = self.k * vds * clm
+            gds = self.k * (vov - vds) * clm \
+                + self.k * (vov * vds - 0.5 * vds * vds) * self.lam
+        else:  # saturation
+            ids = 0.5 * self.k * vov * vov * clm
+            gm = self.k * vov * clm
+            gds = 0.5 * self.k * vov * vov * self.lam
+        return ids, gm, gds
+
+    def add_static(self, x, t, f):
+        vd, vg, vs = (self._v(x, k) for k in range(3))
+        if vd >= vs:
+            ids, _gm, _gds = self._ids_and_derivs(vg - vs, vd - vs)
+        else:
+            ids_r, _gm, _gds = self._ids_and_derivs(vg - vd, vs - vd)
+            ids = -ids_r
+        self._kcl(f, 0, ids)
+        self._kcl(f, 2, -ids)
+
+    def add_static_jacobian(self, x, t, jac):
+        vd, vg, vs = (self._v(x, k) for k in range(3))
+        if vd >= vs:
+            _ids, gm, gds = self._ids_and_derivs(vg - vs, vd - vs)
+            # ids = f(vgs, vds): d/dvg = gm, d/dvd = gds,
+            # d/dvs = -(gm + gds).
+            self._jac(jac, 0, 1, gm)
+            self._jac(jac, 0, 0, gds)
+            self._jac(jac, 0, 2, -(gm + gds))
+            self._jac(jac, 2, 1, -gm)
+            self._jac(jac, 2, 0, -gds)
+            self._jac(jac, 2, 2, gm + gds)
+        else:
+            # Reverse mode: roles of drain and source swap.
+            _ids, gm, gds = self._ids_and_derivs(vg - vd, vs - vd)
+            self._jac(jac, 0, 1, -gm)
+            self._jac(jac, 0, 2, -gds)
+            self._jac(jac, 0, 0, gm + gds)
+            self._jac(jac, 2, 1, gm)
+            self._jac(jac, 2, 2, gds)
+            self._jac(jac, 2, 0, -(gm + gds))
+
+
+class NonlinearConductor(NonlinearDevice):
+    """Arbitrary two-terminal I-V element: user supplies ``i(v)`` and
+    optionally ``g(v) = di/dv`` (finite differences otherwise)."""
+
+    def __init__(self, name: str, a: str, b: str,
+                 current: Callable[[float], float],
+                 conductance: Optional[Callable[[float], float]] = None):
+        super().__init__(name, [a, b])
+        self.current = current
+        self.conductance = conductance
+
+    def _g(self, v: float) -> float:
+        if self.conductance is not None:
+            return self.conductance(v)
+        eps = 1e-7 * max(1.0, abs(v))
+        return (self.current(v + eps) - self.current(v - eps)) / (2 * eps)
+
+    def add_static(self, x, t, f):
+        v = self._v(x, 0) - self._v(x, 1)
+        i = self.current(v)
+        self._kcl(f, 0, i)
+        self._kcl(f, 1, -i)
+
+    def add_static_jacobian(self, x, t, jac):
+        v = self._v(x, 0) - self._v(x, 1)
+        g = self._g(v)
+        self._jac(jac, 0, 0, g)
+        self._jac(jac, 0, 1, -g)
+        self._jac(jac, 1, 0, -g)
+        self._jac(jac, 1, 1, g)
+
+
+class NonlinearCapacitor(NonlinearDevice):
+    """Arbitrary two-terminal charge element: ``q(v)`` with optional
+    ``c(v) = dq/dv``."""
+
+    def __init__(self, name: str, a: str, b: str,
+                 charge: Callable[[float], float],
+                 capacitance: Optional[Callable[[float], float]] = None):
+        super().__init__(name, [a, b])
+        self.charge = charge
+        self.capacitance = capacitance
+
+    def _c(self, v: float) -> float:
+        if self.capacitance is not None:
+            return self.capacitance(v)
+        eps = 1e-7 * max(1.0, abs(v))
+        return (self.charge(v + eps) - self.charge(v - eps)) / (2 * eps)
+
+    def add_static(self, x, t, f):
+        pass
+
+    def add_static_jacobian(self, x, t, jac):
+        pass
+
+    def add_charge(self, x, q):
+        v = self._v(x, 0) - self._v(x, 1)
+        charge = self.charge(v)
+        self._kcl(q, 0, charge)
+        self._kcl(q, 1, -charge)
+
+    def add_charge_jacobian(self, x, c):
+        v = self._v(x, 0) - self._v(x, 1)
+        cap = self._c(v)
+        self._jac(c, 0, 0, cap)
+        self._jac(c, 0, 1, -cap)
+        self._jac(c, 1, 0, -cap)
+        self._jac(c, 1, 1, cap)

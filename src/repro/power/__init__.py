@@ -1,0 +1,22 @@
+"""`repro.power` — dedicated power-electronics MoC (AnalogSL, Phase 3).
+
+Exact piecewise-linear simulation of switching power stages: per-switch
+-configuration matrix-exponential transitions, periodic-steady-state
+solving, and PWM driver models with DE gate control.
+"""
+
+from .driver import (
+    HIGH,
+    LOW,
+    HalfBridgeDriver,
+    PwmDriverModule,
+    RCLoad,
+    RLLoad,
+    RlcLoad,
+)
+from .pwl import PwlConfig, PwlSolver, run_schedule
+
+__all__ = [
+    "HIGH", "HalfBridgeDriver", "LOW", "PwlConfig", "PwlSolver",
+    "PwmDriverModule", "RCLoad", "RLLoad", "RlcLoad", "run_schedule",
+]

@@ -1,0 +1,173 @@
+"""Power-driver models on top of the PWL solver.
+
+A half-bridge driving an R-L or R-C load under PWM — the AnalogSL
+application family ("power drivers with capacitive or inductive loads",
+seed work [8]).  High-level helpers compute full PWM waveforms, ripple,
+and periodic steady state; a TDF module embeds the driver in the
+mixed-signal world with a DE gate input.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import ElaborationError
+from ..core.module import Module
+from ..core.port import InPort
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfOut
+from .pwl import PwlConfig, PwlSolver, run_schedule
+
+HIGH = "high"
+LOW = "low"
+
+
+class RLLoad:
+    """Series R-L load with optional back-EMF; state = inductor current."""
+
+    def __init__(self, resistance: float, inductance: float,
+                 back_emf: float = 0.0):
+        if resistance <= 0 or inductance <= 0:
+            raise ElaborationError("R and L must be positive")
+        self.resistance = resistance
+        self.inductance = inductance
+        self.back_emf = back_emf
+
+    def configs(self, v_supply: float, r_on: float) -> dict:
+        R, L, e = self.resistance, self.inductance, self.back_emf
+        high = PwlConfig([[-(R + r_on) / L]], [(v_supply - e) / L])
+        low = PwlConfig([[-(R + r_on) / L]], [-e / L])
+        return {HIGH: high, LOW: low}
+
+    state_names = ("i_load",)
+
+
+class RCLoad:
+    """Series R into a capacitor; state = capacitor voltage."""
+
+    def __init__(self, resistance: float, capacitance: float):
+        if resistance <= 0 or capacitance <= 0:
+            raise ElaborationError("R and C must be positive")
+        self.resistance = resistance
+        self.capacitance = capacitance
+
+    def configs(self, v_supply: float, r_on: float) -> dict:
+        tau_inv_on = 1.0 / ((self.resistance + r_on) * self.capacitance)
+        high = PwlConfig([[-tau_inv_on]], [v_supply * tau_inv_on])
+        low = PwlConfig([[-tau_inv_on]], [0.0])
+        return {HIGH: high, LOW: low}
+
+    state_names = ("v_load",)
+
+
+class RlcLoad:
+    """Series R-L into a capacitor (output filter); states = (i_L, v_C)."""
+
+    def __init__(self, resistance: float, inductance: float,
+                 capacitance: float, load_resistance: float = np.inf):
+        if min(resistance, inductance, capacitance) <= 0:
+            raise ElaborationError("R, L and C must be positive")
+        self.resistance = resistance
+        self.inductance = inductance
+        self.capacitance = capacitance
+        self.load_resistance = load_resistance
+
+    def configs(self, v_supply: float, r_on: float) -> dict:
+        R, L, C = self.resistance, self.inductance, self.capacitance
+        g_load = 0.0 if np.isinf(self.load_resistance) \
+            else 1.0 / self.load_resistance
+        A = [[-(R + r_on) / L, -1.0 / L],
+             [1.0 / C, -g_load / C]]
+        high = PwlConfig(A, [v_supply / L, 0.0])
+        low = PwlConfig(A, [0.0, 0.0])
+        return {HIGH: high, LOW: low}
+
+    state_names = ("i_l", "v_c")
+
+
+class HalfBridgeDriver:
+    """PWM half-bridge: supply, switch on-resistance, and a load model."""
+
+    def __init__(self, load, v_supply: float = 12.0, r_on: float = 0.05,
+                 pwm_frequency: float = 20e3, duty: float = 0.5):
+        if not 0.0 < duty < 1.0:
+            raise ElaborationError("duty must lie strictly between 0 and 1")
+        if pwm_frequency <= 0:
+            raise ElaborationError("PWM frequency must be positive")
+        self.load = load
+        self.v_supply = v_supply
+        self.r_on = r_on
+        self.pwm_frequency = pwm_frequency
+        self.duty = duty
+        self.solver = PwlSolver(load.configs(v_supply, r_on))
+
+    def period_schedule(self) -> list[tuple[str, float]]:
+        period = 1.0 / self.pwm_frequency
+        return [(HIGH, self.duty * period),
+                (LOW, (1.0 - self.duty) * period)]
+
+    def simulate(self, n_cycles: int, samples_per_segment: int = 8,
+                 x0: Optional[np.ndarray] = None):
+        """Simulate ``n_cycles`` PWM periods from ``x0`` (default zero).
+
+        Returns ``(times, states)``.
+        """
+        schedule = self.period_schedule() * n_cycles
+        start = np.zeros(self.solver.n) if x0 is None \
+            else np.asarray(x0, dtype=float)
+        return run_schedule(self.solver, schedule, start,
+                            samples_per_segment)
+
+    def steady_state(self) -> np.ndarray:
+        """State at the start of a period in periodic steady state."""
+        return self.solver.steady_state(self.period_schedule())
+
+    def steady_ripple(self, samples_per_segment: int = 32):
+        """Peak-to-peak ripple of each state in steady state."""
+        x0 = self.steady_state()
+        times, states = run_schedule(
+            self.solver, self.period_schedule(), x0, samples_per_segment
+        )
+        return np.ptp(states, axis=0)
+
+    def average_output(self, samples_per_segment: int = 32) -> np.ndarray:
+        """Cycle-average of each state in periodic steady state."""
+        x0 = self.steady_state()
+        times, states = run_schedule(
+            self.solver, self.period_schedule(), x0, samples_per_segment
+        )
+        return np.trapezoid(states, times, axis=0) * self.pwm_frequency
+
+
+class PwmDriverModule(TdfModule):
+    """TDF embedding of a PWL power stage with a DE gate input.
+
+    Each activation advances the exact PWL solver by one module timestep
+    in the configuration selected by the DE gate signal (sampled at the
+    activation); state outputs stream onto TDF ports.
+    """
+
+    def __init__(self, name: str, load, v_supply: float = 12.0,
+                 r_on: float = 0.05,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.solver = PwlSolver(load.configs(v_supply, r_on))
+        self.gate = InPort(f"{name}.gate")
+        self.outputs = [TdfOut(f"out_{n}") for n in load.state_names]
+        for port, state_name in zip(self.outputs, load.state_names):
+            port.module = self
+            setattr(self, f"out_{state_name}", port)
+        self._x = np.zeros(self.solver.n)
+
+    def bind_gate(self, de_signal) -> None:
+        self.gate.bind(de_signal)
+
+    def processing(self):
+        key = HIGH if bool(self.gate.read()) else LOW
+        h = self.timestep.to_seconds()
+        if self._activation_index > 0:
+            self._x = self.solver.advance(self._x, key, h)
+        for k, port in enumerate(self.outputs):
+            port.write(float(self._x[k]))

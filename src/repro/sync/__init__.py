@@ -1,0 +1,24 @@
+"""`repro.sync` — the synchronization layer.
+
+The "dedicated manager" of the paper: couples the DE kernel, TDF
+clusters, and continuous-time solvers.  Fixed-timestep SDF<->CT lockstep
+is provided by the CT-embedding TDF modules; DE interaction covers
+switch control and converter ports; the consistent initial state is a DC
+solve performed before time zero.
+"""
+
+from .crossing import CrossingToDe
+from .ct_modules import (
+    CtTdfModule,
+    ElnTdfModule,
+    LsfTdfModule,
+    NonlinearTdfModule,
+    SolverTdfModule,
+)
+from .holders import InputHolder
+
+__all__ = [
+    "CrossingToDe", "CtTdfModule", "ElnTdfModule", "InputHolder",
+    "LsfTdfModule",
+    "NonlinearTdfModule", "SolverTdfModule",
+]

@@ -1,0 +1,84 @@
+"""Sub-sample CT -> DE event generation.
+
+A comparator sampled at the TDF rate can only report crossings aligned
+to sample boundaries.  :class:`CrossingToDe` interpolates the crossing
+*time* between samples (the localization machinery of
+:mod:`repro.ct.events`) and writes the post-crossing level onto a DE
+signal at that interpolated instant — possible because a TDF cluster
+runs ahead of kernel time within its period, so the crossing lies in
+the kernel's future when it is detected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import SynchronizationError
+from ..core.module import Module
+from ..ct.events import EITHER, FALLING, RISING, linear_crossing
+from ..tdf.module import TdfDeOut, TdfModule
+from ..tdf.signal import TdfIn
+
+
+class CrossingToDe(TdfModule):
+    """Fires DE transitions at interpolated threshold-crossing times.
+
+    Bind a boolean DE signal to ``de_out``.  With ``direction='either'``
+    the signal carries the post-crossing comparator level (True above
+    the threshold); with a filtered direction it *toggles* on every
+    detected crossing so each event stays observable.  Use the signal's
+    edge events for process sensitivity.
+
+    Timing: a crossing is only detectable once the sample after it
+    exists, so DE transitions are pipelined by exactly **one cluster
+    period** — a constant latency that preserves inter-event spacing at
+    sub-sample resolution.  :attr:`crossings` records the interpolated
+    (un-delayed) absolute times in seconds.
+    """
+
+    def __init__(self, name: str, threshold: float = 0.0,
+                 direction: str = EITHER,
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        if direction not in (RISING, FALLING, EITHER):
+            raise SynchronizationError(
+                f"unknown crossing direction {direction!r}"
+            )
+        self.inp = TdfIn("inp")
+        self.de_out = TdfDeOut("de_out")
+        self.threshold = threshold
+        self.direction = direction
+        self.crossings: list[float] = []
+        self._previous: Optional[tuple[float, float]] = None
+        self._toggle = False
+
+    @property
+    def pipeline_latency(self) -> float:
+        """The constant event delay [s] (one cluster period)."""
+        if self._cluster is None or self._cluster.period is None:
+            raise SynchronizationError(
+                f"{self.full_name()!r} not elaborated yet"
+            )
+        return self._cluster.period.to_seconds()
+
+    def processing(self):
+        t_now = self.local_time.to_seconds()
+        value = self.inp.read()
+        if self._previous is not None:
+            t_prev, v_prev = self._previous
+            t_cross = linear_crossing(
+                t_prev, v_prev, t_now, value,
+                self.threshold, self.direction,
+            )
+            if t_cross is not None:
+                self.crossings.append(t_cross)
+                if self.direction == EITHER:
+                    level = v_prev < value
+                else:
+                    self._toggle = not self._toggle
+                    level = self._toggle
+                period_ticks = self._cluster.period.ticks
+                self.de_out.write_at(
+                    round(t_cross / 1e-15) + period_ticks, level
+                )
+        self._previous = (t_now, value)

@@ -1,0 +1,488 @@
+"""TDF modules embedding continuous-time solvers.
+
+These realize the paper's central synchronization scheme: "linear ODE
+systems of equations can be solved using a fixed integration time step
+that can be synchronized with the rate at which samples are handled by
+the SDF model".  Each module owns a continuous-time solver advanced in
+lockstep with its TDF activations:
+
+* :class:`ElnTdfModule` — an electrical network with TDF-driven sources,
+  TDF-sampled node voltages / branch currents, and DE-controlled
+  switches;
+* :class:`LsfTdfModule` — a linear signal-flow model with TDF terminals;
+* :class:`NonlinearTdfModule` — a nonlinear DAE advanced by the adaptive
+  Newton solver between sync points (Phase 2);
+* :class:`SolverTdfModule` — any :class:`~repro.ct.TransientSolver`
+  plug-in (Phase "coupling with existing continuous-time simulators").
+
+The consistent initial state required by the paper is computed before
+time zero: inputs take their initial port values and the solver performs
+a DC solve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ElaborationError, SynchronizationError
+from ..core.module import Module
+from ..core.port import InPort
+from ..ct.linear import LinearDae
+from ..ct.nonlinear import NonlinearSystem
+from ..ct.solver_api import (
+    LinearTransientSolver,
+    NonlinearTransientSolver,
+    TransientSolver,
+)
+from ..eln.components import Switch, Vsource, Isource
+from ..eln.network import Network
+from ..lsf.network import LsfNetwork, LsfSignal
+from ..tdf.module import TdfModule
+from ..tdf.signal import TdfIn, TdfOut
+from .holders import InputHolder
+
+
+class CtTdfModule(TdfModule):
+    """Shared solver-lockstep machinery.
+
+    Subclasses populate ``_inputs`` (port, holder) and ``_outputs``
+    (port, extractor) and implement :meth:`_make_solver`.
+    """
+
+    def __init__(self, name: str, parent: Optional[Module] = None,
+                 interpolate_inputs: bool = True):
+        super().__init__(name, parent)
+        self._inputs: list[tuple[TdfIn, InputHolder]] = []
+        self._outputs: list[tuple[TdfOut, Callable[[np.ndarray], float]]] = []
+        self._solver: Optional[TransientSolver] = None
+        self._interpolate = interpolate_inputs
+        #: activations skipped by the settle-gating optimisation.
+        self.skipped_activations = 0
+        self.gating_enabled = False
+        self.gating_tolerance = 0.0
+        self._last_inputs: Optional[tuple] = None
+        self._last_delta = np.inf
+
+    # -- public wiring ----------------------------------------------------------
+
+    def enable_gating(self, tolerance: float = 1e-12) -> None:
+        """Enable virtual-clock activation gating (Bonnerud [2]):
+
+        when every input sample is unchanged and the state moved less
+        than ``tolerance`` in the previous step, the solver advance is
+        skipped and the previous outputs are re-emitted.
+        """
+        self.gating_enabled = True
+        self.gating_tolerance = tolerance
+
+    # -- TdfModule hooks ------------------------------------------------------------
+
+    def initialize(self) -> None:
+        for port, holder in self._inputs:
+            holder.value = holder._previous = port.initial_value
+        self._solver = self._make_solver()
+        self._solver.initialize(0.0)
+
+    def processing(self) -> None:
+        solver = self._solver
+        if solver is None:
+            raise SynchronizationError(
+                f"{self.full_name()!r} activated before initialization"
+            )
+        t_now = self.local_time.to_seconds()
+        if self._activation_index == 0:
+            # First activation: latch the t=0 input samples, snap the
+            # algebraic unknowns to them (consistent initialization;
+            # differential states keep their quiescent values), and
+            # emit the resulting state.
+            for port, holder in self._inputs:
+                holder.push(port.read(), 0.0, 0.0)
+            self._snap()
+            self._emit(solver.state)
+            return
+        t_prev = solver.time
+        samples = tuple(port.read() for port, _h in self._inputs)
+        for (port, holder), value in zip(self._inputs, samples):
+            holder.push(value, t_prev, t_now)
+        if self._should_skip(samples):
+            self.skipped_activations += 1
+            solver._t = t_now  # time marches on even when gated
+            self._emit(solver.state)
+            return
+        before = np.array(solver.state, copy=True)
+        state = solver.advance_to(t_now)
+        self._last_delta = float(np.max(np.abs(state - before))) \
+            if state.size else 0.0
+        self._last_inputs = samples
+        self._emit(state)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _snap(self) -> None:
+        """Re-solve algebraic unknowns against the current inputs."""
+        snap = getattr(self._solver, "snap_algebraic", None)
+        if snap is not None and self.timestep is not None:
+            snap(self.timestep.to_seconds())
+
+    def _should_skip(self, samples: tuple) -> bool:
+        return (
+            self.gating_enabled
+            and self._last_inputs == samples
+            and self._last_delta <= self.gating_tolerance
+        )
+
+    def _emit(self, state: np.ndarray) -> None:
+        for port, extract in self._outputs:
+            port.write(extract(state))
+
+    def _make_solver(self) -> TransientSolver:
+        raise NotImplementedError
+
+
+class ElnTdfModule(CtTdfModule):
+    """An electrical linear network embedded in the TDF world.
+
+    Build the network first, then declare terminals::
+
+        net = Network()
+        net.add(Vsource("Vin", "in", "0"))   # value supplied by TDF
+        net.add(Resistor("R1", "in", "out", 1e3))
+        net.add(Capacitor("C1", "out", "0", 1e-6))
+        mod = ElnTdfModule("rc", net, parent=top)
+        vin = mod.drive_voltage("Vin")       # returns a TdfIn
+        vout = mod.sample_voltage("out")     # returns a TdfOut
+
+    DE-controlled switches are declared with :meth:`bind_switch`; a
+    toggle re-assembles the network (a new iteration matrix) while the
+    state vector carries over, since the unknown set is unchanged.
+    """
+
+    def __init__(self, name: str, network: Network,
+                 parent: Optional[Module] = None,
+                 method: str = "trapezoidal",
+                 oversample: int = 1,
+                 interpolate_inputs: bool = True):
+        super().__init__(name, parent, interpolate_inputs)
+        self.network = network
+        self.method = method
+        if oversample < 1:
+            raise ElaborationError(
+                f"{name!r}: oversample must be >= 1"
+            )
+        self.oversample = oversample
+        self._driven: dict[str, InputHolder] = {}
+        self._switch_bindings: list[tuple[Switch, InPort]] = []
+        self._switch_states: list[bool] = []
+        self._index = None
+        self.rebuild_count = 0
+
+    # -- terminal declaration ----------------------------------------------------
+
+    def drive_voltage(self, source_name: str,
+                      initial: float = 0.0) -> TdfIn:
+        """Drive the named Vsource from a TDF input port."""
+        return self._drive(source_name, Vsource, initial)
+
+    def drive_current(self, source_name: str,
+                      initial: float = 0.0) -> TdfIn:
+        """Drive the named Isource from a TDF input port."""
+        return self._drive(source_name, Isource, initial)
+
+    def _drive(self, source_name: str, kind, initial: float) -> TdfIn:
+        component = self._find(source_name)
+        if not isinstance(component, kind):
+            raise ElaborationError(
+                f"{source_name!r} is a {type(component).__name__}, "
+                f"expected {kind.__name__}"
+            )
+        holder = InputHolder(initial, self._interpolate)
+        component.waveform = holder
+        port = TdfIn(f"in_{source_name}")
+        port.initial_value = initial
+        port.module = self
+        setattr(self, f"in_{source_name}", port)
+        self._inputs.append((port, holder))
+        self._driven[source_name] = holder
+        return port
+
+    def sample_voltage(self, node: str, reference: str = "0") -> TdfOut:
+        """Sample ``v(node) - v(reference)`` onto a TDF output port."""
+        port = TdfOut(f"v_{node}")
+        port.module = self
+        setattr(self, f"v_{node}", port)
+        # The extractor is finalized once the index exists.
+        self._outputs.append(
+            (port, _DeferredVoltage(self, node, reference))
+        )
+        return port
+
+    def sample_current(self, component_name: str) -> TdfOut:
+        """Sample a branch current onto a TDF output port."""
+        port = TdfOut(f"i_{component_name}")
+        port.module = self
+        setattr(self, f"i_{component_name}", port)
+        self._outputs.append(
+            (port, _DeferredCurrent(self, component_name))
+        )
+        return port
+
+    def bind_switch(self, switch_name: str, de_signal) -> None:
+        """Control the named switch from a DE boolean signal."""
+        component = self._find(switch_name)
+        if not isinstance(component, Switch):
+            raise ElaborationError(
+                f"{switch_name!r} is not a Switch"
+            )
+        port = InPort(f"{self.name}.sw_{switch_name}")
+        port.bind(de_signal)
+        self._switch_bindings.append((component, port))
+
+    def _find(self, name: str):
+        for component in self.network.components:
+            if component.name == name:
+                return component
+        raise ElaborationError(
+            f"no component named {name!r} in network "
+            f"{self.network.name!r}"
+        )
+
+    # -- solver management -------------------------------------------------------------
+
+    def _make_solver(self) -> TransientSolver:
+        self._apply_switches()
+        dae, self._index = self.network.assemble()
+        h_internal = None
+        if self.timestep is not None and self.oversample > 1:
+            h_internal = self.timestep.to_seconds() / self.oversample
+        return LinearTransientSolver(dae, h_internal=h_internal,
+                                     method=self.method)
+
+    def _apply_switches(self) -> bool:
+        changed = False
+        states = []
+        for switch, port in self._switch_bindings:
+            value = bool(port.read())
+            if value != switch.closed:
+                switch.closed = value
+                changed = True
+            states.append(value)
+        self._switch_states = states
+        return changed
+
+    def processing(self) -> None:
+        if self._switch_bindings and self._apply_switches():
+            # Topology-preserving rebuild: carry the state vector over.
+            old_state = np.array(self._solver.state, copy=True)
+            old_time = self._solver.time
+            self._solver = self._make_solver()
+            self._solver.initialize(old_time, x0=old_state)
+            # The new topology changes the algebraic solution: snap it
+            # while the differential states carry over continuously.
+            self._snap()
+            self.rebuild_count += 1
+        super().processing()
+
+    @property
+    def index(self):
+        if self._index is None:
+            raise SynchronizationError(
+                f"{self.full_name()!r}: network index not built yet"
+            )
+        return self._index
+
+
+class _DeferredVoltage:
+    """Output extractor resolving its MNA index lazily."""
+
+    def __init__(self, module: ElnTdfModule, node: str, reference: str):
+        self.module = module
+        self.node = node
+        self.reference = reference
+
+    def __call__(self, state: np.ndarray) -> float:
+        index = self.module.index
+        value = index.voltage(state, self.node)
+        if self.reference != "0":
+            value -= index.voltage(state, self.reference)
+        return value
+
+
+class _DeferredCurrent:
+    def __init__(self, module: ElnTdfModule, component: str):
+        self.module = module
+        self.component = component
+
+    def __call__(self, state: np.ndarray) -> float:
+        return self.module.index.current(state, self.component)
+
+
+class LsfTdfModule(CtTdfModule):
+    """A linear signal-flow model embedded in the TDF world.
+
+    Declared LSF input signals are overridden by TDF samples; declared
+    LSF output signals are sampled onto TDF ports.
+    """
+
+    def __init__(self, name: str, network: LsfNetwork,
+                 parent: Optional[Module] = None,
+                 method: str = "trapezoidal",
+                 oversample: int = 1,
+                 interpolate_inputs: bool = True):
+        super().__init__(name, parent, interpolate_inputs)
+        self.network = network
+        self.method = method
+        self.oversample = max(1, oversample)
+        self._lsf_inputs: list[tuple[LsfSignal, InputHolder]] = []
+        self._lsf_index = None
+
+    def drive(self, signal: LsfSignal, initial: float = 0.0) -> TdfIn:
+        """Drive an LSF signal from a TDF input port.
+
+        The signal must be driven by an :class:`LsfSource` block whose
+        waveform will be replaced by the TDF sample stream.
+        """
+        from ..lsf.blocks import LsfSource
+
+        if not isinstance(signal.driver, LsfSource):
+            raise ElaborationError(
+                f"LSF signal {signal.name!r} must be driven by an "
+                "LsfSource to accept TDF samples"
+            )
+        holder = InputHolder(initial, self._interpolate)
+        signal.driver.waveform = holder
+        port = TdfIn(f"in_{signal.name}")
+        port.initial_value = initial
+        port.module = self
+        setattr(self, f"in_{signal.name}", port)
+        self._inputs.append((port, holder))
+        self._lsf_inputs.append((signal, holder))
+        return port
+
+    def sample(self, signal: LsfSignal) -> TdfOut:
+        """Sample an LSF signal onto a TDF output port."""
+        port = TdfOut(f"out_{signal.name}")
+        port.module = self
+        setattr(self, f"out_{signal.name}", port)
+        self._outputs.append((port, _DeferredLsfSignal(self, signal)))
+        return port
+
+    def _make_solver(self) -> TransientSolver:
+        dae, self._lsf_index = self.network.assemble()
+        x0 = self._lsf_index.initial_state()
+        h_internal = None
+        if self.timestep is not None and self.oversample > 1:
+            h_internal = self.timestep.to_seconds() / self.oversample
+        solver = LinearTransientSolver(dae, h_internal=h_internal,
+                                       method=self.method)
+        solver.initialize(0.0, x0=x0)
+        # Re-initialization in CtTdfModule.initialize would discard x0;
+        # wrap initialize to preserve the consistent initial state.
+        solver.initialize = lambda t0=0.0, x0=x0: _reinit(solver, t0, x0)
+        return solver
+
+    @property
+    def lsf_index(self):
+        if self._lsf_index is None:
+            raise SynchronizationError(
+                f"{self.full_name()!r}: LSF index not built yet"
+            )
+        return self._lsf_index
+
+
+def _reinit(solver: LinearTransientSolver, t0: float, x0):
+    solver._t = t0
+    solver._x = np.asarray(x0, dtype=float)
+    return solver._x
+
+
+class _DeferredLsfSignal:
+    def __init__(self, module: LsfTdfModule, signal: LsfSignal):
+        self.module = module
+        self.signal = signal
+
+    def __call__(self, state: np.ndarray) -> float:
+        return float(state[self.module.lsf_index.signal_index(self.signal)])
+
+
+class NonlinearTdfModule(CtTdfModule):
+    """A nonlinear DAE embedded in the TDF world (Phase 2).
+
+    The system's source terms read :class:`InputHolder` objects created
+    by :meth:`add_input`; outputs are arbitrary state extractors.  The
+    adaptive solver takes variable internal steps between activations
+    (lockstep synchronization, no backtracking across the boundary).
+    """
+
+    def __init__(self, name: str, system: NonlinearSystem,
+                 parent: Optional[Module] = None,
+                 abstol: float = 1e-8, reltol: float = 1e-5,
+                 interpolate_inputs: bool = True):
+        super().__init__(name, parent, interpolate_inputs)
+        self.system = system
+        self.abstol = abstol
+        self.reltol = reltol
+
+    def add_input(self, name: str, initial: float = 0.0) -> InputHolder:
+        """Create an input: returns the holder for the system to read;
+        the TDF port is available as ``self.in_<name>``."""
+        holder = InputHolder(initial, self._interpolate)
+        port = TdfIn(f"in_{name}")
+        port.initial_value = initial
+        port.module = self
+        setattr(self, f"in_{name}", port)
+        self._inputs.append((port, holder))
+        return holder
+
+    def add_output(self, name: str,
+                   extract: Callable[[np.ndarray], float]) -> TdfOut:
+        port = TdfOut(f"out_{name}")
+        port.module = self
+        setattr(self, f"out_{name}", port)
+        self._outputs.append((port, extract))
+        return port
+
+    def _make_solver(self) -> TransientSolver:
+        return NonlinearTransientSolver(
+            self.system, abstol=self.abstol, reltol=self.reltol,
+        )
+
+    @property
+    def internal_steps(self) -> int:
+        return self._solver.step_count if self._solver else 0
+
+
+class SolverTdfModule(CtTdfModule):
+    """Embed *any* :class:`~repro.ct.TransientSolver` (the plug-in API).
+
+    Inputs are holders the external solver's model reads; outputs are
+    state extractors.  This demonstrates the paper's open architecture:
+    the synchronization layer is solver-agnostic.
+    """
+
+    def __init__(self, name: str, solver: TransientSolver,
+                 parent: Optional[Module] = None,
+                 interpolate_inputs: bool = True):
+        super().__init__(name, parent, interpolate_inputs)
+        self._external_solver = solver
+
+    def add_input(self, name: str, initial: float = 0.0) -> InputHolder:
+        holder = InputHolder(initial, self._interpolate)
+        port = TdfIn(f"in_{name}")
+        port.initial_value = initial
+        port.module = self
+        setattr(self, f"in_{name}", port)
+        self._inputs.append((port, holder))
+        return holder
+
+    def add_output(self, name: str,
+                   extract: Callable[[np.ndarray], float]) -> TdfOut:
+        port = TdfOut(f"out_{name}")
+        port.module = self
+        setattr(self, f"out_{name}", port)
+        self._outputs.append((port, extract))
+        return port
+
+    def _make_solver(self) -> TransientSolver:
+        return self._external_solver

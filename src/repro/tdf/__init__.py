@@ -1,0 +1,19 @@
+"""`repro.tdf` — the timed dataflow model of computation.
+
+TDF modules execute under static dataflow semantics bound to physical
+time: clusters of connected modules are scheduled statically, activated
+at fixed timesteps, and synchronized with the DE kernel through
+converter ports.  This is the paper's Phase 1 synchronization mechanism
+("synchronisation between discrete event and continuous time MoCs using
+static dataflow semantics").
+"""
+
+from .cluster import TdfCluster, TdfRegistry
+from .sdf_adapter import SdfGraphModule, SdfInputActor, SdfOutputActor
+from .module import TdfDeIn, TdfDeOut, TdfModule
+from .signal import TdfIn, TdfOut, TdfSignal
+
+__all__ = [
+    "SdfGraphModule", "SdfInputActor", "SdfOutputActor", "TdfCluster", "TdfDeIn", "TdfDeOut", "TdfIn", "TdfModule", "TdfOut",
+    "TdfRegistry", "TdfSignal",
+]

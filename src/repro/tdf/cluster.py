@@ -1,0 +1,321 @@
+"""TDF cluster discovery, rate analysis, timestep propagation, static
+scheduling, and runtime execution.
+
+A *cluster* is a maximal set of TDF modules connected through TDF
+signals.  Elaboration performs, in order:
+
+1. **Rate analysis** — the SDF balance equations over port rates yield
+   each module's repetition count per cluster period.
+2. **Timestep propagation** — user-requested module/port timesteps are
+   converted into cluster-period constraints (``period = repetitions *
+   module_timestep``; ``module_timestep = rate * port_timestep``); all
+   constraints must agree, and every derived timestep must be an integer
+   number of time ticks.
+3. **Static scheduling** — a PASS is constructed by symbolic execution
+   honouring port delays as initial tokens; failure means deadlock.
+4. **Consistent initialization** — signals are primed with delay
+   samples and every module's ``initialize`` hook runs before time 0.
+
+At runtime each cluster is one kernel thread waking once per cluster
+period: it samples the DE converter inputs, executes a full schedule
+iteration (modules may run *ahead* of kernel time within the period),
+flushes converter outputs (replayed at exact sample times), and sleeps.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Optional
+
+from ..core.errors import ElaborationError, SchedulingError
+from ..core.process import THREAD, Process
+from ..core.time import SimTime
+from .module import TdfDeIn, TdfDeOut, TdfModule
+from .signal import TdfIn, TdfOut
+
+
+class TdfRegistry:
+    """Collects TDF modules during elaboration; builds clusters at the end."""
+
+    def __init__(self):
+        self.modules: list[TdfModule] = []
+        self.clusters: list[TdfCluster] = []
+
+    def add_module(self, module: TdfModule) -> None:
+        self.modules.append(module)
+
+    def finalize(self, simulator) -> None:
+        for module in self.modules:
+            module.set_attributes()
+        clusters = _discover_clusters(self.modules)
+        for k, members in enumerate(clusters):
+            cluster = TdfCluster(f"cluster{k}", members)
+            cluster.elaborate()
+            cluster.install(simulator.kernel)
+            self.clusters.append(cluster)
+
+
+def _discover_clusters(modules: list[TdfModule]) -> list[list[TdfModule]]:
+    """Union-find over modules sharing TDF signals."""
+    parent: dict[int, int] = {id(m): id(m) for m in modules}
+    by_id = {id(m): m for m in modules}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    signals = {}
+    for module in modules:
+        for port in module.tdf_ports():
+            if port.signal is not None:
+                signals.setdefault(id(port.signal), []).append(module)
+    for members in signals.values():
+        for other in members[1:]:
+            union(id(members[0]), id(other))
+    groups: dict[int, list[TdfModule]] = {}
+    for module in modules:
+        groups.setdefault(find(id(module)), []).append(module)
+    return list(groups.values())
+
+
+class TdfCluster:
+    """One synchronized group of TDF modules."""
+
+    def __init__(self, name: str, modules: list[TdfModule]):
+        self.name = name
+        self.modules = modules
+        self.period: Optional[SimTime] = None
+        self.repetitions: dict[int, int] = {}
+        self.schedule: list[TdfModule] = []
+        self.epoch_ticks = 0
+        self.period_count = 0
+        self._signals: list = []
+        self._de_inputs: list[TdfDeIn] = []
+        self._de_outputs: list[TdfDeOut] = []
+
+    # -- elaboration ------------------------------------------------------------
+
+    def elaborate(self) -> None:
+        self._collect_endpoints()
+        self._check_bindings()
+        self._solve_rates()
+        self._propagate_timesteps()
+        self._build_schedule()
+        for signal in self._signals:
+            signal.prime()
+        for module in self.modules:
+            module._cluster = self
+        for module in self.modules:
+            module.initialize()
+
+    def _collect_endpoints(self) -> None:
+        seen: set[int] = set()
+        for module in self.modules:
+            for port in module.tdf_ports():
+                if port.signal is not None and id(port.signal) not in seen:
+                    seen.add(id(port.signal))
+                    self._signals.append(port.signal)
+            for converter in module.converter_ports():
+                if isinstance(converter, TdfDeIn):
+                    self._de_inputs.append(converter)
+                else:
+                    self._de_outputs.append(converter)
+
+    def _check_bindings(self) -> None:
+        for module in self.modules:
+            for port in module.tdf_ports():
+                port._check_bound()
+        for signal in self._signals:
+            if signal.writer is None:
+                raise ElaborationError(
+                    f"TDF signal {signal.name!r} has no writer"
+                )
+
+    def _edges(self):
+        """(writer_module, w_rate, reader_module, r_rate, initial_tokens)."""
+        for signal in self._signals:
+            writer = signal.writer
+            for reader in signal.readers:
+                yield (writer.module, writer.rate, reader.module,
+                       reader.rate, writer.delay + reader.delay,
+                       writer, reader)
+
+    def _solve_rates(self) -> None:
+        ratio: dict[int, Optional[Fraction]] = {
+            id(m): None for m in self.modules
+        }
+        adjacency: dict[int, list[tuple[int, Fraction]]] = {
+            id(m): [] for m in self.modules
+        }
+        for w_mod, w_rate, r_mod, r_rate, _d, _wp, _rp in self._edges():
+            factor = Fraction(w_rate, r_rate)
+            adjacency[id(w_mod)].append((id(r_mod), factor))
+            adjacency[id(r_mod)].append((id(w_mod), 1 / factor))
+        names = {id(m): m.full_name() for m in self.modules}
+        for module in self.modules:
+            if ratio[id(module)] is not None:
+                continue
+            ratio[id(module)] = Fraction(1)
+            stack = [id(module)]
+            while stack:
+                node = stack.pop()
+                for neighbor, factor in adjacency[node]:
+                    implied = ratio[node] * factor
+                    if ratio[neighbor] is None:
+                        ratio[neighbor] = implied
+                        stack.append(neighbor)
+                    elif ratio[neighbor] != implied:
+                        raise SchedulingError(
+                            f"TDF cluster {self.name!r} is "
+                            f"rate-inconsistent at {names[neighbor]!r}"
+                        )
+        lcm = 1
+        for value in ratio.values():
+            lcm = lcm * value.denominator // gcd(lcm, value.denominator)
+        counts = {key: int(r * lcm) for key, r in ratio.items()}
+        overall = 0
+        for count in counts.values():
+            overall = gcd(overall, count)
+        self.repetitions = {key: c // overall for key, c in counts.items()}
+
+    def _propagate_timesteps(self) -> None:
+        period_ticks: Optional[int] = None
+        origin = ""
+        for module in self.modules:
+            constraints: list[tuple[int, str]] = []
+            if module.requested_timestep is not None:
+                constraints.append((
+                    module.requested_timestep.ticks,
+                    module.full_name(),
+                ))
+            for port in module.tdf_ports():
+                if port.requested_timestep is not None:
+                    constraints.append((
+                        port.requested_timestep.ticks * port.rate,
+                        port.full_name(),
+                    ))
+            for module_ticks, name in constraints:
+                candidate = module_ticks * self.repetitions[id(module)]
+                if period_ticks is None:
+                    period_ticks, origin = candidate, name
+                elif period_ticks != candidate:
+                    raise ElaborationError(
+                        f"inconsistent timesteps in cluster {self.name!r}: "
+                        f"{origin!r} implies period "
+                        f"{SimTime.from_ticks(period_ticks)}, {name!r} "
+                        f"implies {SimTime.from_ticks(candidate)}"
+                    )
+        if period_ticks is None:
+            raise ElaborationError(
+                f"no timestep assigned anywhere in TDF cluster "
+                f"{self.name!r}; call set_timestep() on at least one "
+                "module or port"
+            )
+        self.period = SimTime.from_ticks(period_ticks)
+        for module in self.modules:
+            reps = self.repetitions[id(module)]
+            if period_ticks % reps:
+                raise ElaborationError(
+                    f"cluster period {self.period} is not divisible by "
+                    f"{module.full_name()!r}'s {reps} activations"
+                )
+            module.timestep = SimTime.from_ticks(period_ticks // reps)
+            for port in module.tdf_ports():
+                if module.timestep.ticks % port.rate:
+                    raise ElaborationError(
+                        f"module timestep {module.timestep} of "
+                        f"{module.full_name()!r} is not divisible by "
+                        f"port rate {port.rate}"
+                    )
+                port.timestep = SimTime.from_ticks(
+                    module.timestep.ticks // port.rate
+                )
+
+    def _build_schedule(self) -> None:
+        edges = list(self._edges())
+        tokens = {
+            (id(wp), id(rp)): d for _w, _wr, _r, _rr, d, wp, rp in edges
+        }
+        remaining = {
+            id(m): self.repetitions[id(m)] for m in self.modules
+        }
+        inputs_of = {id(m): [] for m in self.modules}
+        outputs_of = {id(m): [] for m in self.modules}
+        for w_mod, w_rate, r_mod, r_rate, _d, wp, rp in edges:
+            key = (id(wp), id(rp))
+            inputs_of[id(r_mod)].append((key, r_rate))
+            outputs_of[id(w_mod)].append((key, w_rate))
+        order: list[TdfModule] = []
+        progress = True
+        while progress and any(remaining.values()):
+            progress = False
+            for module in self.modules:
+                while remaining[id(module)] > 0 and all(
+                    tokens[key] >= need
+                    for key, need in inputs_of[id(module)]
+                ):
+                    for key, need in inputs_of[id(module)]:
+                        tokens[key] -= need
+                    for key, produced in outputs_of[id(module)]:
+                        tokens[key] += produced
+                    remaining[id(module)] -= 1
+                    order.append(module)
+                    progress = True
+        if any(remaining.values()):
+            stuck = [m.full_name() for m in self.modules
+                     if remaining[id(m)] > 0]
+            raise SchedulingError(
+                f"TDF cluster {self.name!r} deadlocks (insufficient "
+                f"delays on a feedback loop); stuck modules: {stuck}"
+            )
+        self.schedule = order
+
+    # -- runtime ----------------------------------------------------------------
+
+    def install(self, kernel) -> None:
+        """Register the cluster driver thread and converter writers."""
+        for converter in self._de_outputs:
+            converter.make_writer_thread(kernel)
+        process = Process(
+            f"tdf.{self.name}.driver", THREAD, self._drive,
+        )
+        kernel.register_process(process)
+
+    def _drive(self):
+        assert self.period is not None
+        while True:
+            self.execute_period()
+            yield self.period
+
+    def execute_period(self) -> None:
+        """Run exactly one cluster period (one full static schedule)."""
+        for converter in self._de_inputs:
+            converter.sample()
+        base = self.period_count * self.period.ticks
+        self.epoch_ticks = 0  # local time is measured from t=0
+        for module in self.schedule:
+            module._activate()
+        for converter in self._de_outputs:
+            converter.flush(base)
+        self.period_count += 1
+        # Amortized housekeeping: dropping consumed samples every period
+        # would dominate the per-sample cost; every 64 periods keeps the
+        # buffers bounded at negligible overhead.
+        if self.period_count % 64 == 0:
+            self._compact()
+
+    def _compact(self) -> None:
+        for signal in self._signals:
+            if signal.readers:
+                needed = min(r.next_needed() for r in signal.readers)
+                signal.compact(needed)
+            else:
+                signal.compact(signal.write_head)

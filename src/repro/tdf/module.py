@@ -1,0 +1,217 @@
+"""TDF modules and DE converter ports.
+
+A :class:`TdfModule` encapsulates behaviour executed at a fixed timestep
+under static dataflow semantics — the paper's "continuous behaviour
+encapsulated in static dataflow modules".  Subclasses override:
+
+* :meth:`set_attributes` — declare rates, delays, and timesteps;
+* :meth:`initialize` — runs once after cluster elaboration, before t=0;
+* :meth:`processing` — runs once per activation.
+
+Converter ports bridge the DE kernel:
+
+* :class:`TdfDeIn` samples a DE signal at cluster-period boundaries;
+* :class:`TdfDeOut` writes TDF samples onto a DE signal at the correct
+  simulation times.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.errors import ElaborationError, SynchronizationError
+from ..core.events import Event
+from ..core.module import Module
+from ..core.port import InPort, OutPort
+from ..core.time import SimTime, ZERO_TIME
+from .signal import TdfIn, TdfOut, TdfPortBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cluster import TdfCluster
+
+
+class TdfModule(Module):
+    """Base class for timed-dataflow modules."""
+
+    def __init__(self, name: str, parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self._activation_index = 0
+        self._cluster: Optional["TdfCluster"] = None
+        #: module timestep, assigned by timestep propagation.
+        self.timestep: Optional[SimTime] = None
+        self.requested_timestep: Optional[SimTime] = None
+        self.activation_count = 0
+
+    # -- user API -----------------------------------------------------------------
+
+    def set_attributes(self) -> None:
+        """Override to declare rates, delays, and timesteps."""
+
+    def initialize(self) -> None:
+        """Override for pre-simulation setup (timesteps are known here)."""
+
+    def processing(self) -> None:
+        """Override: the per-activation behaviour."""
+        raise NotImplementedError
+
+    def set_timestep(self, timestep: SimTime) -> None:
+        """Request this module's activation period."""
+        self.requested_timestep = timestep
+
+    @property
+    def local_time(self) -> SimTime:
+        """Time of the current activation (may run ahead of kernel time)."""
+        if self._cluster is None or self.timestep is None:
+            return ZERO_TIME
+        return SimTime.from_ticks(
+            self._cluster.epoch_ticks
+            + self.activation_count * self.timestep.ticks
+        )
+
+    # -- framework plumbing -----------------------------------------------------------
+
+    def tdf_ports(self) -> list[TdfPortBase]:
+        return [v for v in vars(self).values()
+                if isinstance(v, TdfPortBase)]
+
+    def converter_ports(self) -> list:
+        return [v for v in vars(self).values()
+                if isinstance(v, (TdfDeIn, TdfDeOut))]
+
+    def ams_elaborate(self, simulator) -> None:
+        from .cluster import TdfRegistry
+
+        registry = getattr(simulator, "_tdf_registry", None)
+        if registry is None:
+            registry = TdfRegistry()
+            simulator._tdf_registry = registry
+            simulator.add_elaboration_finalizer(registry.finalize)
+        registry.add_module(self)
+        for port in self.tdf_ports():
+            port.module = self
+        for port in self.converter_ports():
+            port.module = self
+
+    def _activate(self) -> None:
+        self.processing()
+        self._activation_index += 1
+        self.activation_count += 1
+
+
+class TdfDeIn:
+    """Converter port: reads a DE signal into the TDF world.
+
+    The value is sampled when the owning cluster wakes (once per cluster
+    period); all activations within that period observe the sample — the
+    fixed-timestep SDF<->DE synchronization of the paper's Phase 1.
+    """
+
+    def __init__(self, name: str, initial_value=0.0):
+        self.name = name
+        self.module: Optional[TdfModule] = None
+        self.port: InPort = InPort(f"{name}.de")
+        self._sampled = initial_value
+
+    def bind(self, signal) -> None:
+        self.port.bind(signal)
+
+    __call__ = bind
+
+    def sample(self) -> None:
+        """Latch the DE value (called by the cluster at period start)."""
+        self._sampled = self.port.read()
+
+    def read(self):
+        return self._sampled
+
+    def full_name(self) -> str:
+        owner = self.module.full_name() if self.module else "?"
+        return f"{owner}.{self.name}"
+
+
+class TdfDeOut:
+    """Converter port: writes TDF samples onto a DE signal.
+
+    Samples written during a cluster period are replayed onto the DE
+    signal at their sample times by a dedicated writer thread.
+    """
+
+    def __init__(self, name: str, rate: int = 1):
+        self.name = name
+        self.module: Optional[TdfModule] = None
+        self.port: OutPort = OutPort(f"{name}.de")
+        self.rate = rate
+        #: per-period queue of (offset_ticks, value), filled by write().
+        self._queue: list[tuple[int, object]] = []
+        self._ready = Event(f"{name}.samples_ready")
+
+    def bind(self, signal) -> None:
+        self.port.bind(signal)
+
+    __call__ = bind
+
+    def write(self, value, sample: int = 0) -> None:
+        if self.module is None or self.module.timestep is None:
+            raise SynchronizationError(
+                f"converter port {self.full_name()!r} used before "
+                "cluster elaboration"
+            )
+        if not 0 <= sample < self.rate:
+            raise SynchronizationError(
+                f"sample index {sample} out of range for rate {self.rate} "
+                f"converter {self.full_name()!r}"
+            )
+        step = self.module.timestep.ticks // self.rate
+        offset = (self.module._activation_index * self.module.timestep.ticks
+                  + sample * step)
+        self._queue.append((offset, value))
+
+    def write_at(self, local_ticks: int, value) -> None:
+        """Queue a value at an explicit cluster-local time (in ticks).
+
+        Used for sub-sample event timing (e.g. interpolated threshold
+        crossings): the time need not align with any sample instant,
+        only lie within the current cluster period.
+        """
+        self._queue.append((int(local_ticks), value))
+
+    def full_name(self) -> str:
+        owner = self.module.full_name() if self.module else "?"
+        return f"{owner}.{self.name}"
+
+    # -- cluster plumbing ---------------------------------------------------------
+
+    def make_writer_thread(self, kernel) -> None:
+        """Install the DE process replaying queued samples each period."""
+        from ..core.process import THREAD, Process
+
+        def writer():
+            while True:
+                yield self._ready
+                batch, self._queue = self._queue, []
+                batch.sort(key=lambda item: item[0])
+                elapsed = 0
+                for offset, value in batch:
+                    if offset > elapsed:
+                        yield SimTime.from_ticks(offset - elapsed)
+                        elapsed = offset
+                    self.port.write(value)
+
+        # The thread must initialize (run once) so it parks on the
+        # ready event before the first cluster period flushes samples.
+        process = Process(f"{self.full_name()}.writer", THREAD, writer)
+        kernel.register_process(process)
+
+    def flush(self, period_base_ticks: int) -> None:
+        """Signal the writer thread that a period's samples are queued.
+
+        ``period_base_ticks`` is the cluster-local time of the period
+        start; queued absolute offsets are rebased so the writer thread
+        replays them relative to the current kernel time.
+        """
+        if self._queue:
+            self._queue = [
+                (offset - period_base_ticks, value)
+                for offset, value in self._queue
+            ]
+            self._ready.notify()

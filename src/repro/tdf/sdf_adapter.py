@@ -1,0 +1,110 @@
+"""Bridging untimed SDF graphs into the timed dataflow world.
+
+The paper's MoC taxonomy includes untimed functional models that
+"interact in a timeless way through causality rules".  An
+:class:`SdfGraphModule` embeds a whole :class:`~repro.sdf.SdfGraph`
+inside one TDF module: per activation it feeds the graph's designated
+input actors, runs exactly one schedule period, and emits the designated
+outputs — giving the untimed graph a time base without touching its
+internal causality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.errors import ElaborationError
+from ..core.module import Module
+from ..sdf.graph import Actor, SdfGraph
+from .module import TdfModule
+from .signal import TdfIn, TdfOut
+
+
+class SdfInputActor(Actor):
+    """Graph-side entry point: emits samples handed over by the TDF
+    wrapper (``rate`` tokens per graph iteration)."""
+
+    def __init__(self, name: str, rate: int = 1):
+        super().__init__(name, output_rates={"out": rate})
+        self.pending: list = []
+
+    def fire(self, inputs):
+        rate = self.output_rates["out"]
+        if len(self.pending) < rate:
+            raise ElaborationError(
+                f"SDF input {self.name!r} underflow: wrapper supplied "
+                f"{len(self.pending)} tokens, needs {rate}"
+            )
+        head, self.pending = self.pending[:rate], self.pending[rate:]
+        return {"out": head}
+
+
+class SdfOutputActor(Actor):
+    """Graph-side exit point: collects tokens for the TDF wrapper."""
+
+    def __init__(self, name: str, rate: int = 1):
+        super().__init__(name, input_rates={"in": rate})
+        self.collected: list = []
+
+    def fire(self, inputs):
+        self.collected.extend(inputs["in"])
+        return {}
+
+
+class SdfGraphModule(TdfModule):
+    """Executes one SDF schedule period per TDF activation.
+
+    ``inputs`` / ``outputs`` are the :class:`SdfInputActor` /
+    :class:`SdfOutputActor` boundary actors already connected inside the
+    graph.  The wrapper creates one TDF port per boundary actor, with
+    the port rate equal to the actor's token rate times that actor's
+    repetition count (tokens moved per period).
+    """
+
+    def __init__(self, name: str, graph: SdfGraph,
+                 inputs: Sequence[SdfInputActor] = (),
+                 outputs: Sequence[SdfOutputActor] = (),
+                 parent: Optional[Module] = None):
+        super().__init__(name, parent)
+        self.graph = graph
+        repetitions = graph.repetition_vector()
+        graph.schedule()
+        self._inputs: list[tuple[TdfIn, SdfInputActor]] = []
+        self._outputs: list[tuple[TdfOut, SdfOutputActor]] = []
+        for actor in inputs:
+            if not isinstance(actor, SdfInputActor):
+                raise ElaborationError(
+                    f"{actor.name!r} is not an SdfInputActor"
+                )
+            tokens = actor.output_rates["out"] * repetitions[actor]
+            port = TdfIn(f"in_{actor.name}", rate=tokens)
+            port.module = self
+            setattr(self, f"in_{actor.name}", port)
+            self._inputs.append((port, actor))
+        for actor in outputs:
+            if not isinstance(actor, SdfOutputActor):
+                raise ElaborationError(
+                    f"{actor.name!r} is not an SdfOutputActor"
+                )
+            tokens = actor.input_rates["in"] * repetitions[actor]
+            port = TdfOut(f"out_{actor.name}", rate=tokens)
+            port.module = self
+            setattr(self, f"out_{actor.name}", port)
+            self._outputs.append((port, actor))
+
+    def processing(self):
+        for port, actor in self._inputs:
+            actor.pending.extend(
+                port.read(k) for k in range(port.rate)
+            )
+        self.graph.run(1)
+        for port, actor in self._outputs:
+            if len(actor.collected) < port.rate:
+                raise ElaborationError(
+                    f"SDF output {actor.name!r} produced "
+                    f"{len(actor.collected)} tokens, port needs "
+                    f"{port.rate}"
+                )
+            for k in range(port.rate):
+                port.write(actor.collected[k], k)
+            del actor.collected[: port.rate]

@@ -1,0 +1,214 @@
+"""TDF signals and ports.
+
+A TDF signal is a single-writer, multi-reader sample stream.  Ports
+declare a *rate* (samples per module activation) and a *delay* (initial
+samples), following the SystemC-AMS TDF conventions:
+
+* an **out-port delay** of ``d`` makes the writer's samples appear ``d``
+  sample slots late, the first ``d`` slots holding the port's initial
+  value — this is what breaks feedback loops;
+* an **in-port delay** of ``d`` makes the reader lag ``d`` samples behind
+  the stream, reading its own initial value for the first ``d`` samples.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.errors import ElaborationError, SynchronizationError
+from ..core.time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .module import TdfModule
+
+
+class TdfSignal:
+    """Sample buffer connecting one TdfOut to any number of TdfIn ports."""
+
+    def __init__(self, name: str = "tdf_signal"):
+        self.name = name
+        self.writer: Optional["TdfOut"] = None
+        self.readers: list["TdfIn"] = []
+        self._samples: list = []
+        self._offset = 0  # absolute index of _samples[0]
+
+    # -- elaboration -----------------------------------------------------------
+
+    def _attach_writer(self, port: "TdfOut") -> None:
+        if self.writer is not None:
+            raise ElaborationError(
+                f"TDF signal {self.name!r} already has writer "
+                f"{self.writer.full_name()!r}"
+            )
+        self.writer = port
+
+    def _attach_reader(self, port: "TdfIn") -> None:
+        self.readers.append(port)
+
+    def prime(self) -> None:
+        """Install the writer's delay samples (initial tokens)."""
+        self._samples = []
+        self._offset = 0
+        if self.writer is not None and self.writer.delay:
+            initial = self.writer.initial_value
+            self._samples = [initial] * self.writer.delay
+
+    # -- runtime -----------------------------------------------------------------
+
+    def set(self, index: int, value) -> None:
+        slot = index - self._offset
+        if slot == len(self._samples):
+            self._samples.append(value)
+        elif 0 <= slot < len(self._samples):
+            self._samples[slot] = value
+        elif slot > len(self._samples):
+            self._samples.extend(
+                [0.0] * (slot - len(self._samples)) + [value]
+            )
+        else:
+            raise SynchronizationError(
+                f"write to already-compacted sample {index} of "
+                f"{self.name!r}"
+            )
+
+    def get(self, index: int):
+        slot = index - self._offset
+        if slot < 0 or slot >= len(self._samples):
+            raise SynchronizationError(
+                f"read of unavailable sample {index} of {self.name!r} "
+                f"(have [{self._offset}, "
+                f"{self._offset + len(self._samples)}))"
+            )
+        return self._samples[slot]
+
+    @property
+    def write_head(self) -> int:
+        """Absolute index one past the newest sample."""
+        return self._offset + len(self._samples)
+
+    def compact(self, min_needed: int) -> None:
+        """Drop samples below ``min_needed`` (end-of-period housekeeping)."""
+        drop = min_needed - self._offset
+        if drop > 0:
+            del self._samples[:drop]
+            self._offset = min_needed
+
+
+class TdfPortBase:
+    """Shared machinery of TDF in/out ports."""
+
+    direction = "tdf"
+
+    def __init__(self, name: str, rate: int = 1, delay: int = 0,
+                 initial_value=0.0):
+        self.name = name
+        self.module: Optional["TdfModule"] = None
+        self.signal: Optional[TdfSignal] = None
+        self._rate = rate
+        self._delay = delay
+        self.initial_value = initial_value
+        #: sample period of this port, set during cluster elaboration.
+        self.timestep: Optional[SimTime] = None
+        #: requested port timestep (a cluster-period constraint).
+        self.requested_timestep: Optional[SimTime] = None
+
+    # -- attribute setters (legal inside set_attributes) ------------------------
+
+    @property
+    def rate(self) -> int:
+        return self._rate
+
+    def set_rate(self, rate: int) -> None:
+        if rate < 1:
+            raise ElaborationError(
+                f"port {self.full_name()!r}: rate must be >= 1"
+            )
+        self._rate = rate
+
+    @property
+    def delay(self) -> int:
+        return self._delay
+
+    def set_delay(self, delay: int, initial_value=None) -> None:
+        if delay < 0:
+            raise ElaborationError(
+                f"port {self.full_name()!r}: delay must be >= 0"
+            )
+        self._delay = delay
+        if initial_value is not None:
+            self.initial_value = initial_value
+
+    def set_timestep(self, timestep: SimTime) -> None:
+        self.requested_timestep = timestep
+
+    def full_name(self) -> str:
+        owner = self.module.full_name() if self.module else "?"
+        return f"{owner}.{self.name}"
+
+    def bind(self, signal: TdfSignal) -> None:
+        if self.signal is not None:
+            raise ElaborationError(
+                f"TDF port {self.full_name()!r} is already bound"
+            )
+        self.signal = signal
+        self._attach()
+
+    __call__ = bind
+
+    def _attach(self) -> None:
+        raise NotImplementedError
+
+    def _check_bound(self) -> TdfSignal:
+        if self.signal is None:
+            raise ElaborationError(
+                f"TDF port {self.full_name()!r} is unbound"
+            )
+        return self.signal
+
+
+class TdfIn(TdfPortBase):
+    """Consumes ``rate`` samples per activation of its module."""
+
+    direction = "in"
+
+    def _attach(self) -> None:
+        self.signal._attach_reader(self)
+
+    def read(self, sample: int = 0):
+        """Read sample ``sample`` (0 <= sample < rate) of this activation."""
+        signal = self._check_bound()
+        if not 0 <= sample < self._rate:
+            raise SynchronizationError(
+                f"sample index {sample} out of range for rate {self._rate} "
+                f"port {self.full_name()!r}"
+            )
+        absolute = (self.module._activation_index * self._rate + sample
+                    - self._delay)
+        if absolute < 0:
+            return self.initial_value
+        return signal.get(absolute)
+
+    def next_needed(self) -> int:
+        """Absolute index of the oldest sample this reader still needs."""
+        return max(0, self.module._activation_index * self._rate
+                   - self._delay)
+
+
+class TdfOut(TdfPortBase):
+    """Produces ``rate`` samples per activation of its module."""
+
+    direction = "out"
+
+    def _attach(self) -> None:
+        self.signal._attach_writer(self)
+
+    def write(self, value, sample: int = 0) -> None:
+        signal = self._check_bound()
+        if not 0 <= sample < self._rate:
+            raise SynchronizationError(
+                f"sample index {sample} out of range for rate {self._rate} "
+                f"port {self.full_name()!r}"
+            )
+        absolute = (self._delay
+                    + self.module._activation_index * self._rate + sample)
+        signal.set(absolute, value)

@@ -1,0 +1,196 @@
+"""Tests for spectral analysis and time-domain metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    StepResponse,
+    ToneAnalysis,
+    amplitude_spectrum,
+    coherent_tone_frequency,
+    convergence_order,
+    enob_of_tone,
+    estimate_frequency,
+    max_error,
+    power_spectral_density,
+    rms,
+    rms_error,
+    sndr_of_tone,
+    snr_of_tone,
+    window,
+)
+
+
+def coherent_sine(fs, n, f_target, amplitude=1.0):
+    f = coherent_tone_frequency(fs, n, f_target)
+    t = np.arange(n) / fs
+    return f, amplitude * np.sin(2 * np.pi * f * t)
+
+
+class TestSpectrum:
+    def test_amplitude_spectrum_peak(self):
+        fs, n = 1e6, 4096
+        f, x = coherent_sine(fs, n, 10e3, amplitude=0.5)
+        freqs, amps = amplitude_spectrum(x, fs)
+        peak_bin = np.argmax(amps)
+        assert freqs[peak_bin] == pytest.approx(f, abs=fs / n)
+        assert amps[peak_bin] == pytest.approx(0.5, rel=0.05)
+
+    def test_psd_integrates_to_variance(self):
+        rng = np.random.default_rng(3)
+        fs, n = 1e6, 16384
+        x = rng.normal(0, 0.3, n)
+        freqs, psd = power_spectral_density(x, fs, window_name="rect")
+        total = np.trapezoid(psd, freqs)
+        assert total == pytest.approx(np.var(x), rel=0.05)
+
+    def test_window_names(self):
+        for name in ("rect", "hann", "blackman"):
+            w = window(name, 64)
+            assert len(w) == 64
+        with pytest.raises(ValueError):
+            window("kaiser", 64)
+
+    def test_coherent_frequency_is_odd_bin(self):
+        fs, n = 1e6, 4096
+        f = coherent_tone_frequency(fs, n, 10e3)
+        cycles = f * n / fs
+        assert cycles == pytest.approx(round(cycles))
+        assert round(cycles) % 2 == 1
+
+
+class TestToneAnalysis:
+    def test_pure_tone_has_high_snr(self):
+        fs, n = 1e6, 8192
+        f, x = coherent_sine(fs, n, 50e3)
+        analysis = ToneAnalysis(x, fs)
+        assert analysis.tone_frequency == pytest.approx(f, abs=fs / n)
+        # Bounded by Hann sidelobe leakage outside the 3-bin aperture.
+        assert analysis.snr_db > 90
+
+    def test_known_noise_snr(self):
+        fs, n = 1e6, 65536
+        rng = np.random.default_rng(11)
+        f, x = coherent_sine(fs, n, 37e3, amplitude=1.0)
+        noise_rms = 0.01
+        noisy = x + rng.normal(0, noise_rms, n)
+        expected = 20 * np.log10((1 / np.sqrt(2)) / noise_rms)
+        assert snr_of_tone(noisy, fs) == pytest.approx(expected, abs=1.0)
+
+    def test_harmonic_distortion_detected(self):
+        fs, n = 1e6, 16384
+        f, x = coherent_sine(fs, n, 20e3)
+        t = np.arange(n) / fs
+        distorted = x + 0.01 * np.sin(2 * np.pi * 2 * f * t) \
+            + 0.005 * np.sin(2 * np.pi * 3 * f * t)
+        analysis = ToneAnalysis(distorted, fs)
+        # THD = sqrt(0.01^2 + 0.005^2) relative to 1.0.
+        expected_thd = 10 * np.log10((0.01 ** 2 + 0.005 ** 2) / 2 / 0.5)
+        assert analysis.thd_db == pytest.approx(expected_thd, abs=0.5)
+        assert analysis.sndr_db < analysis.snr_db
+
+    def test_quantizer_enob_close_to_nominal(self):
+        from repro.lib import quantize_midrise
+
+        fs, n, bits = 1e6, 65536, 10
+        f, x = coherent_sine(fs, n, 13e3, amplitude=0.99)
+        q = np.array([quantize_midrise(v, bits) for v in x])
+        enob = enob_of_tone(q, fs)
+        assert enob == pytest.approx(bits, abs=0.5)
+
+    def test_explicit_tone_frequency(self):
+        fs, n = 1e6, 8192
+        f, x = coherent_sine(fs, n, 30e3, amplitude=0.2)
+        # A larger interferer elsewhere should not confuse the analysis
+        # when the tone frequency is given explicitly.
+        t = np.arange(n) / fs
+        f2 = coherent_tone_frequency(fs, n, 200e3)
+        x = x + 0.5 * np.sin(2 * np.pi * f2 * t)
+        analysis = ToneAnalysis(x, fs, tone_frequency=f)
+        assert analysis.tone_frequency == pytest.approx(f, abs=fs / n)
+
+    def test_sndr_helper(self):
+        fs, n = 1e6, 8192
+        _f, x = coherent_sine(fs, n, 10e3)
+        assert sndr_of_tone(x, fs) > 90
+
+
+class TestMetrics:
+    def test_rms(self):
+        t = np.linspace(0, 1, 100000, endpoint=False)
+        x = np.sin(2 * np.pi * 5 * t)
+        assert rms(x) == pytest.approx(1 / np.sqrt(2), rel=1e-4)
+
+    def test_error_norms(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.1, 1.9, 3.0])
+        assert max_error(a, b) == pytest.approx(0.1)
+        assert rms_error(a, b) == pytest.approx(np.sqrt(0.02 / 3))
+
+    def test_convergence_order_fit(self):
+        hs = np.array([0.1, 0.05, 0.025, 0.0125])
+        errors = 3.0 * hs ** 2
+        assert convergence_order(hs, errors) == pytest.approx(2.0, abs=1e-9)
+
+    def test_step_response_first_order(self):
+        tau = 1.0
+        t = np.linspace(0, 10, 10001)
+        v = 1 - np.exp(-t / tau)
+        step = StepResponse(t, v, final_value=1.0, initial_value=0.0)
+        # 10-90% rise time of a first-order system = tau * ln 9.
+        assert step.rise_time == pytest.approx(tau * np.log(9), rel=1e-3)
+        assert step.overshoot == pytest.approx(0.0, abs=1e-9)
+        # 2% settling at tau * ln 50.
+        assert step.settling_time(0.02) == pytest.approx(
+            tau * np.log(50), rel=1e-2
+        )
+
+    def test_step_response_overshoot(self):
+        zeta, w = 0.2, 10.0
+        wd = w * np.sqrt(1 - zeta ** 2)
+        t = np.linspace(0, 5, 20001)
+        v = 1 - np.exp(-zeta * w * t) * (
+            np.cos(wd * t) + zeta * w / wd * np.sin(wd * t)
+        )
+        step = StepResponse(t, v, final_value=1.0, initial_value=0.0)
+        expected = np.exp(-np.pi * zeta / np.sqrt(1 - zeta ** 2))
+        assert step.overshoot == pytest.approx(expected, rel=1e-2)
+
+    def test_step_zero_swing_rejected(self):
+        with pytest.raises(ValueError):
+            StepResponse([0, 1], [1.0, 1.0], final_value=1.0,
+                         initial_value=1.0)
+
+    def test_estimate_frequency(self):
+        fs = 1e5
+        t = np.arange(int(1e4)) / fs
+        x = np.sin(2 * np.pi * 123.0 * t + 0.3)
+        assert estimate_frequency(t, x) == pytest.approx(123.0, rel=1e-3)
+
+    def test_estimate_frequency_needs_crossings(self):
+        with pytest.raises(ValueError):
+            estimate_frequency([0, 1, 2], [1.0, 2.0, 3.0])
+
+
+@given(st.floats(min_value=0.2, max_value=0.95),
+       st.integers(min_value=1, max_value=2))
+@settings(max_examples=30, deadline=None)
+def test_snr_scales_with_noise(amplitude, noise_scale):
+    """SNR drops ~20 dB per 10x noise increase.
+
+    Parameters are constrained so the scaled SNR stays above ~5 dB —
+    below that, noise landing in the signal-band bins biases any
+    FFT-based SNR estimate.
+    """
+    fs, n = 1e6, 16384
+    rng = np.random.default_rng(42)
+    f = coherent_tone_frequency(fs, n, 41e3)
+    t = np.arange(n) / fs
+    x = amplitude * np.sin(2 * np.pi * f * t)
+    base_rms = 1e-3
+    noise = rng.normal(0, base_rms, n)
+    snr1 = snr_of_tone(x + noise, fs)
+    snr2 = snr_of_tone(x + noise * 10 ** noise_scale, fs)
+    assert snr1 - snr2 == pytest.approx(20.0 * noise_scale, abs=2.0)

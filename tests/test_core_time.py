@@ -1,0 +1,107 @@
+"""Unit tests for repro.core.time."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import SimTime, ZERO_TIME, time
+from repro.core.time import FEMTO, TIME_UNITS
+
+
+class TestConstruction:
+    def test_unit_scaling(self):
+        assert SimTime(1, "ns").ticks == 10**6
+        assert SimTime(1, "us").ticks == 10**9
+        assert SimTime(1, "ms").ticks == 10**12
+        assert SimTime(1, "s").ticks == 10**15
+        assert SimTime(1, "ps").ticks == 10**3
+        assert SimTime(1, "fs").ticks == 1
+
+    def test_fractional_values_round(self):
+        assert SimTime(1.5, "ns").ticks == 1_500_000
+        assert SimTime(0.25, "ps").ticks == 250
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(1, "h")
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(math.inf, "s")
+        with pytest.raises(ValueError):
+            SimTime(math.nan, "ns")
+
+    def test_from_seconds_roundtrip(self):
+        t = SimTime.from_seconds(3.2e-9)
+        assert t.to_seconds() == pytest.approx(3.2e-9)
+
+    def test_time_helper(self):
+        assert time(5, "ns") == SimTime(5, "ns")
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a, b = SimTime(3, "ns"), SimTime(2, "ns")
+        assert (a + b) == SimTime(5, "ns")
+        assert (a - b) == SimTime(1, "ns")
+
+    def test_scalar_multiply(self):
+        assert SimTime(2, "ns") * 4 == SimTime(8, "ns")
+        assert 4 * SimTime(2, "ns") == SimTime(8, "ns")
+
+    def test_floordiv_by_time_gives_count(self):
+        assert SimTime(10, "ns") // SimTime(3, "ns") == 3
+
+    def test_floordiv_by_int_gives_time(self):
+        assert SimTime(10, "ns") // 2 == SimTime(5, "ns")
+
+    def test_mod(self):
+        assert SimTime(10, "ns") % SimTime(3, "ns") == SimTime(1, "ns")
+
+    def test_comparison(self):
+        assert SimTime(1, "ns") < SimTime(2, "ns")
+        assert SimTime(2, "ns") >= SimTime(2, "ns")
+        assert SimTime(1, "us") > SimTime(999, "ns")
+
+    def test_bool(self):
+        assert not ZERO_TIME
+        assert SimTime(1, "fs")
+
+    def test_hashable(self):
+        assert len({SimTime(1, "ns"), SimTime(1000, "ps")}) == 1
+
+    def test_add_type_error(self):
+        with pytest.raises(TypeError):
+            SimTime(1, "ns") + 3.0
+
+
+class TestFormatting:
+    def test_str_picks_largest_exact_unit(self):
+        assert str(SimTime(5, "ns")) == "5 ns"
+        assert str(SimTime(1500, "ps")) == "1500 ps"
+        assert str(SimTime(2, "s")) == "2 s"
+        assert str(SimTime.from_ticks(7)) == "7 fs"
+
+    def test_repr(self):
+        assert repr(SimTime(5, "ns")) == "SimTime(5 ns)"
+
+
+@given(st.integers(min_value=0, max_value=10**18),
+       st.integers(min_value=0, max_value=10**18))
+def test_addition_commutes(a, b):
+    ta, tb = SimTime.from_ticks(a), SimTime.from_ticks(b)
+    assert ta + tb == tb + ta
+
+
+@given(st.integers(min_value=0, max_value=10**18))
+def test_to_seconds_matches_ticks(ticks):
+    assert SimTime.from_ticks(ticks).to_seconds() == pytest.approx(
+        ticks * FEMTO
+    )
+
+
+@given(st.sampled_from(sorted(TIME_UNITS)), st.integers(0, 10**6))
+def test_unit_roundtrip(unit, value):
+    assert SimTime(value, unit).ticks == value * TIME_UNITS[unit]

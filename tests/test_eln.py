@@ -1,0 +1,346 @@
+"""Tests for the electrical linear network layer: MNA stamps for every
+primitive, DC/AC/transient/noise analyses, classic circuit identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ElaborationError, SolverError
+from repro.ct import corner_frequency, integrated_noise
+from repro.ct.noise import BOLTZMANN
+from repro.eln import (
+    Capacitor,
+    Cccs,
+    Ccvs,
+    Gyrator,
+    IdealOpAmp,
+    IdealTransformer,
+    Inductor,
+    Isource,
+    Network,
+    Probe,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    Vsource,
+    ac_analysis,
+    dc_analysis,
+    noise_analysis,
+    transient_analysis,
+)
+
+
+class TestDcStamps:
+    def test_voltage_divider(self):
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 10.0))
+        net.add(Resistor("R1", "in", "out", 1e3))
+        net.add(Resistor("R2", "out", "0", 3e3))
+        dc = dc_analysis(net)
+        assert dc.voltage("out") == pytest.approx(7.5)
+        assert dc.current("V1") == pytest.approx(-10.0 / 4e3)
+
+    def test_current_source_into_resistor(self):
+        net = Network()
+        net.add(Isource("I1", "n1", "0", 2e-3))
+        net.add(Resistor("R1", "n1", "0", 1e3))
+        dc = dc_analysis(net)
+        assert dc.voltage("n1") == pytest.approx(2.0)
+
+    def test_vcvs_amplifier(self):
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 0.5))
+        net.add(Resistor("Rin", "in", "0", 1e6))
+        net.add(Vcvs("E1", "out", "0", "in", "0", gain=10.0))
+        net.add(Resistor("Rload", "out", "0", 1e3))
+        dc = dc_analysis(net)
+        assert dc.voltage("out") == pytest.approx(5.0)
+
+    def test_vccs(self):
+        net = Network()
+        net.add(Vsource("V1", "c", "0", 1.0))
+        net.add(Vccs("G1", "0", "out", "c", "0", transconductance=1e-3))
+        net.add(Resistor("Rload", "out", "0", 2e3))
+        dc = dc_analysis(net)
+        # 1 mA pulled from ground into out through G1: i(out->0) via R.
+        assert dc.voltage("out") == pytest.approx(2.0)
+
+    def test_ccvs_and_probe(self):
+        net = Network()
+        net.add(Vsource("V1", "a", "0", 1.0))
+        net.add(Resistor("R1", "a", "b", 1e3))
+        net.add(Probe("P1", "b", "0"))
+        net.add(Ccvs("H1", "out", "0", control="P1", transresistance=2e3))
+        net.add(Resistor("Rload", "out", "0", 1e3))
+        dc = dc_analysis(net)
+        # i(P1) = 1 mA; v(out) = 2e3 * 1e-3 = 2 V.
+        assert dc.current("P1") == pytest.approx(1e-3)
+        assert dc.voltage("out") == pytest.approx(2.0)
+
+    def test_cccs_current_mirror(self):
+        net = Network()
+        net.add(Vsource("V1", "a", "0", 1.0))
+        net.add(Resistor("R1", "a", "b", 1e3))
+        net.add(Probe("P1", "b", "0"))
+        net.add(Cccs("F1", "0", "out", control="P1", gain=3.0))
+        net.add(Resistor("Rload", "out", "0", 1e3))
+        dc = dc_analysis(net)
+        # i(P1) = 1 mA; the source conducts 3 mA from p=ground to n=out,
+        # pushing 3 mA into the load: v(out) = +3 V.
+        assert dc.voltage("out") == pytest.approx(3.0)
+
+    def test_ideal_transformer_voltage_and_power(self):
+        net = Network()
+        net.add(Vsource("V1", "p", "0", 10.0))
+        net.add(IdealTransformer("T1", "p", "0", "s", "0", ratio=2.0))
+        net.add(Resistor("Rload", "s", "0", 100.0))
+        dc = dc_analysis(net)
+        # v1 = ratio * v2 -> v2 = 5 V.
+        assert dc.voltage("s") == pytest.approx(5.0)
+        # Power conservation: primary current = v2^2/R / v1.
+        assert abs(dc.current("V1")) == pytest.approx(5.0 ** 2 / 100 / 10)
+
+    def test_ideal_opamp_follower(self):
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.5))
+        net.add(IdealOpAmp("U1", "in", "out", "out"))  # unity follower
+        net.add(Resistor("Rload", "out", "0", 1e3))
+        dc = dc_analysis(net)
+        assert dc.voltage("out") == pytest.approx(1.5)
+
+    def test_ideal_opamp_inverting_amplifier(self):
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "x", 1e3))
+        net.add(Resistor("R2", "x", "out", 4.7e3))
+        net.add(IdealOpAmp("U1", "0", "x", "out"))
+        net.add(Resistor("Rload", "out", "0", 1e4))
+        dc = dc_analysis(net)
+        assert dc.voltage("out") == pytest.approx(-4.7)
+        assert dc.voltage("x") == pytest.approx(0.0, abs=1e-12)
+
+    def test_gyrator_converts_resistance(self):
+        net = Network()
+        net.add(Vsource("V1", "p", "0", 1.0))
+        net.add(Gyrator("G1", "p", "0", "s", "0", conductance=1e-3))
+        net.add(Resistor("R1", "s", "0", 1e3))
+        dc = dc_analysis(net)
+        # Input resistance of gyrator loaded with R: 1/(g^2 R) = 1e3.
+        assert abs(dc.current("V1")) == pytest.approx(1e-3)
+
+    def test_switch_states(self):
+        def divider_with_switch(closed):
+            net = Network()
+            net.add(Vsource("V1", "in", "0", 1.0))
+            net.add(Resistor("R1", "in", "out", 1e3))
+            net.add(Switch("S1", "out", "0", closed=closed,
+                           r_on=1e-3, r_off=1e12))
+            return dc_analysis(net).voltage("out")
+
+        assert divider_with_switch(True) == pytest.approx(0.0, abs=1e-5)
+        assert divider_with_switch(False) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestTransient:
+    def test_rc_charging(self):
+        R, C = 1e3, 1e-6
+        tau = R * C
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "out", R))
+        net.add(Capacitor("C1", "out", "0", C))
+        result = transient_analysis(
+            net, 5 * tau, tau / 200,
+            x0=np.zeros(3),  # v(in), v(out), i(V1) all start at 0
+        )
+        v_out = result.voltage("out")
+        # v(in) jumps to 1 at t=0+; capacitor charges with tau.
+        expected = 1 - np.exp(-result.times / tau)
+        np.testing.assert_allclose(v_out[1:], expected[1:], atol=5e-3)
+
+    def test_rl_current_rise(self):
+        R, L = 10.0, 1e-3
+        tau = L / R
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "x", R))
+        net.add(Inductor("L1", "x", "0", L))
+        result = transient_analysis(net, 5 * tau, tau / 500,
+                                    x0=np.zeros(4))
+        i_l = result.current("L1")
+        expected = (1.0 / R) * (1 - np.exp(-result.times / tau))
+        np.testing.assert_allclose(i_l[1:], expected[1:], atol=2e-3 / R)
+
+    def test_lc_resonance_frequency(self):
+        L, C = 1e-3, 1e-9  # f0 = 159.2 kHz
+        f0 = 1 / (2 * np.pi * np.sqrt(L * C))
+        net = Network()
+        net.add(Capacitor("C1", "n", "0", C))
+        net.add(Inductor("L1", "n", "0", L))
+        dae, index = net.assemble()
+        # Start with the capacitor charged to 1 V.
+        x0 = np.zeros(index.size)
+        x0[index.node_index["n"]] = 1.0
+        times, states = dae.transient(20 / f0, 1 / (f0 * 400), x0=x0)
+        v = states[:, index.node_index["n"]]
+        expected = np.cos(2 * np.pi * f0 * times)
+        np.testing.assert_allclose(v, expected, atol=0.02)
+
+    def test_rlc_damped_oscillation(self):
+        R, L, C = 100.0, 1e-3, 1e-8
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "a", R))
+        net.add(Inductor("L1", "a", "b", L))
+        net.add(Capacitor("C1", "b", "0", C))
+        dae, index = net.assemble()
+        alpha = R / (2 * L)
+        w0 = 1 / np.sqrt(L * C)
+        wd = np.sqrt(w0**2 - alpha**2)
+        times, states = dae.transient(
+            6.0 / alpha, 0.002 / wd, x0=np.zeros(index.size)
+        )
+        v = states[:, index.node_index["b"]]
+        expected = 1 - np.exp(-alpha * times) * (
+            np.cos(wd * times) + alpha / wd * np.sin(wd * times)
+        )
+        np.testing.assert_allclose(v[1:], expected[1:], atol=0.02)
+
+
+class TestAc:
+    def test_rc_lowpass_corner(self):
+        R, C = 1e3, 1e-6
+        f0 = 1 / (2 * np.pi * R * C)
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "out", R))
+        net.add(Capacitor("C1", "out", "0", C))
+        freqs = np.logspace(0, 5, 301)
+        ac = ac_analysis(net, freqs, input_source="V1")
+        h = ac.voltage("out")
+        assert corner_frequency(freqs, h) == pytest.approx(f0, rel=1e-2)
+        expected = 1 / (1 + 2j * np.pi * freqs * R * C)
+        np.testing.assert_allclose(h, expected, rtol=1e-9)
+
+    def test_rlc_bandpass_peak_at_resonance(self):
+        R, L, C = 1e3, 1e-3, 1e-9
+        f0 = 1 / (2 * np.pi * np.sqrt(L * C))
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "out", R))
+        net.add(Inductor("L1", "out", "0", L))
+        net.add(Capacitor("C1", "out", "0", C))
+        freqs = np.logspace(4, 7, 601)
+        ac = ac_analysis(net, freqs, input_source="V1")
+        h = np.abs(ac.voltage("out"))
+        f_peak = freqs[np.argmax(h)]
+        assert f_peak == pytest.approx(f0, rel=0.02)
+        assert np.max(h) == pytest.approx(1.0, abs=0.01)
+
+
+class TestNoise:
+    def test_rc_integrated_noise_is_kt_over_c(self):
+        R, C = 1e4, 1e-9
+        net = Network()
+        net.add(Resistor("R1", "n", "0", R))
+        net.add(Capacitor("C1", "n", "0", C))
+        freqs = np.logspace(0, 9, 2001)
+        psd = noise_analysis(net, freqs, "n")
+        total = integrated_noise(freqs, psd)
+        assert total == pytest.approx(BOLTZMANN * 300 / C, rel=0.05)
+
+    def test_noise_independent_of_r_total(self):
+        totals = []
+        for R in (1e3, 1e5):
+            net = Network()
+            net.add(Resistor("R1", "n", "0", R))
+            net.add(Capacitor("C1", "n", "0", 1e-9))
+            freqs = np.logspace(-1, 10, 3001)
+            psd = noise_analysis(net, freqs, "n")
+            totals.append(integrated_noise(freqs, psd))
+        assert totals[0] == pytest.approx(totals[1], rel=0.05)
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.add(Resistor("R1", "a", "0", 1.0))
+        with pytest.raises(ElaborationError):
+            net.add(Resistor("R1", "b", "0", 1.0))
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ElaborationError):
+            Network().assemble()
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ElaborationError):
+            Resistor("R", "a", "0", 0.0)
+        with pytest.raises(ElaborationError):
+            Capacitor("C", "a", "0", -1e-9)
+        with pytest.raises(ElaborationError):
+            Inductor("L", "a", "0", 0.0)
+        with pytest.raises(ElaborationError):
+            IdealTransformer("T", "a", "0", "b", "0", ratio=0.0)
+        with pytest.raises(ElaborationError):
+            Switch("S", "a", "0", r_on=0.0)
+
+    def test_floating_node_gives_solver_error(self):
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Capacitor("C1", "x", "y", 1e-9))  # floating island
+        dae, _ = net.assemble()
+        with pytest.raises(SolverError):
+            dae.dc()
+
+    def test_current_lookup_requires_branch(self):
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "0", 1e3))
+        dc = dc_analysis(net)
+        with pytest.raises(SolverError):
+            dc.current("R1")
+
+
+@given(
+    r1=st.floats(min_value=10.0, max_value=1e6),
+    r2=st.floats(min_value=10.0, max_value=1e6),
+    v=st.floats(min_value=-100.0, max_value=100.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_divider_property(r1, r2, v):
+    """Voltage divider identity holds for arbitrary element values."""
+    net = Network()
+    net.add(Vsource("V1", "in", "0", v))
+    net.add(Resistor("R1", "in", "out", r1))
+    net.add(Resistor("R2", "out", "0", r2))
+    dc = dc_analysis(net)
+    assert dc.voltage("out") == pytest.approx(v * r2 / (r1 + r2), rel=1e-9,
+                                              abs=1e-12)
+
+
+@given(
+    elements=st.lists(
+        st.tuples(st.sampled_from("RC"), st.floats(1.0, 1e3)),
+        min_size=2, max_size=6,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_mna_matrices_symmetric_for_reciprocal_networks(elements):
+    """R/C-only ladder networks are reciprocal: G and C are symmetric."""
+    net = Network()
+    net.add(Resistor("Rtop", "n0", "0", 50.0))
+    for k, (kind, value) in enumerate(elements):
+        a, b = f"n{k}", f"n{k + 1}"
+        if kind == "R":
+            net.add(Resistor(f"R{k}", a, b, value))
+        else:
+            net.add(Capacitor(f"C{k}", a, b, value * 1e-9))
+        net.add(Resistor(f"Rg{k}", b, "0", 10.0 * (k + 1)))
+    dae, _ = net.assemble()
+    np.testing.assert_allclose(dae.G, dae.G.T, atol=1e-12)
+    np.testing.assert_allclose(dae.C, dae.C.T, atol=1e-12)
+    # Conductance row sums are non-negative diag-dominant (passivity).
+    eigenvalues = np.linalg.eigvalsh(dae.G)
+    assert np.all(eigenvalues > -1e-9)

@@ -1,0 +1,168 @@
+"""Extra ELN coverage: gyrator impedance conversion in AC, transformer
+transient behaviour, probes in dynamic analyses, op-amp filters."""
+
+import numpy as np
+import pytest
+
+from repro.ct import corner_frequency
+from repro.eln import (
+    Capacitor,
+    Gyrator,
+    IdealOpAmp,
+    IdealTransformer,
+    Inductor,
+    Network,
+    Probe,
+    Resistor,
+    Vsource,
+    ac_analysis,
+    dc_analysis,
+    transient_analysis,
+)
+
+
+class TestGyratorAc:
+    def test_capacitor_becomes_inductor(self):
+        """A gyrator loaded with C presents L = C/g^2: the input port
+        forms an R-L highpass with the series resistor."""
+        g = 1e-3
+        C = 1e-6
+        L_equiv = C / g ** 2  # 1 H
+        R = 1e3
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "p", R))
+        net.add(Gyrator("G1", "p", "0", "s", "0", conductance=g))
+        net.add(Capacitor("C1", "s", "0", C))
+        freqs = np.logspace(0, 5, 301)
+        ac = ac_analysis(net, freqs, input_source="V1")
+        h = np.abs(ac.voltage("p"))
+        # R-L highpass corner: f = R / (2*pi*L).
+        f_corner = R / (2 * np.pi * L_equiv)
+        # At the corner, |v_p| = 1/sqrt(2).
+        k = np.argmin(np.abs(freqs - f_corner))
+        assert h[k] == pytest.approx(1 / np.sqrt(2), abs=0.02)
+        assert h[0] < 0.01         # shorted by the 'inductor' at DC
+        assert h[-1] > 0.99        # open at high frequency
+
+
+class TestTransformerDynamics:
+    def test_transformer_passes_ac_and_scales(self):
+        net = Network()
+        net.add(Vsource("V1", "p", "0",
+                        lambda t: np.sin(2 * np.pi * 1e3 * t)))
+        net.add(IdealTransformer("T1", "p", "0", "s", "0", ratio=4.0))
+        net.add(Resistor("Rload", "s", "0", 50.0))
+        result = transient_analysis(net, 2e-3, 1e-6)
+        v_s = result.voltage("s")
+        v_p = result.voltage("p")
+        # Ideal transformer: v_s = v_p / ratio at every instant.
+        np.testing.assert_allclose(v_s, v_p / 4.0, atol=1e-9)
+
+    def test_impedance_transformation(self):
+        """Input resistance = ratio^2 * load."""
+        net = Network()
+        net.add(Vsource("V1", "p", "0", 1.0))
+        net.add(IdealTransformer("T1", "p", "0", "s", "0", ratio=3.0))
+        net.add(Resistor("Rload", "s", "0", 100.0))
+        dc = dc_analysis(net)
+        i_in = abs(dc.current("V1"))
+        assert 1.0 / i_in == pytest.approx(9.0 * 100.0, rel=1e-9)
+
+
+class TestProbeDynamics:
+    def test_probe_current_in_transient(self):
+        R, C = 1e3, 1e-6
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "x", R))
+        net.add(Probe("P1", "x", "c"))
+        net.add(Capacitor("C1", "c", "0", C))
+        # Backward Euler: the zero start is inconsistent with the
+        # stepped source and branch currents are algebraic unknowns —
+        # the trapezoidal rule would ring on them (see TUTORIAL.md).
+        result = transient_analysis(net, 5e-3, 1e-6, x0=np.zeros(5),
+                                    method="backward_euler")
+        i_probe = result.current("P1")
+        tau = R * C
+        expected = np.exp(-result.times / tau) / R
+        np.testing.assert_allclose(i_probe[1:], expected[1:], atol=2e-5)
+
+    def test_probe_is_transparent(self):
+        """Inserting a probe does not change the solution."""
+        def build(with_probe):
+            net = Network()
+            net.add(Vsource("V1", "in", "0", 2.0))
+            net.add(Resistor("R1", "in", "a", 1e3))
+            if with_probe:
+                net.add(Probe("P1", "a", "b"))
+                net.add(Resistor("R2", "b", "0", 1e3))
+            else:
+                net.add(Resistor("R2", "a", "0", 1e3))
+            return dc_analysis(net).voltage("a")
+
+        assert build(True) == pytest.approx(build(False), rel=1e-12)
+
+
+class TestOpAmpFilters:
+    def test_active_lowpass(self):
+        """Inverting integrator-style active RC lowpass."""
+        R1, R2, C = 1e3, 10e3, 1e-9
+        f_corner = 1 / (2 * np.pi * R2 * C)
+        net = Network()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "x", R1))
+        net.add(Resistor("R2", "x", "out", R2))
+        net.add(Capacitor("C1", "x", "out", C))
+        net.add(IdealOpAmp("U1", "0", "x", "out"))
+        net.add(Resistor("Rload", "out", "0", 1e6))
+        freqs = np.logspace(2, 7, 301)
+        ac = ac_analysis(net, freqs, input_source="V1")
+        h = ac.voltage("out")
+        # DC gain = -R2/R1 = -10.
+        assert abs(h[0]) == pytest.approx(10.0, rel=1e-3)
+        assert corner_frequency(freqs, h) == pytest.approx(f_corner,
+                                                           rel=0.05)
+
+    def test_opamp_virtual_ground_in_transient(self):
+        net = Network()
+        net.add(Vsource("V1", "in", "0",
+                        lambda t: np.sin(2 * np.pi * 1e3 * t)))
+        net.add(Resistor("R1", "in", "x", 1e3))
+        net.add(Resistor("R2", "x", "out", 2e3))
+        net.add(IdealOpAmp("U1", "0", "x", "out"))
+        net.add(Resistor("Rload", "out", "0", 1e4))
+        result = transient_analysis(net, 2e-3, 1e-6)
+        # Virtual ground holds at every timestep.
+        np.testing.assert_allclose(result.voltage("x"), 0.0, atol=1e-9)
+        np.testing.assert_allclose(
+            result.voltage("out"), -2.0 * result.voltage("in"),
+            atol=1e-9,
+        )
+
+
+class TestLcLadderFilter:
+    def test_third_order_butterworth_ladder(self):
+        """Doubly-terminated LC ladder: the classic passive synthesis
+        (Butterworth g-values 1, 2, 1 for N=3)."""
+        R0 = 50.0
+        f_c = 1e6
+        w_c = 2 * np.pi * f_c
+        net = Network()
+        net.add(Vsource("V1", "src", "0", 1.0))
+        net.add(Resistor("Rs", "src", "n1", R0))
+        net.add(Capacitor("C1", "n1", "0", 1.0 / (R0 * w_c)))
+        net.add(Inductor("L1", "n1", "n2", 2.0 * R0 / w_c))
+        net.add(Capacitor("C2", "n2", "0", 1.0 / (R0 * w_c)))
+        net.add(Resistor("Rl", "n2", "0", R0))
+        freqs = np.logspace(4, 8, 401)
+        ac = ac_analysis(net, freqs, input_source="V1")
+        h = np.abs(ac.voltage("n2")) * 2.0  # normalize matched loss
+        # Flat passband at 1, -3 dB at f_c, -18 dB/octave beyond.
+        assert h[0] == pytest.approx(1.0, rel=1e-3)
+        k = np.argmin(np.abs(freqs - f_c))
+        assert h[k] == pytest.approx(1 / np.sqrt(2), abs=0.03)
+        k2, k4 = np.argmin(np.abs(freqs - 2 * f_c)), \
+            np.argmin(np.abs(freqs - 4 * f_c))
+        octave_db = 20 * np.log10(h[k4] / h[k2])
+        assert octave_db == pytest.approx(-18.0, abs=1.0)

@@ -1,0 +1,238 @@
+"""Tests for the netlist parser and the equation interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElaborationError
+from repro.ct import dc_operating_point, variable_step_transient
+from repro.eln import dc_analysis
+from repro.frontends import (
+    EquationSystem,
+    NetlistError,
+    parse_netlist,
+    parse_value,
+)
+
+
+class TestValueParsing:
+    def test_plain_numbers(self):
+        assert parse_value("3.3") == 3.3
+        assert parse_value("-2e-3") == -2e-3
+
+    def test_suffixes(self):
+        assert parse_value("4.7k") == pytest.approx(4700.0)
+        assert parse_value("100n") == pytest.approx(1e-7)
+        assert parse_value("1meg") == pytest.approx(1e6)
+        assert parse_value("2.2u") == pytest.approx(2.2e-6)
+        assert parse_value("10m") == pytest.approx(1e-2)
+        assert parse_value("1p") == pytest.approx(1e-12)
+        assert parse_value("5f") == pytest.approx(5e-15)
+        assert parse_value("3g") == pytest.approx(3e9)
+        assert parse_value("1t") == pytest.approx(1e12)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+
+class TestNetlistParsing:
+    def test_voltage_divider(self):
+        net = parse_netlist("""
+            * divider
+            V1 in 0 DC 10
+            R1 in out 1k
+            R2 out 0 3k
+            .end
+        """)
+        dc = dc_analysis(net)
+        assert dc.voltage("out") == pytest.approx(7.5)
+
+    def test_sin_source(self):
+        net = parse_netlist("V1 in 0 SIN(1 2 1k)\nR1 in 0 1k")
+        src = net.components[0]
+        assert src.waveform(0.0) == pytest.approx(1.0)
+        assert src.waveform(0.25e-3) == pytest.approx(3.0)
+
+    def test_sin_with_phase(self):
+        net = parse_netlist("V1 in 0 SIN(0 1 1k 90)\nR1 in 0 1k")
+        src = net.components[0]
+        assert src.waveform(0.0) == pytest.approx(1.0)
+
+    def test_pulse_source(self):
+        net = parse_netlist("I1 n 0 PULSE(0 2 1m 2m 0.5m)\nR1 n 0 1")
+        src = net.components[0]
+        assert src.waveform(0.5e-3) == 0.0   # before delay
+        assert src.waveform(1.2e-3) == 2.0   # within width
+        assert src.waveform(1.8e-3) == 0.0   # after width
+        assert src.waveform(3.2e-3) == 2.0   # next period
+
+    def test_controlled_sources(self):
+        net = parse_netlist("""
+            V1 c 0 DC 1
+            E1 e 0 c 0 5
+            Rload e 0 1k
+            G1 0 g c 0 1m
+            Rg g 0 2k
+        """)
+        dc = dc_analysis(net)
+        assert dc.voltage("e") == pytest.approx(5.0)
+        assert dc.voltage("g") == pytest.approx(2.0)
+
+    def test_current_controlled(self):
+        net = parse_netlist("""
+            V1 a 0 DC 1
+            R1 a b 1k
+            Vprobe b 0 DC 0
+            H1 h 0 Vprobe 2k
+            Rh h 0 1k
+            F1 0 f Vprobe 2
+            Rf f 0 1k
+        """)
+        dc = dc_analysis(net)
+        assert dc.voltage("h") == pytest.approx(2.0)
+        assert dc.voltage("f") == pytest.approx(2.0)
+
+    def test_transformer_and_switch(self):
+        net = parse_netlist("""
+            V1 p 0 DC 8
+            T1 p 0 s 0 2
+            Rload s 0 100
+            S1 s 0 OFF RON=1m ROFF=1e12
+        """)
+        dc = dc_analysis(net)
+        assert dc.voltage("s") == pytest.approx(4.0)
+
+    def test_diode_netlist(self):
+        net = parse_netlist("""
+            V1 in 0 DC 5
+            R1 in d 1k
+            D1 d 0 IS=1e-14 N=1
+        """)
+        system, index = net.assemble_nonlinear()
+        x = dc_operating_point(system)
+        assert 0.5 < index.voltage(x, "d") < 0.8
+
+    def test_mos_netlist(self):
+        net = parse_netlist("""
+            V1 vdd 0 DC 5
+            V2 g 0 DC 1.7
+            R1 vdd d 1k
+            M1 d g 0 KP=2m VTH=0.7
+        """)
+        system, index = net.assemble_nonlinear()
+        x = dc_operating_point(system)
+        assert index.voltage(x, "d") == pytest.approx(4.0, rel=1e-3)
+
+    def test_comments_and_inline_semicolons(self):
+        net = parse_netlist("""
+            * a comment line
+            V1 in 0 DC 1 ; inline comment
+            R1 in 0 1k
+        """)
+        assert len(net.components) == 2
+
+    def test_end_stops_parsing(self):
+        net = parse_netlist("""
+            V1 in 0 DC 1
+            R1 in 0 1k
+            .end
+            R2 garbage nonsense notanumber
+        """)
+        assert len(net.components) == 2
+
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(NetlistError) as info:
+            parse_netlist("V1 in 0 DC 1\nR1 in 0 notanumber")
+        assert "line 2" in str(info.value)
+
+    def test_unknown_card(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("Q1 a b c 1k")
+
+    def test_bad_switch_state(self):
+        with pytest.raises(NetlistError):
+            parse_netlist("V1 a 0 DC 1\nS1 a 0 MAYBE")
+
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(ElaborationError):
+            parse_netlist("* nothing here\n.end")
+
+
+class TestEquationSystem:
+    def test_rc_by_equations(self):
+        R, C, vin = 1e3, 1e-6, 1.0
+        es = EquationSystem()
+        v = es.variable("v")
+        i = es.variable("i")
+        es.differential(v, lambda x, t: x[i] / C)
+        es.equation(lambda x, t: x[v] + R * x[i] - vin)
+        system = es.build()
+        result = variable_step_transient(
+            system, 5e-3, x0=np.zeros(2), reltol=1e-6, abstol=1e-9,
+        )
+        expected = 1 - np.exp(-result.times / (R * C))
+        np.testing.assert_allclose(result.states[:, 0], expected,
+                                   atol=1e-3)
+
+    def test_implicit_algebraic_pair(self):
+        # x + y = 3, x - y = 1 -> x = 2, y = 1 (true simultaneous).
+        es = EquationSystem()
+        x = es.variable("x")
+        y = es.variable("y")
+        es.equation(lambda v, t: v[x] + v[y] - 3.0)
+        es.equation(lambda v, t: v[x] - v[y] - 1.0)
+        solution = dc_operating_point(es.build())
+        np.testing.assert_allclose(solution, [2.0, 1.0], atol=1e-9)
+
+    def test_pendulum_small_angle(self):
+        g_over_l = 9.81 / 1.0
+        es = EquationSystem()
+        theta = es.variable("theta", initial=0.1)
+        omega = es.variable("omega")
+        es.differential(theta, lambda x, t: x[omega])
+        es.differential(omega, lambda x, t: -g_over_l * np.sin(x[theta]))
+        system = es.build()
+        result = variable_step_transient(
+            system, 4.0, x0=np.array([0.1, 0.0]),
+            reltol=1e-7, abstol=1e-10,
+        )
+        expected = 0.1 * np.cos(np.sqrt(g_over_l) * result.times)
+        np.testing.assert_allclose(result.states[:, 0], expected,
+                                   atol=2e-3)
+
+    def test_square_system_enforced(self):
+        es = EquationSystem()
+        es.variable("x")
+        with pytest.raises(ElaborationError):
+            es.build()
+
+    def test_duplicate_names_rejected(self):
+        es = EquationSystem()
+        es.variable("x")
+        with pytest.raises(ElaborationError):
+            es.variable("x")
+
+    def test_double_differential_rejected(self):
+        es = EquationSystem()
+        x = es.variable("x")
+        es.differential(x, lambda v, t: 0.0)
+        with pytest.raises(ElaborationError):
+            es.differential(x, lambda v, t: 1.0)
+
+    def test_initial_values_respected(self):
+        es = EquationSystem()
+        x = es.variable("x", initial=5.0)
+        es.differential(x, lambda v, t: -v[x])
+        system = es.build()
+        np.testing.assert_allclose(system.initial_guess(), [5.0])
+        result = variable_step_transient(
+            system, 2.0, x0=system.initial_guess(),
+        )
+        assert result.states[-1, 0] == pytest.approx(5 * np.exp(-2.0),
+                                                     rel=1e-3)
+
+    def test_variable_names(self):
+        es = EquationSystem()
+        es.variable("a")
+        es.variable("b")
+        assert es.variable_names == ["a", "b"]

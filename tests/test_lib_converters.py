@@ -1,0 +1,269 @@
+"""Tests for the data-converter library: quantizers, flash ADC,
+pipelined ADC with digital noise cancellation, DACs, sigma-delta."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import coherent_tone_frequency, enob_of_tone
+from repro.lib import (
+    PipelinedAdc,
+    cic_decimate,
+    quantize_code,
+    quantize_midrise,
+    sigma_delta1_bitstream,
+    sigma_delta2_bitstream,
+)
+
+
+class TestQuantizers:
+    def test_midrise_levels(self):
+        # 2-bit midrise over [-1, 1]: levels at -0.75, -0.25, 0.25, 0.75.
+        assert quantize_midrise(-0.9, 2) == pytest.approx(-0.75)
+        assert quantize_midrise(-0.3, 2) == pytest.approx(-0.25)
+        assert quantize_midrise(0.1, 2) == pytest.approx(0.25)
+        assert quantize_midrise(0.9, 2) == pytest.approx(0.75)
+
+    def test_midrise_clipping(self):
+        assert quantize_midrise(5.0, 2) == pytest.approx(0.75)
+        assert quantize_midrise(-5.0, 2) == pytest.approx(-0.75)
+
+    def test_code_range(self):
+        assert quantize_code(-2.0, 4) == 0
+        assert quantize_code(2.0, 4) == 15
+        assert quantize_code(0.0, 4) == 8
+
+    @given(st.floats(-0.999, 0.999), st.integers(2, 14))
+    @settings(max_examples=100, deadline=None)
+    def test_quantization_error_bounded(self, v, bits):
+        step = 2.0 / 2 ** bits
+        q = quantize_midrise(v, bits)
+        assert abs(q - v) <= step / 2 + 1e-12
+
+
+class TestPipelinedAdc:
+    def make_input(self, n=8192, fs=1e6):
+        f = coherent_tone_frequency(fs, n, 17e3)
+        t = np.arange(n) / fs
+        return fs, 0.95 * np.sin(2 * np.pi * f * t)
+
+    def test_ideal_pipeline_reaches_nominal_enob(self):
+        fs, x = self.make_input()
+        adc = PipelinedAdc(n_stages=7, backend_bits=3)
+        out = adc.convert_array(x)
+        enob = enob_of_tone(out, fs)
+        assert enob > adc.nominal_bits - 1.2
+
+    def test_gain_error_degrades_uncalibrated(self):
+        fs, x = self.make_input()
+        adc = PipelinedAdc(n_stages=7, backend_bits=3,
+                           gain_errors=[0.02] * 7)
+        raw = adc.convert_array(x, calibrated=False)
+        cal = adc.convert_array(x, calibrated=True)
+        enob_raw = enob_of_tone(raw, fs)
+        enob_cal = enob_of_tone(cal, fs)
+        # Digital noise cancellation recovers >= 2 ENOB (Bonnerud's
+        # qualitative claim, E4).
+        assert enob_cal - enob_raw >= 2.0
+        assert enob_cal > 8.5
+
+    def test_calibration_exact_without_noise(self):
+        # With known gains and no noise the calibrated reconstruction
+        # equals the ideal pipeline up to backend quantization.
+        fs, x = self.make_input(n=2048)
+        rng = np.random.default_rng(5)
+        errors = rng.uniform(-0.02, 0.02, 6).tolist()
+        adc = PipelinedAdc(n_stages=6, backend_bits=4,
+                           gain_errors=errors)
+        out = adc.convert_array(x, calibrated=True)
+        # Worst-case backend LSB referred to the input shrinks by the
+        # actual gain product.
+        gains = np.prod([2 * (1 + e) for e in errors])
+        lsb_in = (2.0 / 2 ** 4) / gains
+        assert np.max(np.abs(out - x)) < 4 * lsb_in
+
+    def test_thermal_noise_limits_enob(self):
+        fs, x = self.make_input()
+        quiet = PipelinedAdc(n_stages=7, backend_bits=3, seed=1)
+        noisy = PipelinedAdc(n_stages=7, backend_bits=3,
+                             noise_rms=2e-3, seed=1)
+        enob_quiet = enob_of_tone(quiet.convert_array(x), fs)
+        enob_noisy = enob_of_tone(noisy.convert_array(x), fs)
+        assert enob_noisy < enob_quiet - 0.5
+
+    def test_comparator_offset_tolerated_by_redundancy(self):
+        # 1.5-bit redundancy absorbs comparator offsets up to Vref/4.
+        fs, x = self.make_input()
+        adc = PipelinedAdc(n_stages=7, backend_bits=3,
+                           comparator_offsets=[0.1] * 7)
+        enob = enob_of_tone(adc.convert_array(x), fs)
+        assert enob > 8.5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PipelinedAdc(n_stages=4, gain_errors=[0.0] * 3)
+
+    def test_sample_consistency(self):
+        adc = PipelinedAdc(n_stages=6, backend_bits=4)
+        decisions, backend = adc.convert(0.3)
+        value = adc.reconstruct(decisions, backend, calibrated=True)
+        assert value == pytest.approx(0.3, abs=2.0 / 2 ** 10)
+
+
+class TestSigmaDelta:
+    def test_first_order_dc_tracking(self):
+        # Mean of the bitstream approximates the DC input.
+        bits = sigma_delta1_bitstream(np.full(4096, 0.3))
+        assert np.mean(bits) == pytest.approx(0.3, abs=0.01)
+
+    def test_second_order_dc_tracking(self):
+        bits = sigma_delta2_bitstream(np.full(8192, -0.45))
+        assert np.mean(bits) == pytest.approx(-0.45, abs=0.01)
+
+    def test_bitstream_is_binary(self):
+        bits = sigma_delta2_bitstream(np.random.default_rng(0)
+                                      .uniform(-0.5, 0.5, 1000))
+        assert set(np.unique(bits)) <= {-1.0, 1.0}
+
+    def test_noise_shaping_order(self):
+        """2nd-order modulator gains more ENOB from oversampling.
+
+        The tone is chosen coherent in the *decimated* analysis record
+        (the second half, past the CIC startup transient).
+        """
+        fs, n, osr = 1e6, 1 << 16, 64
+        fs_dec = fs / osr
+        f = coherent_tone_frequency(fs_dec, 512, 1.2e3)
+        t = np.arange(n) / fs
+        x = 0.5 * np.sin(2 * np.pi * f * t)
+        out1 = cic_decimate(sigma_delta1_bitstream(x), osr, order=2)
+        out2 = cic_decimate(sigma_delta2_bitstream(x), osr, order=3)
+        enob1 = enob_of_tone(out1[512:], fs_dec, tone_frequency=f)
+        enob2 = enob_of_tone(out2[512:], fs_dec, tone_frequency=f)
+        assert enob1 > 7.0    # 1st order at OSR 64
+        assert enob2 > 10.5   # 2nd order: much stronger shaping
+        assert enob2 > enob1 + 2.0
+
+    def test_cic_dc_gain_unity(self):
+        out = cic_decimate(np.ones(1024), 16, order=2)
+        np.testing.assert_allclose(out[4:], 1.0, atol=1e-12)
+
+    def test_cic_decimation_length(self):
+        out = cic_decimate(np.zeros(1024), 8, order=1)
+        assert len(out) == 128
+
+
+class TestTdfConverterModules:
+    def test_pipelined_module_in_cluster(self):
+        from repro.core import Module, SimTime, Simulator
+        from repro.lib import PipelinedAdcModule, SineSource, TdfSink
+        from repro.tdf import TdfSignal
+
+        fs = 1e6
+        n = 4096
+        f = coherent_tone_frequency(fs, n, 17e3)
+
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                self.s_in = TdfSignal("s_in")
+                self.s_out = TdfSignal("s_out")
+                self.s_raw = TdfSignal("s_raw")
+                self.src = SineSource("src", frequency=f, amplitude=0.95,
+                                      parent=self,
+                                      timestep=SimTime(1, "us"))
+                adc = PipelinedAdc(n_stages=7, backend_bits=3,
+                                   gain_errors=[0.01] * 7)
+                self.adc = PipelinedAdcModule("adc", adc, parent=self)
+                self.sink = TdfSink("sink", self)
+                self.sink_raw = TdfSink("sink_raw", self)
+                self.src.out(self.s_in)
+                self.adc.inp(self.s_in)
+                self.adc.out(self.s_out)
+                self.adc.out_raw(self.s_raw)
+                self.sink.inp(self.s_out)
+                self.sink_raw.inp(self.s_raw)
+
+        top = Top()
+        sim = Simulator(top)
+        sim.run(SimTime(n, "us"))
+        cal = np.asarray(top.sink.samples)
+        raw = np.asarray(top.sink_raw.samples)
+        assert len(cal) >= n
+        enob_cal = enob_of_tone(cal[:n], fs)
+        enob_raw = enob_of_tone(raw[:n], fs)
+        assert enob_cal - enob_raw >= 2.0
+
+    def test_flash_adc_module(self):
+        from repro.core import Module, SimTime, Simulator
+        from repro.lib import FlashAdc, RampSource, TdfSink
+        from repro.tdf import TdfSignal
+
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                self.s_in = TdfSignal("s_in")
+                self.s_out = TdfSignal("s_out")
+                self.src = RampSource("src", slope=2.0 / 1e-3,
+                                      offset=-1.0, parent=self,
+                                      timestep=SimTime(1, "us"))
+                self.adc = FlashAdc("adc", bits=4, parent=self)
+                self.sink = TdfSink("sink", self)
+                self.src.out(self.s_in)
+                self.adc.inp(self.s_in)
+                self.adc.out(self.s_out)
+                self.sink.inp(self.s_out)
+
+        top = Top()
+        Simulator(top).run(SimTime(999, "us"))
+        out = np.asarray(top.sink.samples)
+        # Ramp from -1 to +1 exercises all 16 codes monotonically.
+        levels = np.unique(out)
+        assert len(levels) == 16
+        assert np.all(np.diff(out) >= 0)
+
+
+class TestDacs:
+    def test_ideal_dac_levels(self):
+        from repro.core import Module, SimTime, Simulator
+        from repro.lib import IdealDac, SampleListSource, TdfSink
+        from repro.tdf import TdfSignal
+
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                self.s_in = TdfSignal("s_in")
+                self.s_out = TdfSignal("s_out")
+                self.src = SampleListSource("src", [0, 7, 15], parent=self,
+                                            timestep=SimTime(1, "us"))
+                self.dac = IdealDac("dac", bits=4, parent=self)
+                self.sink = TdfSink("sink", self)
+                self.src.out(self.s_in)
+                self.dac.inp(self.s_in)
+                self.dac.out(self.s_out)
+                self.sink.inp(self.s_out)
+
+        top = Top()
+        Simulator(top).run(SimTime(2, "us"))
+        assert top.sink.samples[0] == pytest.approx(-1.0 + 0.5 * 0.125)
+        assert top.sink.samples[1] == pytest.approx(-1.0 + 7.5 * 0.125)
+        assert top.sink.samples[2] == pytest.approx(-1.0 + 15.5 * 0.125)
+
+    def test_switched_cap_dac_mismatch_inl(self):
+        from repro.lib import SwitchedCapDac
+
+        ideal = SwitchedCapDac("d0", bits=10, mismatch_rms=0.0)
+        assert np.max(np.abs(ideal.inl())) < 1e-9
+        mismatched = SwitchedCapDac("d1", bits=10, mismatch_rms=0.01,
+                                    seed=3)
+        inl = np.max(np.abs(mismatched.inl()))
+        assert 0.01 < inl < 10.0
+
+    def test_switched_cap_settling_validated(self):
+        from repro.lib import SwitchedCapDac
+
+        with pytest.raises(ValueError):
+            SwitchedCapDac("d", bits=8, settling=0.0)
+        with pytest.raises(ValueError):
+            SwitchedCapDac("d", bits=8, settling=1.5)

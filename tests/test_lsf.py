@@ -1,0 +1,308 @@
+"""Tests for the linear signal-flow layer: block semantics, transfer
+functions, state-space, feedback loops, AC analysis, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElaborationError, SolverError
+from repro.ct import corner_frequency, magnitude_db
+from repro.lsf import (
+    LsfAdd,
+    LsfDot,
+    LsfGain,
+    LsfInteg,
+    LsfLtfNd,
+    LsfLtfZp,
+    LsfNetwork,
+    LsfSource,
+    LsfStateSpace,
+    LsfSub,
+    lsf_ac,
+    lsf_transient,
+)
+
+
+class TestBasicBlocks:
+    def test_source_and_gain(self):
+        net = LsfNetwork()
+        u = net.signal("u")
+        y = net.signal("y")
+        net.add(LsfSource("src", u, waveform=lambda t: np.sin(t)))
+        net.add(LsfGain("g", u, y, gain=2.5))
+        res = lsf_transient(net, 1.0, 1e-3)
+        np.testing.assert_allclose(res[y], 2.5 * np.sin(res.times),
+                                   atol=1e-12)
+
+    def test_add_with_weights(self):
+        net = LsfNetwork()
+        a, b, y = net.signal("a"), net.signal("b"), net.signal("y")
+        net.add(LsfSource("sa", a, waveform=2.0))
+        net.add(LsfSource("sb", b, waveform=3.0))
+        net.add(LsfAdd("add", [a, b], y, weights=[1.0, -2.0]))
+        res = lsf_transient(net, 0.01, 1e-3)
+        np.testing.assert_allclose(res[y], -4.0)
+
+    def test_sub(self):
+        net = LsfNetwork()
+        a, b, y = net.signal("a"), net.signal("b"), net.signal("y")
+        net.add(LsfSource("sa", a, waveform=5.0))
+        net.add(LsfSource("sb", b, waveform=2.0))
+        net.add(LsfSub("sub", a, b, y))
+        res = lsf_transient(net, 0.01, 1e-3)
+        np.testing.assert_allclose(res[y], 3.0)
+
+    def test_integrator_ramp(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=2.0))
+        net.add(LsfInteg("int", u, y, gain=1.0, initial=1.0))
+        res = lsf_transient(net, 1.0, 1e-3)
+        np.testing.assert_allclose(res[y], 1.0 + 2.0 * res.times,
+                                   atol=1e-9)
+
+    def test_differentiator_of_ramp(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=lambda t: 3.0 * t))
+        net.add(LsfDot("dot", u, y))
+        # Backward Euler: the trapezoidal rule rings forever on a
+        # differentiator whose initial output is inconsistent.
+        res = lsf_transient(net, 1.0, 1e-3, method="backward_euler")
+        np.testing.assert_allclose(res[y][1:], 3.0, atol=1e-6)
+
+
+class TestTransferFunctions:
+    def test_first_order_lowpass_step(self):
+        tau = 1e-3
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfLtfNd("filt", u, y, num=[1.0], den=[1.0, tau]))
+        res = lsf_transient(net, 5 * tau, tau / 200)
+        expected = 1 - np.exp(-res.times / tau)
+        np.testing.assert_allclose(res[y], expected, atol=1e-4)
+
+    def test_second_order_resonant_step(self):
+        # H(s) = w0^2 / (s^2 + 2*zeta*w0*s + w0^2)
+        w0, zeta = 2 * np.pi * 1e3, 0.3
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfLtfNd("filt", u, y,
+                         num=[w0 ** 2],
+                         den=[w0 ** 2, 2 * zeta * w0, 1.0]))
+        res = lsf_transient(net, 10 / w0 * 2 * np.pi, 1e-7)
+        wd = w0 * np.sqrt(1 - zeta ** 2)
+        t = res.times
+        expected = 1 - np.exp(-zeta * w0 * t) * (
+            np.cos(wd * t) + zeta * w0 / wd * np.sin(wd * t)
+        )
+        np.testing.assert_allclose(res[y], expected, atol=2e-3)
+
+    def test_feedthrough_highpass(self):
+        # H(s) = s*tau / (1 + s*tau): feedthrough at equal degrees.
+        tau = 1e-3
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfLtfNd("hp", u, y, num=[0.0, tau], den=[1.0, tau]))
+        res = lsf_transient(net, 5 * tau, tau / 500)
+        expected = np.exp(-res.times / tau)
+        # The step at t=0 passes through instantly.
+        np.testing.assert_allclose(res[y][1:], expected[1:], atol=2e-3)
+
+    def test_zero_pole_form_matches_nd(self):
+        p = -2 * np.pi * 100.0
+        net = LsfNetwork()
+        u, y1, y2 = net.signal("u"), net.signal("y1"), net.signal("y2")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfLtfZp("zp", u, y1, zeros=[], poles=[p], gain=-p))
+        net.add(LsfLtfNd("nd", u, y2, num=[-p], den=[-p, 1.0]))
+        res = lsf_transient(net, 0.01, 1e-6)
+        np.testing.assert_allclose(res[y1], res[y2], atol=1e-10)
+
+    def test_conjugate_pole_pair(self):
+        w0 = 2 * np.pi * 50.0
+        poles = [complex(-w0 * 0.1, w0), complex(-w0 * 0.1, -w0)]
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0, ac=1.0))
+        gain = abs(poles[0]) ** 2
+        net.add(LsfLtfZp("zp", u, y, zeros=[], poles=poles, gain=gain))
+        freqs = np.logspace(0, 4, 201)
+        h = lsf_ac(net, freqs, y)
+        assert abs(h[0]) == pytest.approx(1.0, rel=1e-3)  # unity DC gain
+        # Resonant peak near w0.
+        f_peak = freqs[np.argmax(np.abs(h))]
+        assert f_peak == pytest.approx(abs(poles[0]) / (2 * np.pi), rel=0.05)
+
+    def test_improper_rejected(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        with pytest.raises(ElaborationError):
+            LsfLtfNd("bad", u, y, num=[0.0, 0.0, 1.0], den=[1.0, 1.0])
+
+    def test_static_denominator_rejected(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        with pytest.raises(ElaborationError):
+            LsfLtfNd("bad", u, y, num=[1.0], den=[2.0])
+
+    def test_unpaired_complex_pole_rejected(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        with pytest.raises(ElaborationError):
+            LsfLtfZp("bad", u, y, zeros=[], poles=[complex(-1, 5)])
+
+
+class TestFeedbackLoops:
+    def test_first_order_closed_loop(self):
+        # Closed loop: y = integ(k * (u - y)) -> y/u = 1/(1 + s/k).
+        k = 1000.0
+        net = LsfNetwork()
+        u, e, y = net.signal("u"), net.signal("e"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfSub("err", u, y, e))
+        net.add(LsfInteg("int", e, y, gain=k))
+        res = lsf_transient(net, 5 / k, 1 / (k * 200))
+        expected = 1 - np.exp(-k * res.times)
+        np.testing.assert_allclose(res[y], expected, atol=1e-4)
+
+    def test_pi_controller_tracks_step(self):
+        # Plant 1/(1+s*tau) with PI controller: zero steady-state error.
+        tau, kp, ki = 1e-2, 2.0, 50.0
+        net = LsfNetwork()
+        r = net.signal("r")
+        e = net.signal("e")
+        up = net.signal("up")
+        ui = net.signal("ui")
+        u = net.signal("u")
+        y = net.signal("y")
+        net.add(LsfSource("ref", r, waveform=1.0))
+        net.add(LsfSub("err", r, y, e))
+        net.add(LsfGain("kp", e, up, gain=kp))
+        net.add(LsfInteg("ki", e, ui, gain=ki))
+        net.add(LsfAdd("sum", [up, ui], u))
+        net.add(LsfLtfNd("plant", u, y, num=[1.0], den=[1.0, tau]))
+        res = lsf_transient(net, 1.0, 1e-4)
+        assert res[y][-1] == pytest.approx(1.0, abs=1e-3)
+        assert abs(res[e][-1]) < 1e-3
+
+
+class TestStateSpace:
+    def test_siso_first_order(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfStateSpace("ss", [u], [y],
+                              A=[[-10.0]], B=[[10.0]], C=[[1.0]]))
+        res = lsf_transient(net, 0.5, 1e-4)
+        expected = 1 - np.exp(-10 * res.times)
+        np.testing.assert_allclose(res[y], expected, atol=1e-5)
+
+    def test_initial_condition(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=0.0))
+        net.add(LsfStateSpace("ss", [u], [y],
+                              A=[[-1.0]], B=[[1.0]], C=[[1.0]],
+                              initial=[2.0]))
+        res = lsf_transient(net, 3.0, 1e-3)
+        np.testing.assert_allclose(res[y], 2 * np.exp(-res.times),
+                                   atol=1e-4)
+
+    def test_mimo_shapes_validated(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        with pytest.raises(ElaborationError):
+            LsfStateSpace("bad", [u], [y], A=[[0, 1]], B=[[1]], C=[[1]])
+        with pytest.raises(ElaborationError):
+            LsfStateSpace("bad2", [u], [y], A=[[0]], B=[[1], [2]], C=[[1]])
+
+    def test_two_output_block(self):
+        net = LsfNetwork()
+        u = net.signal("u")
+        y1, y2 = net.signal("y1"), net.signal("y2")
+        net.add(LsfSource("src", u, waveform=1.0))
+        # Double integrator chain: y1 = position, y2 = velocity.
+        net.add(LsfStateSpace(
+            "ss", [u], [y1, y2],
+            A=[[0.0, 1.0], [0.0, 0.0]], B=[[0.0], [1.0]],
+            C=[[1.0, 0.0], [0.0, 1.0]],
+        ))
+        res = lsf_transient(net, 1.0, 1e-4)
+        np.testing.assert_allclose(res[y2], res.times, atol=1e-8)
+        np.testing.assert_allclose(res[y1], res.times ** 2 / 2, atol=1e-6)
+
+
+class TestAcAnalysis:
+    def test_lowpass_bode(self):
+        tau = 1e-4
+        f0 = 1 / (2 * np.pi * tau)
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=0.0, ac=1.0))
+        net.add(LsfLtfNd("filt", u, y, num=[1.0], den=[1.0, tau]))
+        freqs = np.logspace(1, 6, 201)
+        h = lsf_ac(net, freqs, y)
+        assert corner_frequency(freqs, h) == pytest.approx(f0, rel=1e-2)
+        # -20 dB/decade rolloff well above the corner.
+        mags = magnitude_db(h)
+        k1 = np.searchsorted(freqs, f0 * 30)
+        k2 = np.searchsorted(freqs, f0 * 300)
+        slope = (mags[k2] - mags[k1]) / np.log10(freqs[k2] / freqs[k1])
+        assert slope == pytest.approx(-20.0, abs=0.5)
+
+    def test_ac_without_excitation_raises(self):
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, waveform=1.0))
+        net.add(LsfGain("g", u, y, gain=1.0))
+        with pytest.raises(SolverError):
+            lsf_ac(net, np.array([10.0]), y)
+
+
+class TestValidation:
+    def test_undriven_signal_rejected(self):
+        net = LsfNetwork()
+        u = net.signal("u")
+        y = net.signal("y")
+        net.add(LsfSource("src", u))
+        with pytest.raises(ElaborationError):
+            net.assemble()
+
+    def test_double_driven_signal_rejected(self):
+        net = LsfNetwork()
+        u = net.signal("u")
+        net.add(LsfSource("a", u))
+        with pytest.raises(ElaborationError):
+            net.add(LsfSource("b", u))
+
+    def test_duplicate_names_rejected(self):
+        net = LsfNetwork()
+        net.signal("u")
+        with pytest.raises(ElaborationError):
+            net.signal("u")
+        a = net.signal("a")
+        b = net.signal("b")
+        net.add(LsfSource("s", a))
+        with pytest.raises(ElaborationError):
+            net.add(LsfSource("s", b))
+
+    def test_weight_count_mismatch(self):
+        net = LsfNetwork()
+        a, b, y = net.signal("a"), net.signal("b"), net.signal("y")
+        with pytest.raises(ElaborationError):
+            LsfAdd("add", [a, b], y, weights=[1.0])
+
+    def test_algebraic_loop_detected_at_init(self):
+        # y = 2*y has only the trivial solution under G singularity...
+        # Actually y = gain*y with gain=1 makes G singular.
+        net = LsfNetwork()
+        y = net.signal("y")
+        z = net.signal("z")
+        net.add(LsfGain("g1", y, z, gain=1.0))
+        net.add(LsfGain("g2", z, y, gain=1.0))
+        dae, index = net.assemble()
+        with pytest.raises(SolverError):
+            index.initial_state()

@@ -1,0 +1,218 @@
+"""Coverage for remaining edge paths: process wait validation, step
+metrics corner cases, LSF zero-pole with zeros, source rate>1 timing,
+TDF signal error paths."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import StepResponse
+from repro.core import Module, SimTime, Simulator, SimulationError
+from repro.core.errors import SynchronizationError
+from repro.lib import SineSource, TdfSink
+from repro.tdf import TdfIn, TdfModule, TdfOut, TdfSignal
+
+
+def us(x):
+    return SimTime(x, "us")
+
+
+class TestProcessWaitValidation:
+    def test_invalid_yield_value_raises(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__("m")
+                self.thread(self.bad)
+
+            def bad(self):
+                yield 42  # neither SimTime nor Event
+
+        with pytest.raises(SimulationError):
+            Simulator(M()).run(us(1))
+
+    def test_invalid_wait_list_raises(self):
+        class M(Module):
+            def __init__(self):
+                super().__init__("m")
+                self.thread(self.bad)
+
+            def bad(self):
+                yield ["not", "events"]
+
+        with pytest.raises(SimulationError):
+            Simulator(M()).run(us(1))
+
+    def test_non_generator_thread_runs_once(self):
+        ran = []
+
+        class M(Module):
+            def __init__(self):
+                super().__init__("m")
+                self.p = self.thread(lambda: ran.append(1))
+
+        m = M()
+        Simulator(m).run(us(1))
+        assert ran == [1]
+        assert m.p.terminated
+
+
+class TestStepResponseCorners:
+    def test_never_reaches_target(self):
+        t = np.linspace(0, 1, 100)
+        v = 0.5 * t  # reaches only half the declared swing
+        step = StepResponse(t, v, final_value=1.0, initial_value=0.0)
+        with pytest.raises(ValueError):
+            step.rise_time
+
+    def test_does_not_settle(self):
+        t = np.linspace(0, 1, 101)
+        v = np.sin(40 * t)  # oscillates through the final point
+        step = StepResponse(t, v, final_value=0.0, initial_value=-1.0)
+        with pytest.raises(ValueError):
+            step.settling_time(0.01)
+
+    def test_already_settled(self):
+        t = np.linspace(0, 1, 11)
+        v = np.ones(11)
+        step = StepResponse(t, v, final_value=1.0, initial_value=0.0)
+        assert step.settling_time() == 0.0
+
+    def test_falling_step_overshoot(self):
+        t = np.linspace(0, 1, 1001)
+        v = np.exp(-5 * t) * (1 + 0.0 * t)  # 1 -> 0, monotone
+        v = v - 0.05 * np.exp(-20 * t) * np.sin(30 * t)  # undershoot
+        step = StepResponse(t, v, final_value=0.0, initial_value=1.0)
+        assert step.overshoot >= 0.0
+
+
+class TestLsfZeroPoleWithZeros:
+    def test_lead_filter(self):
+        """H(s) = (s + z) / (s + p) with z < p: a lead network."""
+        from repro.lsf import (
+            LsfLtfZp,
+            LsfNetwork,
+            LsfSource,
+            lsf_ac,
+        )
+
+        z, p = -2 * np.pi * 100.0, -2 * np.pi * 1000.0
+        net = LsfNetwork()
+        u, y = net.signal("u"), net.signal("y")
+        net.add(LsfSource("src", u, ac=1.0))
+        net.add(LsfLtfZp("lead", u, y, zeros=[z], poles=[p], gain=1.0))
+        freqs = np.logspace(0, 5, 201)
+        h = lsf_ac(net, freqs, y)
+        s = 2j * np.pi * freqs
+        expected = (s - z) / (s - p)
+        np.testing.assert_allclose(h, expected, rtol=1e-9)
+
+
+class TestSourceMultirate:
+    def test_sine_source_rate_sample_times(self):
+        """rate > 1: samples are spaced at timestep/rate."""
+        src = SineSource("src", frequency=50e3, rate=4,
+                         timestep=us(4))
+        sink = TdfSink("sink", rate=4)
+
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                src.parent = self
+                sink.parent = self
+                self._add_child(src)
+                self._add_child(sink)
+                sig = TdfSignal("s")
+                src.out(sig)
+                sink.inp(sig)
+
+        Simulator(Top()).run(us(100))
+        t, x = sink.as_arrays()
+        # Sample spacing is 1 us even though activations are 4 us apart.
+        np.testing.assert_allclose(np.diff(t)[:12], 1e-6, atol=1e-12)
+        expected = np.sin(2 * np.pi * 50e3 * t)
+        np.testing.assert_allclose(x, expected, atol=1e-9)
+
+
+class TestTdfErrorPaths:
+    def test_out_of_range_sample_index(self):
+        class Bad(TdfModule):
+            def __init__(self, name, parent=None):
+                super().__init__(name, parent)
+                self.out = TdfOut("out", rate=2)
+
+            def set_attributes(self):
+                self.set_timestep(us(1))
+
+            def processing(self):
+                self.out.write(0.0, 5)  # rate is 2
+
+        class Sink(TdfModule):
+            def __init__(self, name, parent=None):
+                super().__init__(name, parent)
+                self.inp = TdfIn("inp", rate=2)
+
+            def processing(self):
+                self.inp.read(0)
+
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                self.bad = Bad("bad", self)
+                self.sink = Sink("sink", self)
+                sig = TdfSignal("s")
+                self.bad.out(sig)
+                self.sink.inp(sig)
+
+        with pytest.raises(SynchronizationError):
+            Simulator(Top()).run(us(2))
+
+    def test_read_out_of_range_index(self):
+        class Src(TdfModule):
+            def __init__(self, name, parent=None):
+                super().__init__(name, parent)
+                self.out = TdfOut("out")
+
+            def set_attributes(self):
+                self.set_timestep(us(1))
+
+            def processing(self):
+                self.out.write(1.0)
+
+        class BadSink(TdfModule):
+            def __init__(self, name, parent=None):
+                super().__init__(name, parent)
+                self.inp = TdfIn("inp")
+
+            def processing(self):
+                self.inp.read(3)  # rate is 1
+
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                self.src = Src("src", self)
+                self.sink = BadSink("sink", self)
+                sig = TdfSignal("s")
+                self.src.out(sig)
+                self.sink.inp(sig)
+
+        with pytest.raises(SynchronizationError):
+            Simulator(Top()).run(us(2))
+
+    def test_signal_get_unavailable_sample(self):
+        sig = TdfSignal("s")
+        with pytest.raises(SynchronizationError):
+            sig.get(0)
+
+    def test_signal_compacted_write_rejected(self):
+        sig = TdfSignal("s")
+        sig.set(0, 1.0)
+        sig.set(1, 2.0)
+        sig.compact(2)
+        with pytest.raises(SynchronizationError):
+            sig.set(0, 9.9)
+
+    def test_sparse_write_fills_gap(self):
+        sig = TdfSignal("s")
+        sig.set(0, 1.0)
+        sig.set(3, 4.0)  # indices 1, 2 zero-filled
+        assert sig.get(1) == 0.0
+        assert sig.get(3) == 4.0

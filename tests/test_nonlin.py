@@ -1,0 +1,242 @@
+"""Tests for nonlinear networks: device stamps, DC, transient, AC
+linearization, classic circuits (rectifier, clipper, inverter)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElaborationError
+from repro.ct import (
+    ac_sweep,
+    dc_operating_point,
+    linearize,
+    variable_step_transient,
+)
+from repro.eln import Capacitor, Isource, Resistor, Vsource
+from repro.nonlin import (
+    Diode,
+    NMos,
+    NonlinearCapacitor,
+    NonlinearConductor,
+    NonlinearNetwork,
+)
+
+
+def diode_resistor(v_supply=5.0, R=1e3):
+    net = NonlinearNetwork()
+    net.add(Vsource("V1", "in", "0", v_supply))
+    net.add(Resistor("R1", "in", "d", R))
+    net.add_device(Diode("D1", "d", "0"))
+    return net
+
+
+class TestDiodeCircuits:
+    def test_dc_forward_drop(self):
+        system, index = diode_resistor().assemble_nonlinear()
+        x = dc_operating_point(system)
+        vd = index.voltage(x, "d")
+        assert 0.5 < vd < 0.8
+        # KCL: diode current equals resistor current.
+        i_r = (5.0 - vd) / 1e3
+        i_d = 1e-14 * (np.exp(vd / 0.02585) - 1)
+        assert i_d == pytest.approx(i_r, rel=1e-6)
+
+    def test_reverse_bias_blocks(self):
+        system, index = diode_resistor(v_supply=-5.0).assemble_nonlinear()
+        x = dc_operating_point(system)
+        assert index.voltage(x, "d") == pytest.approx(-5.0, abs=1e-6)
+
+    def test_half_wave_rectifier_transient(self):
+        net = NonlinearNetwork()
+        f = 1e3
+        net.add(Vsource("V1", "in", "0",
+                        lambda t: 5.0 * np.sin(2 * np.pi * f * t)))
+        net.add(Resistor("Rload", "out", "0", 10e3))
+        net.add(Capacitor("Cload", "out", "0", 1e-6))
+        net.add_device(Diode("D1", "in", "out"))
+        system, index = net.assemble_nonlinear()
+        result = variable_step_transient(
+            system, 5e-3, x0=np.zeros(system.n),
+            reltol=1e-4, abstol=1e-7, h0=1e-6,
+        )
+        v_out = result.states[:, index.node_index["out"]]
+        # Peak-rectified: close to 5 V minus a diode drop; ripple small.
+        assert np.max(v_out) > 4.0
+        second_half = v_out[result.times > 2.5e-3]
+        assert np.min(second_half) > 3.0  # held up by the capacitor
+
+    def test_diode_clipper_ac_small_signal(self):
+        # Linearized diode at a DC bias behaves as a resistor r_d = nVt/I.
+        net = NonlinearNetwork()
+        net.add(Isource("I1", "d", "0", 1e-3))  # 1 mA bias
+        net.add(Resistor("Rbig", "d", "0", 1e9))  # keeps DC solvable
+        net.add_device(Diode("D1", "d", "0"))
+        system, index = net.assemble_nonlinear()
+        x_op = dc_operating_point(system)
+        C, G = linearize(system, x_op)
+        # Small-signal resistance at the diode node.
+        b = index.injection_vector("d")
+        phasor = ac_sweep(C, G, b, np.array([1.0]))[0]
+        r_d = abs(phasor[index.node_index["d"]])
+        expected = 0.02585 / 1e-3
+        assert r_d == pytest.approx(expected, rel=0.01)
+
+    def test_junction_capacitance_slows_switching(self):
+        def switch_time(junction_cap):
+            net = NonlinearNetwork()
+            net.add(Vsource("V1", "in", "0",
+                            lambda t: -5.0 if t < 1e-6 else 5.0))
+            net.add(Resistor("R1", "in", "d", 1e4))
+            net.add_device(Diode("D1", "d", "0",
+                                 junction_cap=junction_cap))
+            system, index = net.assemble_nonlinear()
+            result = variable_step_transient(
+                system, 10e-6, reltol=1e-5, abstol=1e-8, h0=1e-9,
+            )
+            v = result.states[:, index.node_index["d"]]
+            above = result.times[v > 0.4]
+            return above[0] if len(above) else np.inf
+
+        fast = switch_time(1e-12)
+        slow = switch_time(1e-9)
+        assert slow > fast * 2
+
+    def test_validation(self):
+        with pytest.raises(ElaborationError):
+            Diode("D", "a", "0", i_sat=0.0)
+        net = NonlinearNetwork()
+        net.add_device(Diode("D1", "a", "0"))
+        with pytest.raises(ElaborationError):
+            net.add_device(Diode("D1", "b", "0"))
+        with pytest.raises(ElaborationError):
+            net.assemble_nonlinear()  # no linear anchor
+
+
+class TestMosCircuits:
+    def test_saturation_current(self):
+        net = NonlinearNetwork()
+        net.add(Vsource("Vdd", "vdd", "0", 5.0))
+        net.add(Vsource("Vg", "g", "0", 1.7))
+        net.add(Resistor("Rd", "vdd", "d", 1e3))
+        net.add_device(NMos("M1", "d", "g", "0", k_prime=2e-3, vth=0.7))
+        system, index = net.assemble_nonlinear()
+        x = dc_operating_point(system)
+        # Ids = 0.5 * k * (vgs - vth)^2 = 0.5 * 2e-3 * 1 = 1 mA.
+        vd = index.voltage(x, "d")
+        assert vd == pytest.approx(5.0 - 1e3 * 1e-3, rel=1e-3)
+
+    def test_cutoff(self):
+        net = NonlinearNetwork()
+        net.add(Vsource("Vdd", "vdd", "0", 5.0))
+        net.add(Vsource("Vg", "g", "0", 0.3))  # below threshold
+        net.add(Resistor("Rd", "vdd", "d", 1e3))
+        net.add_device(NMos("M1", "d", "g", "0"))
+        system, index = net.assemble_nonlinear()
+        x = dc_operating_point(system)
+        assert index.voltage(x, "d") == pytest.approx(5.0, abs=1e-9)
+
+    def test_triode_region(self):
+        net = NonlinearNetwork()
+        net.add(Vsource("Vdd", "vdd", "0", 5.0))
+        net.add(Vsource("Vg", "g", "0", 5.0))  # strongly on
+        net.add(Resistor("Rd", "vdd", "d", 10e3))
+        net.add_device(NMos("M1", "d", "g", "0", k_prime=5e-3, vth=0.7))
+        system, index = net.assemble_nonlinear()
+        x = dc_operating_point(system)
+        vd = index.voltage(x, "d")
+        assert vd < 0.5  # deep triode: near ground
+        # Verify against the triode equation.
+        vov = 5.0 - 0.7
+        ids = 5e-3 * (vov * vd - 0.5 * vd * vd)
+        assert ids == pytest.approx((5.0 - vd) / 10e3, rel=1e-6)
+
+    def test_inverter_transfer_curve(self):
+        """Resistive-load NMOS inverter: monotonically falling VTC."""
+        outputs = []
+        for vin in (0.0, 0.7, 1.2, 2.0, 3.0, 5.0):
+            net = NonlinearNetwork()
+            net.add(Vsource("Vdd", "vdd", "0", 5.0))
+            net.add(Vsource("Vin", "g", "0", vin))
+            net.add(Resistor("Rd", "vdd", "out", 5e3))
+            net.add_device(NMos("M1", "out", "g", "0", k_prime=1e-3,
+                                vth=0.7))
+            system, index = net.assemble_nonlinear()
+            x = dc_operating_point(system)
+            outputs.append(index.voltage(x, "out"))
+        assert outputs[0] == pytest.approx(5.0, abs=1e-9)
+        assert all(a >= b - 1e-9 for a, b in zip(outputs, outputs[1:]))
+        assert outputs[-1] < 1.0
+
+    def test_reverse_conduction_symmetry(self):
+        # Drain below source: device conducts backwards.
+        net = NonlinearNetwork()
+        net.add(Vsource("Vs", "s", "0", 5.0))
+        net.add(Vsource("Vg", "g", "0", 5.7))
+        net.add(Resistor("Rd", "d", "0", 1e3))
+        net.add_device(NMos("M1", "d", "g", "s", k_prime=2e-3, vth=0.7))
+        system, index = net.assemble_nonlinear()
+        x = dc_operating_point(system)
+        # Current flows source->drain, pulling d up from ground.
+        assert index.voltage(x, "d") > 1.0
+
+    def test_mos_validation(self):
+        with pytest.raises(ElaborationError):
+            NMos("M", "d", "g", "s", k_prime=0.0)
+
+
+class TestArbitraryDevices:
+    def test_nonlinear_conductor_cubic(self):
+        # i = v^3: with 1 A forced in, v = 1.
+        net = NonlinearNetwork()
+        net.add(Isource("I1", "n", "0", 1.0))
+        net.add(Resistor("Rleak", "n", "0", 1e9))
+        net.add_device(NonlinearConductor(
+            "G1", "n", "0",
+            current=lambda v: v ** 3,
+            conductance=lambda v: 3 * v ** 2,
+        ))
+        system, index = net.assemble_nonlinear()
+        x = dc_operating_point(system, x0=np.full(system.n, 0.5))
+        assert index.voltage(x, "n") == pytest.approx(1.0, rel=1e-6)
+
+    def test_finite_difference_conductance(self):
+        net = NonlinearNetwork()
+        net.add(Isource("I1", "n", "0", 8.0))
+        net.add(Resistor("Rleak", "n", "0", 1e9))
+        net.add_device(NonlinearConductor(
+            "G1", "n", "0", current=lambda v: v ** 3,
+        ))
+        system, index = net.assemble_nonlinear()
+        x = dc_operating_point(system, x0=np.full(system.n, 1.0))
+        assert index.voltage(x, "n") == pytest.approx(2.0, rel=1e-5)
+
+    def test_nonlinear_capacitor_varactor(self):
+        # q(v) = c0*v + c1*v^2/2: small-signal capacitance c0 + c1*v.
+        c0, c1 = 1e-9, 5e-10
+        net = NonlinearNetwork()
+        net.add(Vsource("V1", "n", "0", 2.0))
+        net.add_device(NonlinearCapacitor(
+            "C1", "n", "0",
+            charge=lambda v: c0 * v + 0.5 * c1 * v * v,
+            capacitance=lambda v: c0 + c1 * v,
+        ))
+        system, index = net.assemble_nonlinear()
+        x_op = dc_operating_point(system)
+        C, G = linearize(system, x_op)
+        n_idx = index.node_index["n"]
+        assert C[n_idx, n_idx] == pytest.approx(c0 + c1 * 2.0, rel=1e-9)
+
+    def test_rc_with_nonlinear_cap_transient(self):
+        net = NonlinearNetwork()
+        net.add(Vsource("V1", "in", "0", 1.0))
+        net.add(Resistor("R1", "in", "n", 1e3))
+        net.add_device(NonlinearCapacitor(
+            "C1", "n", "0", charge=lambda v: 1e-6 * v,
+        ))
+        system, index = net.assemble_nonlinear()
+        result = variable_step_transient(
+            system, 5e-3, x0=np.zeros(system.n),
+            reltol=1e-6, abstol=1e-9,
+        )
+        v = result.states[:, index.node_index["n"]]
+        expected = 1 - np.exp(-result.times / 1e-3)
+        np.testing.assert_allclose(v, expected, atol=1e-3)

@@ -1,0 +1,358 @@
+"""Tests for the SDF model of computation: balance equations, scheduling,
+deadlock detection, actor semantics, and property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ElaborationError, SchedulingError
+from repro.sdf import (
+    Accumulator,
+    Actor,
+    Add,
+    Const,
+    Deinterleave,
+    Downsample,
+    Fir,
+    Fork,
+    Gain,
+    Interleave,
+    Map,
+    Mul,
+    Ramp,
+    SdfGraph,
+    Sink,
+    Source,
+    Sub,
+    Upsample,
+)
+
+
+def chain_graph(*actors):
+    g = SdfGraph()
+    for a, b in zip(actors, actors[1:]):
+        g.connect(a, "out", b, "in")
+    return g
+
+
+class TestRepetitionVector:
+    def test_homogeneous_chain(self):
+        src, gain, sink = Ramp("src"), Gain("g", 2.0), Sink("sink")
+        g = chain_graph(src, gain, sink)
+        r = g.repetition_vector()
+        assert r == {src: 1, gain: 1, sink: 1}
+
+    def test_multirate(self):
+        src = Ramp("src")
+        down = Downsample("down", 4)
+        sink = Sink("sink")
+        g = SdfGraph()
+        g.connect(src, "out", down, "in")
+        g.connect(down, "out", sink, "in")
+        r = g.repetition_vector()
+        assert r[src] == 4
+        assert r[down] == 1
+        assert r[sink] == 1
+
+    def test_up_down_combination(self):
+        src = Ramp("src")
+        up = Upsample("up", 3)
+        down = Downsample("down", 2)
+        sink = Sink("sink")
+        g = SdfGraph()
+        g.connect(src, "out", up, "in")
+        g.connect(up, "out", down, "in")
+        g.connect(down, "out", sink, "in")
+        r = g.repetition_vector()
+        # src:2 up:2 -> 6 tokens -> down:3 -> sink:3
+        assert (r[src], r[up], r[down], r[sink]) == (2, 2, 3, 3)
+
+    def test_inconsistent_rates_rejected(self):
+        src = Ramp("src", rate=2)
+        add = Add("add")
+        sink = Sink("sink")
+        fork = Fork("fork")
+        g = SdfGraph()
+        g.connect(src, "out", fork, "in")  # fork rate 1, src rate 2 -> r mismatch around cycle
+        g.connect(fork, "a", add, "a")
+        up = Upsample("up", 3)
+        g.connect(fork, "b", up, "in")
+        g.connect(up, "out", add, "b")  # a gets rate 1 while b needs 3x
+        g.connect(add, "out", sink, "in")
+        with pytest.raises(SchedulingError):
+            g.repetition_vector()
+
+    def test_disconnected_components(self):
+        a, sa = Ramp("a"), Sink("sa")
+        b, sb = Ramp("b"), Sink("sb")
+        g = SdfGraph()
+        g.connect(a, "out", sa, "in")
+        g.connect(b, "out", sb, "in")
+        r = g.repetition_vector()
+        assert all(v == 1 for v in r.values())
+
+    def test_empty_graph(self):
+        assert SdfGraph().repetition_vector() == {}
+
+
+class TestScheduling:
+    def test_schedule_length_equals_repetitions(self):
+        src = Ramp("src")
+        up = Upsample("up", 3)
+        down = Downsample("down", 2)
+        sink = Sink("sink")
+        g = SdfGraph()
+        g.connect(src, "out", up, "in")
+        g.connect(up, "out", down, "in")
+        g.connect(down, "out", sink, "in")
+        order = g.schedule()
+        r = g.repetition_vector()
+        for actor, reps in r.items():
+            assert order.count(actor) == reps
+
+    def test_deadlock_without_initial_tokens(self):
+        # a -> b -> a cycle with no initial tokens cannot fire.
+        a = Map("a", lambda v: v)
+        b = Map("b", lambda v: v)
+        g = SdfGraph()
+        # Need distinct ports for the cycle: use Add with feedback.
+        add = Add("add")
+        inc = Map("inc", lambda v: v + 1)
+        src = Const("src", 1.0)
+        g.connect(src, "out", add, "a")
+        g.connect(add, "out", inc, "in")
+        g.connect(inc, "out", add, "b")  # feedback, zero delay
+        with pytest.raises(SchedulingError):
+            g.schedule()
+
+    def test_cycle_with_initial_token_schedules(self):
+        add = Add("add")
+        inc = Map("inc", lambda v: v)
+        src = Const("src", 1.0)
+        g = SdfGraph()
+        g.connect(src, "out", add, "a")
+        g.connect(add, "out", inc, "in")
+        g.connect(inc, "out", add, "b", initial_tokens=[0.0])
+        order = g.schedule()
+        assert len(order) == 3
+
+    def test_feedback_accumulator_behaviour(self):
+        # y[n] = x[n] + y[n-1] built from Add + unit delay on feedback edge.
+        src = Const("src", 1.0)
+        add = Add("add")
+        fork = Fork("fork")
+        sink = Sink("sink")
+        g = SdfGraph()
+        g.connect(src, "out", add, "a")
+        g.connect(add, "out", fork, "in")
+        g.connect(fork, "a", sink, "in")
+        g.connect(fork, "b", add, "b", initial_tokens=[0.0])
+        g.run(5)
+        assert sink.collected == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+class TestActors:
+    def test_ramp_and_gain(self):
+        src, gain, sink = Ramp("src"), Gain("g", 3.0), Sink("s")
+        g = chain_graph(src, gain, sink)
+        g.run(4)
+        assert sink.collected == [0.0, 3.0, 6.0, 9.0]
+
+    def test_add_sub_mul(self):
+        a = Const("a", 5.0)
+        b = Const("b", 2.0)
+        for actor_cls, expected in ((Add, 7.0), (Sub, 3.0), (Mul, 10.0)):
+            op = actor_cls("op")
+            sink = Sink("s")
+            g = SdfGraph()
+            g.connect(a, "out", op, "a")
+            g.connect(b, "out", op, "b")
+            g.connect(op, "out", sink, "in")
+            g.run(1)
+            assert sink.collected == [expected]
+            a.reset(), b.reset()
+
+    def test_fir_matches_numpy_convolution(self):
+        rng = np.random.default_rng(7)
+        taps = rng.normal(size=5)
+        samples = rng.normal(size=40)
+        src = Source("src", lambda i: samples[i])
+        fir = Fir("fir", taps)
+        sink = Sink("s")
+        g = chain_graph(src, fir, sink)
+        g.run(len(samples))
+        expected = np.convolve(samples, taps)[: len(samples)]
+        np.testing.assert_allclose(sink.as_array(), expected, atol=1e-12)
+
+    def test_accumulator(self):
+        src = Const("src", 2.0)
+        acc = Accumulator("acc", initial=1.0)
+        sink = Sink("s")
+        g = chain_graph(src, acc, sink)
+        g.run(3)
+        assert sink.collected == [3.0, 5.0, 7.0]
+
+    def test_interleave_deinterleave_roundtrip(self):
+        a = Ramp("a")  # 0, 1, 2, ...
+        b = Ramp("b", offset=100.0)
+        il = Interleave("il")
+        dl = Deinterleave("dl")
+        sa, sb = Sink("sa"), Sink("sb")
+        g = SdfGraph()
+        g.connect(a, "out", il, "a")
+        g.connect(b, "out", il, "b")
+        g.connect(il, "out", dl, "in")
+        g.connect(dl, "a", sa, "in")
+        g.connect(dl, "b", sb, "in")
+        g.run(4)
+        assert sa.collected == [0.0, 1.0, 2.0, 3.0]
+        assert sb.collected == [100.0, 101.0, 102.0, 103.0]
+
+    def test_upsample_inserts_fill(self):
+        src = Ramp("src", slope=1.0, offset=1.0)
+        up = Upsample("up", 3)
+        sink = Sink("s")
+        g = chain_graph(src, up, sink)
+        g.run(2)
+        assert sink.collected == [1.0, 0.0, 0.0, 2.0, 0.0, 0.0]
+
+    def test_reset_restores_initial_state(self):
+        src = Ramp("src")
+        sink = Sink("s")
+        g = chain_graph(src, sink)
+        g.run(3)
+        g.reset()
+        g.run(3)
+        assert sink.collected == [0.0, 1.0, 2.0]
+
+
+class TestValidation:
+    def test_duplicate_actor_names_rejected(self):
+        g = SdfGraph()
+        g.add(Const("x", 1.0))
+        with pytest.raises(ElaborationError):
+            g.add(Const("x", 2.0))
+
+    def test_unknown_port_rejected(self):
+        g = SdfGraph()
+        with pytest.raises(ElaborationError):
+            g.connect(Const("a", 1.0), "nope", Sink("s"), "in")
+        with pytest.raises(ElaborationError):
+            g.connect(Const("b", 1.0), "out", Sink("t"), "nope")
+
+    def test_double_driven_input_rejected(self):
+        g = SdfGraph()
+        sink = Sink("s")
+        g.connect(Const("a", 1.0), "out", sink, "in")
+        with pytest.raises(ElaborationError):
+            g.connect(Const("b", 1.0), "out", sink, "in")
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ElaborationError):
+            Sink("s", rate=0)
+
+    def test_wrong_token_count_detected_at_run(self):
+        class Bad(Actor):
+            def __init__(self):
+                super().__init__("bad", output_rates={"out": 2})
+
+            def fire(self, inputs):
+                return {"out": [1.0]}  # declared 2, produced 1
+
+        g = SdfGraph()
+        g.connect(Bad(), "out", Sink("s", rate=2), "in")
+        with pytest.raises(SchedulingError):
+            g.run(1)
+
+
+# -- property-based invariants ------------------------------------------------
+
+@st.composite
+def rate_chains(draw):
+    """A random chain src -> up(f1) -> down(f2) -> ... -> sink."""
+    factors = draw(st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=6)),
+        min_size=1, max_size=5,
+    ))
+    return factors
+
+
+@given(rate_chains())
+@settings(max_examples=50, deadline=None)
+def test_balance_equations_hold_on_random_chains(factors):
+    g = SdfGraph()
+    prev, prev_port = Ramp("src"), "out"
+    for i, (is_up, factor) in enumerate(factors):
+        node = Upsample(f"u{i}", factor) if is_up else Downsample(f"d{i}", factor)
+        g.connect(prev, prev_port, node, "in")
+        prev, prev_port = node, "out"
+    sink = Sink("sink")
+    g.connect(prev, prev_port, sink, "in")
+    r = g.repetition_vector()
+    # Balance equations hold edge by edge.
+    for e in g.edges:
+        assert r[e.src] * e.produce_rate == r[e.dst] * e.consume_rate
+    # Repetition vector is minimal: gcd of all counts is 1.
+    from math import gcd
+    overall = 0
+    for count in r.values():
+        overall = gcd(overall, count)
+    assert overall == 1
+    # Schedule contains each actor exactly r times and leaves buffers
+    # at their initial occupancy after a full period.
+    order = g.schedule()
+    for actor, reps in r.items():
+        assert order.count(actor) == reps
+    g.run(2)
+    for e in g.edges:
+        assert len(e.tokens) == len(e.initial_tokens)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_gain_linearity(values, k):
+    src = Source("src", lambda i: values[i % len(values)])
+    gain = Gain("g", float(k))
+    sink = Sink("s")
+    g = chain_graph(src, gain, sink)
+    g.run(len(values))
+    np.testing.assert_allclose(
+        sink.as_array(), np.asarray(values) * k, rtol=1e-12
+    )
+
+
+class TestDeadlockDiagnostics:
+    def test_zero_delay_cycle_reported(self):
+        src = Const("src", 1.0)
+        add = Add("add")
+        inc = Map("inc", lambda v: v + 1)
+        g = SdfGraph("loopy")
+        g.connect(src, "out", add, "a")
+        g.connect(add, "out", inc, "in")
+        g.connect(inc, "out", add, "b")  # zero-delay feedback
+        cycles = g.zero_delay_cycles()
+        assert ["add", "inc"] in cycles
+        with pytest.raises(SchedulingError) as info:
+            g.schedule()
+        assert "zero-delay cycles" in str(info.value)
+
+    def test_delay_breaks_reported_cycle(self):
+        src = Const("src", 1.0)
+        add = Add("add")
+        inc = Map("inc", lambda v: v)
+        g = SdfGraph()
+        g.connect(src, "out", add, "a")
+        g.connect(add, "out", inc, "in")
+        g.connect(inc, "out", add, "b", initial_tokens=[0.0])
+        assert g.zero_delay_cycles() == []
+        g.schedule()  # no deadlock
+
+    def test_dependency_graph_nodes(self):
+        src, sink = Ramp("src"), Sink("sink")
+        g = SdfGraph()
+        g.connect(src, "out", sink, "in")
+        digraph = g.dependency_graph()
+        assert set(digraph.nodes) == {"src", "sink"}
+        assert digraph.has_edge("src", "sink")

@@ -1,0 +1,145 @@
+"""Tests for DC sweeps with continuation and the Goertzel detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import ElaborationError, Module, SimTime, Simulator
+from repro.ct import sweep_source
+from repro.eln import Resistor, Vsource
+from repro.lib import (
+    GaussianNoiseSource,
+    GoertzelDetector,
+    SineSource,
+    TdfSink,
+    goertzel_magnitude,
+)
+from repro.nonlin import Diode, NMos, NonlinearNetwork
+from repro.tdf import TdfSignal
+
+
+def us(x):
+    return SimTime(x, "us")
+
+
+class TestDcSweep:
+    def test_inverter_vtc_in_one_call(self):
+        net = NonlinearNetwork("inverter")
+        net.add(Vsource("Vdd", "vdd", "0", 5.0))
+        net.add(Vsource("Vin", "g", "0", 0.0))
+        net.add(Resistor("Rd", "vdd", "out", 5e3))
+        net.add_device(NMos("M1", "out", "g", "0", k_prime=1e-3,
+                            vth=0.7))
+        vin = np.linspace(0.0, 5.0, 51)
+        states, index = sweep_source(net, "Vin", vin)
+        vout = states[:, index.node_index["out"]]
+        # Monotone falling VTC from Vdd to near ground.
+        assert vout[0] == pytest.approx(5.0, abs=1e-9)
+        assert vout[-1] < 0.6
+        assert np.all(np.diff(vout) <= 1e-9)
+        # Below threshold the output is exactly Vdd.
+        assert np.all(vout[vin < 0.7] == pytest.approx(5.0, abs=1e-9))
+
+    def test_diode_iv_curve(self):
+        net = NonlinearNetwork("diode_iv")
+        net.add(Vsource("Vin", "a", "0", 0.0))
+        net.add(Resistor("Rs", "a", "d", 10.0))
+        net.add_device(Diode("D1", "d", "0"))
+        sweep = np.linspace(-1.0, 0.8, 37)
+        states, index = sweep_source(net, "Vin", sweep)
+        current = -states[:, index.current_index["Vin"]]
+        # Reverse region: essentially zero; forward: exponential rise.
+        assert np.all(np.abs(current[sweep < 0]) < 1e-9)
+        assert current[-1] > 1e-3
+        assert np.all(np.diff(current) >= -1e-12)
+
+    def test_unknown_source_rejected(self):
+        net = NonlinearNetwork("n")
+        net.add(Vsource("V1", "a", "0", 1.0))
+        net.add(Resistor("R1", "a", "0", 1.0))
+        with pytest.raises(ElaborationError):
+            sweep_source(net, "Vnope", np.array([0.0]))
+
+
+class TestGoertzelFunction:
+    def test_on_bin_amplitude(self):
+        fs, n = 8000.0, 256
+        f = 1000.0  # exactly on a bin (1000 * 256 / 8000 = 32)
+        t = np.arange(n) / fs
+        x = 0.7 * np.sin(2 * np.pi * f * t)
+        assert goertzel_magnitude(x, f, fs) == pytest.approx(0.7,
+                                                             rel=1e-6)
+
+    def test_rejects_other_frequencies(self):
+        fs, n = 8000.0, 256
+        t = np.arange(n) / fs
+        x = np.sin(2 * np.pi * 1000.0 * t)
+        off = goertzel_magnitude(x, 2000.0, fs)
+        assert off < 0.01
+
+    def test_dtmf_pair_discrimination(self):
+        """Both tones of a DTMF digit detected; absent tones are not."""
+        fs, n = 8000.0, 205  # the ITU-standard DTMF block size
+        t = np.arange(n) / fs
+        # Digit '5': 770 Hz + 1336 Hz.
+        x = 0.5 * np.sin(2 * np.pi * 770 * t) \
+            + 0.5 * np.sin(2 * np.pi * 1336 * t)
+        rows = {f: goertzel_magnitude(x, f, fs)
+                for f in (697, 770, 852, 941)}
+        cols = {f: goertzel_magnitude(x, f, fs)
+                for f in (1209, 1336, 1477, 1633)}
+        assert max(rows, key=rows.get) == 770
+        assert max(cols, key=cols.get) == 1336
+        assert rows[770] > 3 * rows[697]
+        assert cols[1336] > 3 * cols[1209]
+
+
+class TestGoertzelModule:
+    def build(self, tone_on: bool):
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                amplitude = 0.5 if tone_on else 0.0
+                self.src = SineSource("src", frequency=1000.0,
+                                      amplitude=amplitude,
+                                      parent=self, timestep=us(125))
+                self.noise = GaussianNoiseSource("noise", rms=0.05,
+                                                 seed=4, parent=self)
+                from repro.lib import Add2
+
+                self.mix = Add2("mix", parent=self)
+                self.det = GoertzelDetector("det", frequency=1000.0,
+                                            block_size=200,
+                                            threshold=0.2, parent=self)
+                self.mag_sink = TdfSink("mag_sink", self)
+                self.dec_sink = TdfSink("dec_sink", self)
+                a, b, c, d, e = (TdfSignal(x) for x in "abcde")
+                self.src.out(a)
+                self.noise.out(b)
+                self.mix.a(a)
+                self.mix.b(b)
+                self.mix.out(c)
+                self.det.inp(c)
+                self.det.magnitude(d)
+                self.det.detected(e)
+                self.mag_sink.inp(d)
+                self.dec_sink.inp(e)
+
+        top = Top()
+        Simulator(top).run(SimTime(200, "ms"))
+        return top
+
+    def test_detects_tone_in_noise(self):
+        top = self.build(tone_on=True)
+        magnitudes = np.asarray(top.mag_sink.samples)
+        assert np.mean(magnitudes) == pytest.approx(0.5, abs=0.05)
+        assert all(v == 1.0 for v in top.dec_sink.samples)
+
+    def test_silent_when_no_tone(self):
+        top = self.build(tone_on=False)
+        magnitudes = np.asarray(top.mag_sink.samples)
+        assert np.max(magnitudes) < 0.1
+        assert all(v == 0.0 for v in top.dec_sink.samples)
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            GoertzelDetector("g", frequency=1e3, block_size=4)

@@ -1,0 +1,143 @@
+"""Tests for waveform tracing and the VCD writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitSignal,
+    Clock,
+    Module,
+    Signal,
+    SimTime,
+    Simulator,
+    Trace,
+    VcdWriter,
+)
+from repro.core.trace import TraceChannel
+
+
+def ns(x):
+    return SimTime(x, "ns")
+
+
+class TestTraceChannel:
+    def test_record_and_arrays(self):
+        chan = TraceChannel("x")
+        chan.record(0, 1.0)
+        chan.record(1000, 2.0)
+        t, v = chan.as_arrays()
+        np.testing.assert_allclose(t, [0.0, 1e-12])
+        np.testing.assert_allclose(v, [1.0, 2.0])
+
+    def test_same_time_overwrites(self):
+        chan = TraceChannel("x")
+        chan.record(5, 1.0)
+        chan.record(5, 3.0)
+        assert len(chan) == 1
+        assert chan.values == [3.0]
+
+    def test_value_at_semantics(self):
+        chan = TraceChannel("x")
+        chan.record(0, 10)
+        chan.record(100, 20)
+        assert chan.value_at(SimTime.from_ticks(50)) == 10
+        assert chan.value_at(SimTime.from_ticks(100)) == 20
+        assert chan.value_at(SimTime.from_ticks(500)) == 20
+
+    def test_value_before_first_sample_raises(self):
+        chan = TraceChannel("x")
+        chan.record(100, 1)
+        with pytest.raises(ValueError):
+            chan.value_at(SimTime.from_ticks(50))
+
+
+class TestTraceIntegration:
+    def build(self):
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                self.sig = Signal("data", initial=0)
+                self.bit = BitSignal("flag")
+                self.thread(self.stim)
+
+            def stim(self):
+                for k in range(1, 4):
+                    self.sig.write(k)
+                    self.bit.write(k % 2 == 1)
+                    yield ns(10)
+
+        return Top()
+
+    def test_watch_records_changes(self):
+        top = self.build()
+        trace = Trace()
+        trace.watch(top.sig, "data")
+        sim = Simulator(top, trace=trace)
+        sim.run(ns(50))
+        chan = trace["data"]
+        # The stimulus writes 1 at t=0, overwriting the initial
+        # snapshot at the same tick (last write at a time wins).
+        assert chan.values[0] == 1
+        assert chan.values[-1] == 3
+        assert len(chan) == 3
+        assert "data" in trace
+
+    def test_explicit_sampling(self):
+        trace = Trace()
+        trace.sample("analog", 0, 0.0)
+        trace.sample("analog", 1000, 0.5)
+        assert len(trace["analog"]) == 2
+
+    def test_channel_auto_creation(self):
+        trace = Trace()
+        chan = trace.channel("new")
+        assert chan is trace.channel("new")
+
+
+class TestVcdWriter:
+    def test_vcd_output_structure(self):
+        top_trace = Trace()
+        top_trace.sample("v_real", 0, 0.0)
+        top_trace.sample("v_real", 1000, 1.5)
+        top_trace.sample("count", 0, 0)
+        top_trace.sample("count", 1000, 7)
+        top_trace.sample("flag", 0, False)
+        top_trace.sample("flag", 500, True)
+        stream = io.StringIO()
+        VcdWriter(top_trace).write(stream)
+        text = stream.getvalue()
+        assert "$timescale 1 fs $end" in text
+        assert "$var real 64" in text
+        assert "$var integer 32" in text
+        assert "$var wire 1" in text
+        assert "#0" in text and "#500" in text and "#1000" in text
+        assert "r1.5 " in text
+
+    def test_vcd_from_simulation(self):
+        class Top(Module):
+            def __init__(self):
+                super().__init__("top")
+                self.clk = Clock("clk", period=ns(10), parent=self)
+
+        top = Top()
+        trace = Trace()
+        trace.watch(top.clk.signal, "clk")
+        Simulator(top, trace=trace).run(ns(35))
+        stream = io.StringIO()
+        VcdWriter(trace).write(stream)
+        text = stream.getvalue()
+        # Toggles at 0, 5, 10, ... -> one change line per toggle.
+        assert text.count("\n#") >= 7
+
+    def test_identifier_uniqueness(self):
+        trace = Trace()
+        for k in range(200):
+            trace.sample(f"sig{k}", 0, float(k))
+        stream = io.StringIO()
+        VcdWriter(trace).write(stream)
+        text = stream.getvalue()
+        idents = [line.split()[3] for line in text.splitlines()
+                  if line.startswith("$var")]
+        assert len(set(idents)) == 200
