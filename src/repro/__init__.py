@@ -9,7 +9,9 @@ signal-flow and conservative electrical-network modeling
 (:mod:`repro.lsf`, :mod:`repro.eln`), nonlinear and multi-domain
 extensions (:mod:`repro.nonlin`, :mod:`repro.power`,
 :mod:`repro.multidomain`), a synchronization layer (:mod:`repro.sync`),
-and a mixed-signal module library (:mod:`repro.lib`).
+a mixed-signal module library (:mod:`repro.lib`), and a parallel
+campaign engine for sweeps, corners, and Monte Carlo with result
+caching (:mod:`repro.campaign`).
 """
 
 __version__ = "1.0.0"

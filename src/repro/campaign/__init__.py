@@ -1,0 +1,63 @@
+"""`repro.campaign` — parallel simulation campaigns.
+
+The execution layer the paper's methodology implies but SystemC-AMS
+itself never shipped: once a virtual prototype exists (the ADSL
+front-end of Figure 1, Bonnerud's pipelined ADC), its *verification* is
+a campaign — Monte Carlo over component mismatch, corner sweeps over
+process/operating conditions, grid sweeps over design parameters —
+thousands of independent simulator runs that must be seeded
+reproducibly, fanned out over processes, cached across invocations, and
+aggregated into yield/SNR statistics.
+
+Building blocks:
+
+* :class:`Sweep` / :class:`Corners` / :class:`MonteCarlo` /
+  :class:`FixedPoints` — declarative parameter spaces, composable with
+  ``*`` (product) and ``+`` (concat);
+* :class:`Campaign` — a space plus the model under test (a
+  ``run(params) -> metrics`` function or a ``build(params) ->
+  Simulator`` factory) and a root seed;
+* :class:`CampaignRunner` / :func:`run_campaign` — chunked
+  ``ProcessPoolExecutor`` execution with deterministic per-run
+  ``SeedSequence.spawn`` seeding, per-run timeouts, retry-once, and a
+  content-addressed on-disk result cache;
+* :class:`CampaignResults` — JSONL persistence plus the aggregation
+  API (``to_table``, mean/percentile reductions, yield fractions).
+
+Command line: ``python -m repro.campaign spec.py --workers 4``.
+"""
+
+from .cache import ResultCache, cache_key
+from .records import CampaignResults, RunRecord, canonical_json
+from .runner import CampaignRunner, RunTimeout, run_campaign
+from .spec import (
+    Campaign,
+    Concat,
+    Corners,
+    FixedPoints,
+    MonteCarlo,
+    ParamSpace,
+    Product,
+    Sweep,
+    code_version_for,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignResults",
+    "CampaignRunner",
+    "Concat",
+    "Corners",
+    "FixedPoints",
+    "MonteCarlo",
+    "ParamSpace",
+    "Product",
+    "ResultCache",
+    "RunRecord",
+    "RunTimeout",
+    "Sweep",
+    "cache_key",
+    "canonical_json",
+    "code_version_for",
+    "run_campaign",
+]

@@ -1,0 +1,155 @@
+"""Command-line campaign driver.
+
+Usage::
+
+    python -m repro.campaign SPEC.py [--campaign NAME] [--workers N]
+                                     [--out DIR] [--root-seed N]
+                                     [--limit N] [--timeout S]
+                                     [--no-cache] [--list] [--columns ...]
+
+``SPEC.py`` is any Python file defining one or more module-level
+:class:`~repro.campaign.spec.Campaign` objects (conventionally one
+named ``CAMPAIGN``).  The driver loads it, runs the selected campaign
+on a process pool, prints the aggregated result table and summary, and
+writes ``records.jsonl`` (plus the result cache) under ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from .runner import CampaignRunner
+from .spec import Campaign
+
+
+def load_spec(path: Path) -> Dict[str, Campaign]:
+    """Import ``path`` and collect its module-level campaigns."""
+    if not path.exists():
+        raise SystemExit(f"spec file not found: {path}")
+    module_name = f"repro_campaign_spec_{path.stem}"
+    spec = importlib.util.spec_from_file_location(module_name,
+                                                 str(path))
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot import spec file: {path}")
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec so the module's functions pickle by
+    # reference into fork()ed workers.
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+    campaigns: Dict[str, Campaign] = {}
+    for attr, value in vars(module).items():
+        if isinstance(value, Campaign):
+            campaigns[attr] = value
+    if not campaigns:
+        raise SystemExit(
+            f"{path} defines no Campaign objects "
+            "(expected e.g. a module-level CAMPAIGN)")
+    return campaigns
+
+
+def select_campaign(campaigns: Dict[str, Campaign],
+                    requested: str) -> Campaign:
+    if requested:
+        for value in campaigns.values():
+            if value.name == requested:
+                return value
+        if requested in campaigns:
+            return campaigns[requested]
+        known = ", ".join(sorted(c.name for c in campaigns.values()))
+        raise SystemExit(
+            f"no campaign named {requested!r} (known: {known})")
+    if "CAMPAIGN" in campaigns:
+        return campaigns["CAMPAIGN"]
+    if len(campaigns) == 1:
+        return next(iter(campaigns.values()))
+    known = ", ".join(sorted(c.name for c in campaigns.values()))
+    raise SystemExit(
+        f"spec defines several campaigns ({known}); pick one with "
+        "--campaign")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run a simulation campaign (sweep / corners / "
+                    "Monte Carlo) from a spec file.")
+    parser.add_argument("spec", type=Path,
+                        help="Python file defining Campaign objects")
+    parser.add_argument("--campaign", default="",
+                        help="campaign name (default: CAMPAIGN, or the "
+                             "only one defined)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (<=1: serial)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output directory for records.jsonl and "
+                             "the result cache")
+    parser.add_argument("--root-seed", type=int, default=None,
+                        help="override the campaign's root seed")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="run only the first N points (smoke runs)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock timeout [s]")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--columns", nargs="*", default=None,
+                        help="param/metric columns for the table")
+    parser.add_argument("--list", action="store_true",
+                        help="list the campaigns in the spec and exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the result table")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    campaigns = load_spec(args.spec)
+
+    if args.list:
+        for campaign in campaigns.values():
+            print(f"{campaign.name}: {len(campaign.points())} points"
+                  + (f" — {campaign.description}"
+                     if campaign.description else ""))
+        return 0
+
+    campaign = select_campaign(campaigns, args.campaign)
+    if args.root_seed is not None:
+        campaign.root_seed = args.root_seed
+    if args.limit is not None:
+        # Seeds are assigned by index before truncation elsewhere;
+        # slicing the space keeps the smoke run a strict prefix.
+        from .spec import FixedPoints
+        campaign.space = FixedPoints(
+            campaign.space.points()[:args.limit])
+        campaign._points_cache = None
+
+    start = time.perf_counter()
+    runner = CampaignRunner(
+        campaign,
+        workers=args.workers,
+        timeout=args.timeout,
+        out_dir=args.out,
+        use_cache=not args.no_cache,
+    )
+    results = runner.run()
+    elapsed = time.perf_counter() - start
+
+    if not args.quiet:
+        print(results.format_table(args.columns))
+        print()
+    stats = runner.stats
+    print(f"campaign {campaign.name!r}: {stats['total']} runs "
+          f"({stats['cached']} cached, {stats['executed']} executed, "
+          f"{stats['retried']} retried, {stats['failed']} failed) "
+          f"in {elapsed:.2f}s with {max(1, args.workers)} worker(s)")
+    if args.out is not None:
+        print(f"records: {args.out / 'records.jsonl'}")
+    return 1 if stats["failed"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

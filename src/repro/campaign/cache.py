@@ -1,0 +1,82 @@
+"""Content-addressed on-disk result cache.
+
+Each campaign point is keyed by the SHA-256 of its canonical identity —
+campaign name, full parameter dict (seed included) and the code-version
+hash of the model under test.  A key maps to one JSON file holding the
+finished :class:`~repro.campaign.records.RunRecord`; re-running a
+campaign therefore only executes points whose parameters or code have
+changed.  Failed runs are *not* cached, so transient failures retry on
+the next invocation.
+
+The store is safe for concurrent writers (worker fan-out, parallel
+campaign invocations sharing a cache directory): records are written to
+a unique temp file and ``os.replace``-d into place atomically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .records import RunRecord, canonical_json
+
+
+def cache_key(campaign_name: str, params: Dict[str, Any],
+              code_version: str) -> str:
+    """Content hash identifying one campaign point."""
+    identity = canonical_json({
+        "campaign": campaign_name,
+        "params": params,
+        "code": code_version,
+    })
+    return hashlib.sha256(identity.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` run records."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunRecord.from_dict(data)
+
+    def put(self, key: str, record: RunRecord) -> None:
+        if record.status != "ok":
+            return
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(canonical_json(record.to_dict()))
+        os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete all cached records; returns the number removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

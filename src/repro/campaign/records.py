@@ -1,0 +1,268 @@
+"""Structured run records and campaign result aggregation.
+
+Every campaign run — executed, retried, failed, or served from the
+result cache — produces one :class:`RunRecord`.  Records are plain
+JSON-serializable data so they can be written as JSONL, diffed between
+machines, and hashed for determinism checks: the *deterministic view*
+of a record excludes volatile fields (wall time, cache provenance) so a
+serial run and a multi-process run of the same campaign compare
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+#: Record fields that legitimately differ between executions of the
+#: same campaign point (timing, cache provenance) and are therefore
+#: excluded from determinism fingerprints.
+VOLATILE_FIELDS = ("wall_time", "cached")
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical (sorted-key, minimal-separator) JSON encoding.
+
+    The cache key and the determinism fingerprint both rely on this
+    being stable across processes and Python invocations.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=_jsonify)
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {value!r}")
+
+
+@dataclass
+class RunRecord:
+    """One campaign point: its parameters, seed, status and metrics."""
+
+    index: int
+    params: Dict[str, Any]
+    seed: Optional[int]
+    status: str = "ok"            # "ok" | "failed"
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+    wall_time: float = 0.0
+    attempts: int = 1
+    cached: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "params": self.params,
+            "seed": self.seed,
+            "status": self.status,
+            "metrics": self.metrics,
+            "error": self.error,
+            "wall_time": self.wall_time,
+            "attempts": self.attempts,
+            "cached": self.cached,
+        }
+
+    def deterministic_dict(self) -> Dict[str, Any]:
+        """The record minus volatile fields (see :data:`VOLATILE_FIELDS`)."""
+        data = self.to_dict()
+        for key in VOLATILE_FIELDS:
+            data.pop(key)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        return cls(
+            index=int(data["index"]),
+            params=dict(data["params"]),
+            seed=data.get("seed"),
+            status=data.get("status", "ok"),
+            metrics=dict(data.get("metrics") or {}),
+            error=data.get("error"),
+            wall_time=float(data.get("wall_time", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+            cached=bool(data.get("cached", False)),
+        )
+
+
+class CampaignResults:
+    """Aggregation API over a campaign's run records.
+
+    Indexable and iterable like a sequence (ordered by run index);
+    reductions operate over the metrics of successful runs only.
+    """
+
+    def __init__(self, records: Iterable[RunRecord]):
+        self.records: List[RunRecord] = sorted(records,
+                                               key=lambda r: r.index)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, item):
+        return self.records[item]
+
+    # -- selection ----------------------------------------------------------
+
+    def ok(self) -> "CampaignResults":
+        return CampaignResults(r for r in self.records
+                               if r.status == "ok")
+
+    def failed(self) -> "CampaignResults":
+        return CampaignResults(r for r in self.records
+                               if r.status == "failed")
+
+    def where(self, **param_filters: Any) -> "CampaignResults":
+        """Records whose params match every ``key=value`` filter."""
+        return CampaignResults(
+            r for r in self.records
+            if all(r.params.get(k) == v
+                   for k, v in param_filters.items())
+        )
+
+    # -- reductions ---------------------------------------------------------
+
+    def metric(self, name: str) -> np.ndarray:
+        """Array of metric ``name`` over successful runs."""
+        return np.array([r.metrics[name] for r in self.records
+                         if r.status == "ok" and name in r.metrics],
+                        dtype=float)
+
+    def mean(self, name: str) -> float:
+        return float(np.mean(self.metric(name)))
+
+    def std(self, name: str) -> float:
+        return float(np.std(self.metric(name)))
+
+    def percentile(self, name: str, q: float) -> float:
+        return float(np.percentile(self.metric(name), q))
+
+    def min(self, name: str) -> float:
+        return float(np.min(self.metric(name)))
+
+    def max(self, name: str) -> float:
+        return float(np.max(self.metric(name)))
+
+    def yield_fraction(self, predicate: Callable[[Dict[str, Any]], bool]
+                       ) -> float:
+        """Fraction of successful runs whose metrics satisfy
+        ``predicate`` — the Monte Carlo *yield* of the campaign."""
+        ok = [r for r in self.records if r.status == "ok"]
+        if not ok:
+            return 0.0
+        passing = sum(1 for r in ok if predicate(r.metrics))
+        return passing / len(ok)
+
+    # -- tabulation ---------------------------------------------------------
+
+    def param_names(self) -> List[str]:
+        names: List[str] = []
+        for record in self.records:
+            for key in record.params:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for record in self.records:
+            for key in record.metrics:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def to_table(self, columns: Optional[Sequence[str]] = None
+                 ) -> tuple:
+        """``(headers, rows)`` over all records.
+
+        ``columns`` restricts/reorders the param+metric columns; the
+        leading ``run`` / ``status`` columns are always present.
+        """
+        if columns is None:
+            params = self.param_names()
+            columns = params + [m for m in self.metric_names()
+                                if m not in params]
+        headers = ["run", "status"] + list(columns)
+        rows = []
+        for record in self.records:
+            row: List[Any] = [record.index, record.status]
+            for name in columns:
+                if name in record.params:
+                    row.append(record.params[name])
+                else:
+                    row.append(record.metrics.get(name, ""))
+            rows.append(row)
+        return headers, rows
+
+    def format_table(self, columns: Optional[Sequence[str]] = None,
+                     float_digits: int = 4) -> str:
+        headers, rows = self.to_table(columns)
+
+        def fmt(cell: Any) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.{float_digits}g}"
+            return str(cell)
+
+        text_rows = [[fmt(c) for c in row] for row in rows]
+        widths = [max(len(h), *(len(r[i]) for r in text_rows))
+                  if text_rows else len(h)
+                  for i, h in enumerate(headers)]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for row in text_rows:
+            lines.append("  ".join(c.ljust(w)
+                                   for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    # -- determinism & persistence ------------------------------------------
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the deterministic view of every record.
+
+        Two executions of the same campaign (any worker count, any
+        cache state) must produce the same fingerprint.
+        """
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(
+                canonical_json(record.deterministic_dict()).encode()
+            )
+        return digest.hexdigest()
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(canonical_json(record.to_dict()) + "\n")
+
+    @classmethod
+    def read_jsonl(cls, path) -> "CampaignResults":
+        records = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(RunRecord.from_dict(json.loads(line)))
+        return cls(records)
+
+    def summary(self) -> Dict[str, Any]:
+        ok = sum(1 for r in self.records if r.status == "ok")
+        return {
+            "runs": len(self.records),
+            "ok": ok,
+            "failed": len(self.records) - ok,
+            "cached": sum(1 for r in self.records if r.cached),
+            "wall_time": float(sum(r.wall_time for r in self.records)),
+        }

@@ -1,0 +1,323 @@
+"""Parallel campaign execution.
+
+:class:`CampaignRunner` turns a :class:`~repro.campaign.spec.Campaign`
+into a :class:`~repro.campaign.records.CampaignResults`:
+
+* **deterministic seeding** — run ``k`` receives the ``k``-th child of
+  ``SeedSequence(root_seed)`` (as a 64-bit int inside its params), so
+  any execution order, worker count, or cache state produces
+  bit-identical metrics;
+* **parallelism** — runs fan out over a
+  ``concurrent.futures.ProcessPoolExecutor`` in chunks (amortizing
+  process round-trips); ``workers <= 1`` executes inline through the
+  *same* code path, which is what makes the determinism guarantee
+  testable;
+* **robustness** — each run is wrapped in a per-run wall-clock timeout
+  (``SIGALRM``-based, POSIX) and failing runs are retried once before
+  being recorded as ``status="failed"``; one crashing point never kills
+  the campaign;
+* **caching** — finished points are stored in a content-addressed
+  :class:`~repro.campaign.cache.ResultCache`; re-running a campaign
+  executes only changed points.
+
+Worker processes receive only the campaign's *factory callables* and
+plain parameter dicts — never a live :class:`~repro.core.Simulator` —
+so every worker elaborates its own kernel from scratch (the
+``Kernel._current`` process-global makes sharing elaborated state
+across processes unsafe by construction; ``Simulator.__reduce__``
+enforces this).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..lib.seeding import seed_to_int, spawn_seed_sequences
+from .cache import ResultCache, cache_key
+from .records import CampaignResults, RunRecord
+from .spec import Campaign
+
+#: (run, build, duration, metrics) — the picklable execution target
+#: shipped to worker processes instead of a live Campaign/Simulator.
+RunTarget = Tuple[Optional[Callable], Optional[Callable], Any,
+                  Optional[Callable]]
+
+#: (index, params, attempt) — one unit of work.
+RunTask = Tuple[int, Dict[str, Any], int]
+
+
+class RunTimeout(Exception):
+    """A single campaign run exceeded its wall-clock budget."""
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]):
+    """Raise :class:`RunTimeout` after ``seconds`` of wall-clock time.
+
+    Uses ``SIGALRM`` and therefore only arms in the main thread of a
+    process on POSIX — exactly the situation inside a
+    ``ProcessPoolExecutor`` worker.  Elsewhere it is a no-op.
+    """
+    usable = (
+        seconds is not None and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise RunTimeout(f"run exceeded {seconds:g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _execute_point(target: RunTarget, params: Dict[str, Any],
+                   timeout: Optional[float]) -> Dict[str, Any]:
+    """Run one campaign point; never raises."""
+    run, build, duration, metrics_fn = target
+    start = time.perf_counter()
+    try:
+        with _deadline(timeout):
+            if run is not None:
+                metrics = run(dict(params))
+            else:
+                simulator = build(dict(params))
+                simulator.run(duration)
+                top = simulator.top
+                if metrics_fn is not None:
+                    metrics = metrics_fn(top)
+                elif hasattr(top, "metrics"):
+                    metrics = top.metrics()
+                else:
+                    raise TypeError(
+                        "Campaign(build=...) needs metrics= or a "
+                        "top.metrics() method")
+        if not isinstance(metrics, dict):
+            raise TypeError(
+                f"campaign run returned {type(metrics).__name__}, "
+                "expected a metrics dict")
+        status, error = "ok", None
+    except Exception as exc:  # one bad point must not kill the campaign
+        metrics = {}
+        status = "failed"
+        error = f"{type(exc).__name__}: {exc}"
+    return {
+        "status": status,
+        "metrics": metrics,
+        "error": error,
+        "wall_time": time.perf_counter() - start,
+    }
+
+
+def _execute_chunk(target: RunTarget, tasks: List[RunTask],
+                   timeout: Optional[float]) -> List[Dict[str, Any]]:
+    """Worker entry point: execute a chunk of runs, return result dicts."""
+    results = []
+    for index, params, attempt in tasks:
+        outcome = _execute_point(target, params, timeout)
+        outcome["index"] = index
+        outcome["attempt"] = attempt
+        results.append(outcome)
+    return results
+
+
+def _chunked(tasks: List[RunTask], chunk_size: int
+             ) -> List[List[RunTask]]:
+    return [tasks[i:i + chunk_size]
+            for i in range(0, len(tasks), chunk_size)]
+
+
+class CampaignRunner:
+    """Executes a :class:`Campaign`; see the module docstring.
+
+    Parameters
+    ----------
+    campaign:
+        The campaign to run.
+    workers:
+        Process count; ``<= 1`` runs inline (serially) in this process.
+    cache_dir:
+        Directory for the content-addressed result cache; ``None``
+        disables caching (every point executes).
+    timeout:
+        Per-run wall-clock budget in seconds (``None``: unlimited).
+    retries:
+        How many times a failed run is re-attempted (default 1: the
+        "retry once" policy).
+    chunk_size:
+        Runs per worker task; ``None`` picks ``ceil(n / (4·workers))``
+        so each worker sees ~4 chunks (load balance vs. dispatch cost).
+    out_dir:
+        If given, ``records.jsonl`` is written there after the run
+        (and, unless ``cache_dir`` is set or caching disabled, the
+        cache lives in ``out_dir/cache``).
+    """
+
+    def __init__(self, campaign: Campaign, workers: int = 1,
+                 cache_dir=None, timeout: Optional[float] = None,
+                 retries: int = 1, chunk_size: Optional[int] = None,
+                 out_dir=None, use_cache: bool = True,
+                 progress: Optional[Callable[[RunRecord], None]] = None):
+        self.campaign = campaign
+        self.workers = max(1, int(workers))
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.chunk_size = chunk_size
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.progress = progress
+        if cache_dir is None and use_cache and self.out_dir is not None:
+            cache_dir = self.out_dir / "cache"
+        self.cache = (ResultCache(cache_dir)
+                      if use_cache and cache_dir is not None else None)
+        self.stats: Dict[str, int] = {}
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan(self) -> List[RunRecord]:
+        """Seeded skeleton records for every point, in index order."""
+        campaign = self.campaign
+        points = campaign.points()
+        if campaign.seed_key is not None:
+            children = spawn_seed_sequences(campaign.root_seed,
+                                            len(points))
+            seeds = [seed_to_int(child) for child in children]
+        else:
+            seeds = [None] * len(points)
+        records = []
+        for index, (point, seed) in enumerate(zip(points, seeds)):
+            params = dict(point)
+            if campaign.seed_key is not None:
+                params.setdefault(campaign.seed_key, seed)
+            records.append(RunRecord(index=index, params=params,
+                                     seed=seed, status="pending"))
+        return records
+
+    def _cache_key(self, record: RunRecord) -> str:
+        return cache_key(self.campaign.name, record.params,
+                         self._code_version)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> CampaignResults:
+        campaign = self.campaign
+        self._code_version = campaign.resolved_code_version()
+        records = self._plan()
+        by_index = {record.index: record for record in records}
+
+        # 1. serve cache hits
+        pending: List[RunTask] = []
+        cached = 0
+        for record in records:
+            hit = (self.cache.get(self._cache_key(record))
+                   if self.cache is not None else None)
+            if hit is not None and hit.status == "ok":
+                record.status = hit.status
+                record.metrics = hit.metrics
+                record.error = hit.error
+                record.attempts = hit.attempts
+                record.wall_time = hit.wall_time
+                record.cached = True
+                cached += 1
+                if self.progress is not None:
+                    self.progress(record)
+            else:
+                pending.append((record.index, record.params, 1))
+
+        # 2. execute misses, retrying failures up to ``retries`` times
+        executed = 0
+        retried = 0
+        target: RunTarget = (campaign.run, campaign.build,
+                             campaign.duration, campaign.metrics)
+        while pending:
+            outcomes = self._dispatch(target, pending)
+            executed += len(outcomes)
+            retry: List[RunTask] = []
+            for outcome in outcomes:
+                record = by_index[outcome["index"]]
+                record.status = outcome["status"]
+                record.metrics = outcome["metrics"]
+                record.error = outcome["error"]
+                record.wall_time += outcome["wall_time"]
+                record.attempts = outcome["attempt"]
+                if (outcome["status"] == "failed"
+                        and outcome["attempt"] <= self.retries):
+                    retry.append((record.index, record.params,
+                                  outcome["attempt"] + 1))
+                elif self.progress is not None:
+                    self.progress(record)
+            retried += len(retry)
+            pending = retry
+
+        # 3. persist
+        for record in records:
+            if record.status == "ok" and not record.cached \
+                    and self.cache is not None:
+                self.cache.put(self._cache_key(record), record)
+
+        self.stats = {
+            "total": len(records),
+            "cached": cached,
+            "executed": executed,
+            "retried": retried,
+            "failed": sum(1 for r in records if r.status == "failed"),
+        }
+        results = CampaignResults(records)
+        if self.out_dir is not None:
+            self.out_dir.mkdir(parents=True, exist_ok=True)
+            results.write_jsonl(self.out_dir / "records.jsonl")
+        return results
+
+    def _dispatch(self, target: RunTarget, tasks: List[RunTask]
+                  ) -> List[Dict[str, Any]]:
+        """Run ``tasks``, chunked, serially or on the process pool."""
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(tasks) // (4 * self.workers)))
+        chunks = _chunked(tasks, chunk_size)
+        if self.workers <= 1 or len(tasks) <= 1:
+            outcomes: List[Dict[str, Any]] = []
+            for chunk in chunks:
+                outcomes.extend(_execute_chunk(target, chunk,
+                                               self.timeout))
+            return outcomes
+        context = _fork_context()
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context) as pool:
+            futures = [pool.submit(_execute_chunk, target, chunk,
+                                   self.timeout)
+                       for chunk in chunks]
+            outcomes = []
+            for future in futures:
+                outcomes.extend(future.result())
+        return outcomes
+
+
+def _fork_context():
+    """Prefer ``fork`` so callables defined in CLI-loaded spec files
+    resolve in workers without re-importing; fall back to the platform
+    default elsewhere (e.g. Windows/macOS spawn)."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def run_campaign(campaign: Campaign, **kwargs) -> CampaignResults:
+    """One-call convenience wrapper around :class:`CampaignRunner`."""
+    return CampaignRunner(campaign, **kwargs).run()

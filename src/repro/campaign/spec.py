@@ -1,0 +1,225 @@
+"""Declarative campaign specifications.
+
+A *parameter space* enumerates the points of a simulation campaign as
+plain ``dict``s.  Three primitives cover the classic AMS verification
+workloads:
+
+* :class:`Sweep` — cartesian grid over named value lists (design-space
+  exploration);
+* :class:`Corners` — named process/operating corners, each a parameter
+  dict (the PVT-corner style of analog signoff);
+* :class:`MonteCarlo` — ``n`` statistical samples of one base point,
+  distinguished only by their per-run random stream (mismatch/yield
+  analysis à la Bonnerud's pipelined ADC, seed work [2]).
+
+Spaces compose: ``a * b`` is the cartesian product (merged dicts),
+``a + b`` the concatenation.  A :class:`Campaign` pairs a space with the
+user-supplied model under test — either a ``run(params) -> metrics``
+function, or a ``build(params) -> Simulator`` factory plus a duration
+and a ``metrics(top) -> dict`` probe — and a root seed from which every
+run's independent random stream is spawned.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import itertools
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from .. import __version__ as _REPRO_VERSION
+
+
+class ParamSpace:
+    """Base class: an ordered, finite enumeration of parameter dicts."""
+
+    def points(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    def __iter__(self):
+        return iter(self.points())
+
+    def __mul__(self, other: "ParamSpace") -> "ParamSpace":
+        return Product(self, other)
+
+    def __add__(self, other: "ParamSpace") -> "ParamSpace":
+        return Concat(self, other)
+
+
+class FixedPoints(ParamSpace):
+    """An explicit list of parameter dicts."""
+
+    def __init__(self, points: Iterable[Mapping[str, Any]]):
+        self._points = [dict(p) for p in points]
+
+    def points(self) -> List[Dict[str, Any]]:
+        return [dict(p) for p in self._points]
+
+
+class Sweep(ParamSpace):
+    """Cartesian grid: ``Sweep({"a": [1, 2], "b": [10, 20]})`` yields
+    the four combinations in row-major (last axis fastest) order."""
+
+    def __init__(self, axes: Mapping[str, Iterable[Any]]):
+        if not axes:
+            raise ValueError("Sweep needs at least one axis")
+        self.axes = {name: list(values) for name, values in axes.items()}
+        for name, values in self.axes.items():
+            if not values:
+                raise ValueError(f"sweep axis {name!r} is empty")
+
+    def points(self) -> List[Dict[str, Any]]:
+        names = list(self.axes)
+        return [dict(zip(names, combo))
+                for combo in itertools.product(
+                    *(self.axes[n] for n in names))]
+
+
+class Corners(ParamSpace):
+    """Named corners: ``Corners({"slow": {...}, "fast": {...}})``.
+
+    Each point carries its corner name under ``corner_key`` (default
+    ``"corner"``) alongside the corner's parameters.
+    """
+
+    def __init__(self, corners: Mapping[str, Mapping[str, Any]],
+                 corner_key: str = "corner"):
+        if not corners:
+            raise ValueError("Corners needs at least one corner")
+        self.corners = {name: dict(params)
+                        for name, params in corners.items()}
+        self.corner_key = corner_key
+
+    def points(self) -> List[Dict[str, Any]]:
+        return [{self.corner_key: name, **params}
+                for name, params in self.corners.items()]
+
+
+class MonteCarlo(ParamSpace):
+    """``n`` statistical samples of one base point.
+
+    Each point is the base dict plus its sample index under
+    ``index_key`` (default ``"mc_index"``); the per-run randomness
+    comes from the campaign's spawned seed, not from the params.
+    """
+
+    def __init__(self, n: int, base: Optional[Mapping[str, Any]] = None,
+                 index_key: str = "mc_index"):
+        if n < 1:
+            raise ValueError("MonteCarlo needs n >= 1 samples")
+        self.n = n
+        self.base = dict(base or {})
+        self.index_key = index_key
+
+    def points(self) -> List[Dict[str, Any]]:
+        return [{**self.base, self.index_key: k} for k in range(self.n)]
+
+
+class Product(ParamSpace):
+    """Cartesian product of two spaces; point dicts are merged (the
+    right operand wins on key collisions)."""
+
+    def __init__(self, left: ParamSpace, right: ParamSpace):
+        self.left = left
+        self.right = right
+
+    def points(self) -> List[Dict[str, Any]]:
+        return [{**a, **b}
+                for a in self.left.points()
+                for b in self.right.points()]
+
+
+class Concat(ParamSpace):
+    """Concatenation of two spaces."""
+
+    def __init__(self, left: ParamSpace, right: ParamSpace):
+        self.left = left
+        self.right = right
+
+    def points(self) -> List[Dict[str, Any]]:
+        return self.left.points() + self.right.points()
+
+
+def code_version_for(fn: Callable) -> str:
+    """Content hash identifying the code behind a run function.
+
+    Combines the framework version with a digest of the source file
+    defining ``fn`` — editing the model (or bumping the framework)
+    invalidates cached results, while re-running unchanged code hits
+    the cache.  Falls back to the framework version alone when the
+    source is unavailable (e.g. functions defined in a REPL).
+    """
+    digest = hashlib.sha256()
+    digest.update(_REPRO_VERSION.encode())
+    try:
+        source_file = inspect.getsourcefile(fn)
+    except TypeError:
+        source_file = None
+    if source_file and os.path.exists(source_file):
+        with open(source_file, "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class Campaign:
+    """A named, seeded campaign: parameter space × model under test.
+
+    Exactly one of two execution styles must be supplied:
+
+    * ``run`` — ``run(params) -> dict`` does everything itself
+      (build, simulate, measure); the per-run seed arrives inside
+      ``params`` under ``seed_key``.
+    * ``build`` + ``duration`` (+ optional ``metrics``) —
+      ``build(params)`` returns a :class:`~repro.core.Simulator`
+      (constructed *inside* the worker process), the runner drives it
+      for ``duration``, and ``metrics(top_module)`` extracts the
+      result dict.
+
+    ``root_seed`` feeds ``numpy.random.SeedSequence``; run ``k`` always
+    receives the ``k``-th spawned child, so serial and parallel
+    execution draw identical streams.
+    """
+
+    name: str
+    space: ParamSpace
+    run: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
+    build: Optional[Callable[[Dict[str, Any]], Any]] = None
+    duration: Any = None
+    metrics: Optional[Callable[[Any], Dict[str, Any]]] = None
+    root_seed: int = 0
+    #: params key under which the spawned per-run seed is injected
+    #: (``None`` disables seed injection for fully deterministic runs).
+    seed_key: Optional[str] = "seed"
+    #: overrides :func:`code_version_for` in cache keys.
+    code_version: Optional[str] = None
+    description: str = ""
+    _points_cache: Optional[List[Dict[str, Any]]] = field(
+        default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if (self.run is None) == (self.build is None):
+            raise ValueError(
+                "Campaign needs exactly one of run= or build=")
+        if self.build is not None and self.duration is None:
+            raise ValueError(
+                "Campaign(build=...) also needs duration=")
+
+    def points(self) -> List[Dict[str, Any]]:
+        if self._points_cache is None:
+            self._points_cache = self.space.points()
+        return self._points_cache
+
+    def target(self) -> Callable:
+        """The callable whose code identity keys the cache."""
+        return self.run if self.run is not None else self.build
+
+    def resolved_code_version(self) -> str:
+        if self.code_version is not None:
+            return self.code_version
+        return code_version_for(self.target())

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .errors import ElaborationError
+from .errors import ElaborationError, SimulationError
 from .kernel import Kernel
 from .module import Module
 from .time import SimTime
@@ -25,7 +25,19 @@ class Simulator:
         self.trace = trace
         self.kernel = Kernel()
         self._elaborated = False
+        self._stopped = False
         self._finalizers: list = []
+
+    def __reduce__(self):
+        # Campaign workers (repro.campaign) must build their own
+        # simulator from a ``build(params)`` factory; an elaborated
+        # kernel holds process closures and heap state that cannot
+        # survive a pickle round-trip.
+        raise SimulationError(
+            "Simulator objects cannot be pickled; pass a factory "
+            "function to the worker process and construct the "
+            "Simulator there (see repro.campaign)"
+        )
 
     def add_elaboration_finalizer(self, callback) -> None:
         """Register a callback run after process registration.
@@ -67,7 +79,18 @@ class Simulator:
         self._elaborated = True
 
     def run(self, duration: Optional[SimTime] = None) -> SimTime:
-        """Elaborate on first call, then run for ``duration``."""
+        """Elaborate on first call, then run for ``duration``.
+
+        Once :meth:`stop` has been called the simulator latches: a
+        further ``run()`` raises :class:`SimulationError` instead of
+        silently resuming the stopped kernel.  Call :meth:`reset` first
+        to make the resumption explicit.
+        """
+        if self._stopped:
+            raise SimulationError(
+                "Simulator.run() called after stop(); call reset() "
+                "to explicitly resume the stopped simulation"
+            )
         self.elaborate()
         return self.kernel.run(duration)
 
@@ -75,5 +98,21 @@ class Simulator:
     def now(self) -> SimTime:
         return self.kernel.now
 
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has latched this simulator."""
+        return self._stopped
+
     def stop(self) -> None:
+        """Halt the kernel and latch the simulator (see :meth:`run`)."""
+        self._stopped = True
         self.kernel.stop()
+
+    def reset(self) -> None:
+        """Clear the stop latch so :meth:`run` may resume.
+
+        Module and signal state are preserved — this resumes the
+        simulation from where :meth:`stop` halted it; it does not
+        re-elaborate the design.
+        """
+        self._stopped = False

@@ -44,6 +44,13 @@ from .filters import (
 )
 from .goertzel import GoertzelDetector, goertzel_magnitude
 from .pll import BehavioralPll
+from .seeding import (
+    SeedLike,
+    as_generator,
+    seed_to_int,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
 from .sigma_delta import (
     CicDecimator,
     SigmaDelta1,
@@ -72,10 +79,12 @@ __all__ = [
     "LinearAmp", "MapBlock", "Mixer", "PipelineStage", "PipelinedAdc",
     "PipelinedAdcModule", "PrbsSource", "PulseSource",
     "QuadratureOscillator", "RampSource", "SampleHold", "SampleListSource",
-    "SaturatingAmp", "SigmaDelta1", "SigmaDelta2", "SineSource",
+    "SaturatingAmp", "SeedLike", "SigmaDelta1", "SigmaDelta2", "SineSource",
     "StepSource", "SwitchedCapDac", "TdfSink", "TdfSourceBase", "Vga",
+    "as_generator",
     "butterworth_lowpass_sections", "cascade_response", "cic_decimate",
     "filter_samples", "fir_bandpass", "fir_frequency_response", "lms_cancel",
     "fir_highpass", "fir_lowpass", "goertzel_magnitude", "quantize_code", "quantize_midrise",
-    "sigma_delta1_bitstream", "sigma_delta2_bitstream",
+    "seed_to_int", "sigma_delta1_bitstream", "sigma_delta2_bitstream",
+    "spawn_rngs", "spawn_seed_sequences",
 ]

@@ -18,6 +18,7 @@ import numpy as np
 from ..core.module import Module
 from ..tdf.module import TdfModule
 from ..tdf.signal import TdfIn, TdfOut
+from .seeding import SeedLike, as_generator
 
 
 def quantize_midrise(value: float, bits: int, full_scale: float = 1.0) -> float:
@@ -63,7 +64,7 @@ class FlashAdc(TdfModule):
     """
 
     def __init__(self, name: str, bits: int, full_scale: float = 1.0,
-                 offset_rms: float = 0.0, seed: int = 0,
+                 offset_rms: float = 0.0, seed: SeedLike = 0,
                  parent: Optional[Module] = None):
         super().__init__(name, parent)
         self.inp = TdfIn("inp")
@@ -72,7 +73,7 @@ class FlashAdc(TdfModule):
         self.full_scale = full_scale
         levels = 2 ** bits
         self.step = 2.0 * full_scale / levels
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         nominal = (-full_scale
                    + self.step * np.arange(1, levels))
         offsets = rng.normal(0.0, offset_rms, levels - 1) \
@@ -136,7 +137,7 @@ class PipelinedAdc:
         comparator_offsets: Optional[Sequence[float]] = None,
         noise_rms: float = 0.0,
         vref: float = 1.0,
-        seed: int = 0,
+        seed: SeedLike = 0,
     ):
         if gain_errors is None:
             gain_errors = [0.0] * n_stages
@@ -151,7 +152,7 @@ class PipelinedAdc:
         ]
         self.backend_bits = backend_bits
         self.vref = vref
-        self._rng = np.random.default_rng(seed)
+        self._rng = as_generator(seed)
 
     @property
     def nominal_bits(self) -> int:

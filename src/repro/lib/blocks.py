@@ -17,6 +17,7 @@ from ..core.signal import Signal
 from ..core.time import SimTime
 from ..tdf.module import TdfDeOut, TdfModule
 from ..tdf.signal import TdfIn, TdfOut
+from .seeding import SeedLike, as_generator
 
 
 class TdfSink(TdfModule):
@@ -195,7 +196,7 @@ class SampleHold(TdfModule):
     holds it for ``factor`` output samples (aperture jitter optional)."""
 
     def __init__(self, name: str, factor: int = 1,
-                 jitter_rms: float = 0.0, seed: int = 0,
+                 jitter_rms: float = 0.0, seed: SeedLike = 0,
                  parent: Optional[Module] = None):
         super().__init__(name, parent)
         if factor < 1:
@@ -204,7 +205,7 @@ class SampleHold(TdfModule):
         self.out = TdfOut("out", rate=factor)
         self.factor = factor
         self.jitter_rms = jitter_rms
-        self._rng = np.random.default_rng(seed)
+        self._rng = as_generator(seed)
         self._held = 0.0
 
     def processing(self):

@@ -15,6 +15,7 @@ import numpy as np
 from ..core.module import Module
 from ..tdf.module import TdfModule
 from ..tdf.signal import TdfIn, TdfOut
+from .seeding import SeedLike, as_generator
 
 
 class IdealDac(TdfModule):
@@ -46,7 +47,7 @@ class SwitchedCapDac(TdfModule):
 
     def __init__(self, name: str, bits: int, full_scale: float = 1.0,
                  mismatch_rms: float = 0.0, settling: float = 1.0,
-                 seed: int = 0,
+                 seed: SeedLike = 0,
                  parent: Optional[Module] = None):
         super().__init__(name, parent)
         if not 0.0 < settling <= 1.0:
@@ -56,7 +57,7 @@ class SwitchedCapDac(TdfModule):
         self.bits = bits
         self.full_scale = full_scale
         self.settling = settling
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         nominal = 2.0 ** np.arange(bits)
         if mismatch_rms > 0.0:
             # Mismatch scales with 1/sqrt(unit count): bigger caps match

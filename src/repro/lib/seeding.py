@@ -1,0 +1,69 @@
+"""Deterministic random-stream management for the module library.
+
+Campaign-style workloads (parameter sweeps, Monte Carlo — see
+:mod:`repro.campaign`) need every run to draw its randomness from an
+independent, reproducible stream: the same root seed must produce the
+same per-run streams whether runs execute serially or fan out across
+worker processes.  ``numpy.random.SeedSequence`` provides exactly that
+via :meth:`~numpy.random.SeedSequence.spawn`; this module wraps it and
+defines the ``SeedLike`` convention used across :mod:`repro.lib`:
+
+every library module that consumes randomness accepts either an ``int``
+seed (backwards compatible, hashed into a fresh ``Generator``), a
+``numpy.random.SeedSequence``, or an already-constructed
+``numpy.random.Generator`` (so a campaign worker can inject a spawned
+stream shared between blocks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+#: Anything the library accepts as a source of randomness.
+SeedLike = Union[int, np.random.SeedSequence, np.random.Generator, None]
+
+
+def as_generator(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` into a ``numpy.random.Generator``.
+
+    * ``Generator`` — returned unchanged (the caller shares the stream);
+    * ``SeedSequence`` — a fresh generator keyed by it;
+    * ``int`` / ``None`` — a fresh ``default_rng(seed)``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seed_sequences(root_seed: Union[int, np.random.SeedSequence, None],
+                         n: int) -> List[np.random.SeedSequence]:
+    """``n`` independent child sequences of ``root_seed``.
+
+    Children are keyed by *index*, not by creation order, so spawning is
+    stable across processes: child ``k`` is the same stream no matter
+    which worker asks for it.
+    """
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of sequences")
+    root = (root_seed if isinstance(root_seed, np.random.SeedSequence)
+            else np.random.SeedSequence(root_seed))
+    return root.spawn(n)
+
+
+def spawn_rngs(root_seed: Union[int, np.random.SeedSequence, None],
+               n: int) -> List[np.random.Generator]:
+    """``n`` independent generators derived from ``root_seed``."""
+    return [np.random.default_rng(child)
+            for child in spawn_seed_sequences(root_seed, n)]
+
+
+def seed_to_int(sequence: np.random.SeedSequence) -> int:
+    """A 64-bit integer digest of a seed sequence.
+
+    Used by the campaign engine to embed a per-run seed in JSON records:
+    ``default_rng(seed_to_int(child))`` is reproducible from the record
+    alone, without re-spawning the whole tree.
+    """
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])

@@ -10,6 +10,7 @@ from ..core.module import Module
 from ..core.time import SimTime
 from ..tdf.module import TdfModule
 from ..tdf.signal import TdfOut
+from .seeding import SeedLike, as_generator
 
 
 class TdfSourceBase(TdfModule):
@@ -125,12 +126,12 @@ class RampSource(TdfSourceBase):
 class GaussianNoiseSource(TdfSourceBase):
     """White Gaussian noise with given RMS; reproducible via ``seed``."""
 
-    def __init__(self, name: str, rms: float = 1.0, seed: int = 0,
+    def __init__(self, name: str, rms: float = 1.0, seed: SeedLike = 0,
                  parent: Optional[Module] = None,
                  timestep: Optional[SimTime] = None, rate: int = 1):
         super().__init__(name, parent, timestep, rate)
         self.rms = rms
-        self._rng = np.random.default_rng(seed)
+        self._rng = as_generator(seed)
 
     def processing(self):
         for k in range(self.out.rate):

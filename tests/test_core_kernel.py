@@ -441,6 +441,47 @@ class TestSimulatorControl:
         sim.run(ns(50))
         assert sim.now == ns(5)
 
+    def test_stop_latches_until_reset(self):
+        """run() after stop() must raise instead of silently resuming;
+        reset() is the explicit escape hatch."""
+        from repro.core import SimulationError
+
+        class M(Module):
+            def __init__(self):
+                super().__init__("m")
+                self.count = 0
+                self.thread(self.tick)
+
+            def tick(self):
+                while True:
+                    yield ns(5)
+                    self.count += 1
+                    if self.count == 2:
+                        sim.stop()
+
+        m = M()
+        sim = Simulator(m)
+        sim.run(ns(100))
+        assert sim.now == ns(10)
+        assert sim.stopped
+        with pytest.raises(SimulationError):
+            sim.run(ns(100))
+        assert m.count == 2  # nothing resumed behind our back
+        sim.reset()
+        assert not sim.stopped
+        sim.run(ns(5))  # explicit resumption continues from t=10
+        assert sim.now == ns(15)
+        assert m.count == 3
+
+    def test_simulator_not_picklable(self):
+        import pickle
+
+        from repro.core import SimulationError
+
+        sim = Simulator(Module("m"))
+        with pytest.raises(SimulationError):
+            pickle.dumps(sim)
+
     def test_duplicate_child_names_rejected(self):
         from repro.core import ElaborationError
 
