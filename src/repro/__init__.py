@@ -11,7 +11,9 @@ extensions (:mod:`repro.nonlin`, :mod:`repro.power`,
 :mod:`repro.multidomain`), a synchronization layer (:mod:`repro.sync`),
 a mixed-signal module library (:mod:`repro.lib`), and a parallel
 campaign engine for sweeps, corners, and Monte Carlo with result
-caching (:mod:`repro.campaign`).
+caching (:mod:`repro.campaign`), and a resilience layer — solver
+fallback chains, convergence homotopy, numerical health guards, and
+checkpoint/restart (:mod:`repro.resilience`).
 """
 
 __version__ = "1.0.0"

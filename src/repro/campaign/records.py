@@ -54,6 +54,8 @@ class RunRecord:
     status: str = "ok"            # "ok" | "failed"
     metrics: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    #: "retryable" | "permanent" for failed runs, None otherwise.
+    failure_kind: Optional[str] = None
     wall_time: float = 0.0
     attempts: int = 1
     cached: bool = False
@@ -66,6 +68,7 @@ class RunRecord:
             "status": self.status,
             "metrics": self.metrics,
             "error": self.error,
+            "failure_kind": self.failure_kind,
             "wall_time": self.wall_time,
             "attempts": self.attempts,
             "cached": self.cached,
@@ -87,6 +90,7 @@ class RunRecord:
             status=data.get("status", "ok"),
             metrics=dict(data.get("metrics") or {}),
             error=data.get("error"),
+            failure_kind=data.get("failure_kind"),
             wall_time=float(data.get("wall_time", 0.0)),
             attempts=int(data.get("attempts", 1)),
             cached=bool(data.get("cached", False)),

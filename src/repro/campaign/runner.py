@@ -30,6 +30,8 @@ enforces this).
 
 from __future__ import annotations
 
+import json
+import logging
 import signal
 import threading
 import time
@@ -38,18 +40,36 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..core.errors import BindingError, ElaborationError, SchedulingError
 from ..lib.seeding import seed_to_int, spawn_seed_sequences
+from ..resilience.health import diagnostic_of
 from .cache import ResultCache, cache_key
 from .records import CampaignResults, RunRecord
 from .spec import Campaign
 
-#: (run, build, duration, metrics) — the picklable execution target
-#: shipped to worker processes instead of a live Campaign/Simulator.
+logger = logging.getLogger(__name__)
+
+#: (run, build, duration, metrics, checkpoint_every) — the picklable
+#: execution target shipped to worker processes instead of a live
+#: Campaign/Simulator.
 RunTarget = Tuple[Optional[Callable], Optional[Callable], Any,
-                  Optional[Callable]]
+                  Optional[Callable], Any]
 
 #: (index, params, attempt) — one unit of work.
 RunTask = Tuple[int, Dict[str, Any], int]
+
+#: Failures that re-running cannot fix: the model itself is broken
+#: (bad hierarchy, unschedulable dataflow, unbound ports, wrong types).
+#: Everything else — numerical trouble, timeouts, resource hiccups —
+#: is worth the retry-once policy.
+PERMANENT_FAILURES = (ElaborationError, SchedulingError, BindingError,
+                      TypeError)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """``"permanent"`` (do not retry) or ``"retryable"``."""
+    return ("permanent" if isinstance(exc, PERMANENT_FAILURES)
+            else "retryable")
 
 
 class RunTimeout(Exception):
@@ -76,7 +96,18 @@ def _deadline(seconds: Optional[float]):
     def _on_alarm(signum, frame):
         raise RunTimeout(f"run exceeded {seconds:g}s timeout")
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except (ValueError, OSError) as exc:
+        # Some embeddings (restricted interpreters, exotic threading
+        # setups) refuse signal handlers even on the main thread; run
+        # without the wall-clock guard rather than failing the point.
+        logger.warning(
+            "cannot install SIGALRM handler (%s); running without "
+            "the %gs per-run timeout", exc, seconds,
+        )
+        yield
+        return
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
         yield
@@ -88,15 +119,23 @@ def _deadline(seconds: Optional[float]):
 def _execute_point(target: RunTarget, params: Dict[str, Any],
                    timeout: Optional[float]) -> Dict[str, Any]:
     """Run one campaign point; never raises."""
-    run, build, duration, metrics_fn = target
+    run, build, duration, metrics_fn, checkpoint_every = target
     start = time.perf_counter()
+    simulator = None
+    failure_kind = None
+    diagnostic = None
+    checkpoint = None
     try:
         with _deadline(timeout):
             if run is not None:
                 metrics = run(dict(params))
             else:
                 simulator = build(dict(params))
-                simulator.run(duration)
+                if checkpoint_every is not None:
+                    simulator.run(duration,
+                                  checkpoint_every=checkpoint_every)
+                else:
+                    simulator.run(duration)
                 top = simulator.top
                 if metrics_fn is not None:
                     metrics = metrics_fn(top)
@@ -115,10 +154,22 @@ def _execute_point(target: RunTarget, params: Dict[str, Any],
         metrics = {}
         status = "failed"
         error = f"{type(exc).__name__}: {exc}"
+        failure_kind = classify_failure(exc)
+        report = diagnostic_of(exc)
+        if report is not None:
+            diagnostic = report.to_dict()
+        manager = getattr(simulator, "checkpoint_manager", None)
+        if manager is not None:
+            latest = manager.latest()
+            if latest is not None:
+                checkpoint = latest.to_bytes()
     return {
         "status": status,
         "metrics": metrics,
         "error": error,
+        "failure_kind": failure_kind,
+        "diagnostic": diagnostic,
+        "checkpoint": checkpoint,
         "wall_time": time.perf_counter() - start,
     }
 
@@ -171,7 +222,8 @@ class CampaignRunner:
                  cache_dir=None, timeout: Optional[float] = None,
                  retries: int = 1, chunk_size: Optional[int] = None,
                  out_dir=None, use_cache: bool = True,
-                 progress: Optional[Callable[[RunRecord], None]] = None):
+                 progress: Optional[Callable[[RunRecord], None]] = None,
+                 checkpoint_every=None):
         self.campaign = campaign
         self.workers = max(1, int(workers))
         self.timeout = timeout
@@ -179,6 +231,10 @@ class CampaignRunner:
         self.chunk_size = chunk_size
         self.out_dir = Path(out_dir) if out_dir is not None else None
         self.progress = progress
+        #: SimTime interval for in-run checkpoints (build-style
+        #: campaigns only); a failed point's last checkpoint is then
+        #: persisted next to its diagnostic under ``out_dir/failures``.
+        self.checkpoint_every = checkpoint_every
         if cache_dir is None and use_cache and self.out_dir is not None:
             cache_dir = self.out_dir / "cache"
         self.cache = (ResultCache(cache_dir)
@@ -241,7 +297,8 @@ class CampaignRunner:
         executed = 0
         retried = 0
         target: RunTarget = (campaign.run, campaign.build,
-                             campaign.duration, campaign.metrics)
+                             campaign.duration, campaign.metrics,
+                             self.checkpoint_every)
         while pending:
             outcomes = self._dispatch(target, pending)
             executed += len(outcomes)
@@ -251,14 +308,19 @@ class CampaignRunner:
                 record.status = outcome["status"]
                 record.metrics = outcome["metrics"]
                 record.error = outcome["error"]
+                record.failure_kind = outcome.get("failure_kind")
                 record.wall_time += outcome["wall_time"]
                 record.attempts = outcome["attempt"]
                 if (outcome["status"] == "failed"
+                        and outcome.get("failure_kind") != "permanent"
                         and outcome["attempt"] <= self.retries):
                     retry.append((record.index, record.params,
                                   outcome["attempt"] + 1))
-                elif self.progress is not None:
-                    self.progress(record)
+                else:
+                    if outcome["status"] == "failed":
+                        self._persist_failure(record, outcome)
+                    if self.progress is not None:
+                        self.progress(record)
             retried += len(retry)
             pending = retry
 
@@ -280,6 +342,33 @@ class CampaignRunner:
             self.out_dir.mkdir(parents=True, exist_ok=True)
             results.write_jsonl(self.out_dir / "records.jsonl")
         return results
+
+    def _persist_failure(self, record: RunRecord,
+                         outcome: Dict[str, Any]) -> None:
+        """Write a failed point's postmortem under ``out_dir/failures``:
+        ``run_NNNNN.diagnostic.json`` always, plus
+        ``run_NNNNN.checkpoint.pkl`` when an in-run checkpoint exists."""
+        if self.out_dir is None:
+            return
+        failures = self.out_dir / "failures"
+        failures.mkdir(parents=True, exist_ok=True)
+        stem = f"run_{record.index:05d}"
+        diagnostic = outcome.get("diagnostic") or {
+            "message": record.error,
+        }
+        diagnostic = dict(diagnostic)
+        diagnostic.setdefault("failure_kind", record.failure_kind)
+        diagnostic.setdefault("params", record.params)
+        diagnostic.setdefault("attempts", record.attempts)
+        path = failures / f"{stem}.diagnostic.json"
+        path.write_text(
+            json.dumps(diagnostic, indent=2, sort_keys=True,
+                       default=str) + "\n",
+            encoding="utf-8",
+        )
+        checkpoint = outcome.get("checkpoint")
+        if checkpoint is not None:
+            (failures / f"{stem}.checkpoint.pkl").write_bytes(checkpoint)
 
     def _dispatch(self, target: RunTarget, tasks: List[RunTask]
                   ) -> List[Dict[str, Any]]:

@@ -32,11 +32,42 @@ class SolverError(SimulationError):
 
     Examples: singular system matrix, Newton iteration divergence, or a
     timestep underflow in the variable-step integrator.
+
+    Resilience-aware raisers attach a structured
+    :class:`~repro.resilience.health.DiagnosticReport` under the
+    ``diagnostic`` attribute (``None`` when absent).
     """
+
+    diagnostic = None
 
 
 class ConvergenceError(SolverError):
-    """Raised when an iterative numerical method fails to converge."""
+    """Raised when an iterative numerical method fails to converge.
+
+    Carries structured failure data so a diverged run is diagnosable
+    without rerunning: ``iterations`` (count performed),
+    ``residual_norm`` (final ``|F|``), ``time_point`` (simulated time of
+    the failing step, if any) and ``residual_history`` (per-iteration
+    norms).  All are ``None``/empty when the raiser had nothing better.
+    """
+
+    def __init__(self, message: str = "", *, iterations=None,
+                 residual_norm=None, time_point=None,
+                 residual_history=None):
+        details = []
+        if iterations is not None and "iteration" not in message:
+            details.append(f"iterations={iterations}")
+        if residual_norm is not None and "|F|" not in message:
+            details.append(f"|F|={residual_norm:.3e}")
+        if time_point is not None and "t=" not in message:
+            details.append(f"t={time_point:.6e}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual_norm = residual_norm
+        self.time_point = time_point
+        self.residual_history = list(residual_history or [])
 
 
 class SynchronizationError(SimulationError):

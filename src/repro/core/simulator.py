@@ -27,6 +27,8 @@ class Simulator:
         self._elaborated = False
         self._stopped = False
         self._finalizers: list = []
+        #: set by run(checkpoint_every=...); reusable for postmortems.
+        self.checkpoint_manager = None
 
     def __reduce__(self):
         # Campaign workers (repro.campaign) must build their own
@@ -78,13 +80,22 @@ class Simulator:
             module.start_of_simulation()
         self._elaborated = True
 
-    def run(self, duration: Optional[SimTime] = None) -> SimTime:
+    def run(self, duration: Optional[SimTime] = None, *,
+            checkpoint_every: Optional[SimTime] = None,
+            checkpoint_manager=None) -> SimTime:
         """Elaborate on first call, then run for ``duration``.
 
         Once :meth:`stop` has been called the simulator latches: a
         further ``run()`` raises :class:`SimulationError` instead of
         silently resuming the stopped kernel.  Call :meth:`reset` first
         to make the resumption explicit.
+
+        With ``checkpoint_every`` the run is split into segments and a
+        checkpoint (see :mod:`repro.resilience.checkpoint`) is saved
+        after each; ``checkpoint_manager`` supplies storage (an
+        in-memory :class:`~repro.resilience.checkpoint.CheckpointManager`
+        is created when omitted and exposed as
+        ``self.checkpoint_manager``).
         """
         if self._stopped:
             raise SimulationError(
@@ -92,7 +103,66 @@ class Simulator:
                 "to explicitly resume the stopped simulation"
             )
         self.elaborate()
-        return self.kernel.run(duration)
+        if checkpoint_every is None:
+            return self.kernel.run(duration)
+        if duration is None:
+            raise SimulationError(
+                "checkpoint_every requires a finite run duration"
+            )
+        if checkpoint_every.ticks <= 0:
+            raise SimulationError("checkpoint_every must be positive")
+        if checkpoint_manager is None:
+            from ..resilience.checkpoint import CheckpointManager
+
+            checkpoint_manager = CheckpointManager()
+        self.checkpoint_manager = checkpoint_manager
+        end_ticks = self.kernel.now_ticks + duration.ticks
+        while self.kernel.now_ticks < end_ticks and not self._stopped:
+            chunk = min(checkpoint_every.ticks,
+                        end_ticks - self.kernel.now_ticks)
+            self.kernel.run(SimTime.from_ticks(chunk))
+            checkpoint_manager.save(self.capture_checkpoint(),
+                                    self.kernel.now.to_seconds())
+        return self.kernel.now
+
+    # -- checkpoint/restart (see repro.resilience.checkpoint) ---------------
+
+    def capture_checkpoint(self) -> dict:
+        """Picklable snapshot of the kernel clock and all TDF clusters."""
+        registry = getattr(self, "_tdf_registry", None)
+        clusters = registry.clusters if registry is not None else []
+        return {
+            "now_ticks": self.kernel.now_ticks,
+            "clusters": [c.checkpoint_state() for c in clusters],
+        }
+
+    def restore_checkpoint(self, payload: dict) -> SimTime:
+        """Resume from a :meth:`capture_checkpoint` payload.
+
+        Must be called on a *freshly built* simulator (same model
+        factory, no prior :meth:`run`): the design is elaborated, the
+        checkpointed cluster state is reinstalled, and the kernel clock
+        is moved to the checkpoint time.  A subsequent ``run(d)``
+        continues the simulation for ``d`` more.
+        """
+        if self.kernel._initialized:
+            raise SimulationError(
+                "restore_checkpoint requires a freshly built simulator "
+                "(restore before the first run)"
+            )
+        self.elaborate()
+        registry = getattr(self, "_tdf_registry", None)
+        clusters = registry.clusters if registry is not None else []
+        saved = payload["clusters"]
+        if len(saved) != len(clusters):
+            raise SimulationError(
+                "checkpoint does not match the elaborated design "
+                f"({len(saved)} saved clusters, {len(clusters)} built)"
+            )
+        for cluster, data in zip(clusters, saved):
+            cluster.restore_state(data)
+        self.kernel.now_ticks = int(payload["now_ticks"])
+        return self.kernel.now
 
     @property
     def now(self) -> SimTime:

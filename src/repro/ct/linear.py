@@ -15,6 +15,7 @@ iterations" — and the matrix is LU-factorized once per timestep value.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -141,12 +142,23 @@ class LinearStepper:
         else:  # trapezoidal
             A = 2.0 * C / h + G
         try:
-            self._factorization = lu_factor(A)
+            with warnings.catch_warnings():
+                # lu_factor reports exact singularity through a
+                # LinAlgWarning and zero pivots instead of raising;
+                # promote it to a deterministic SolverError so fallback
+                # tiers see the failure at factorization time.
+                warnings.simplefilter("error")
+                self._factorization = lu_factor(A)
         except ValueError as exc:
             raise SolverError("cannot factorize iteration matrix") from exc
-        singular = not np.all(np.isfinite(self._factorization[0]))
-        if singular:
-            raise SolverError("iteration matrix is singular")
+        except Warning as exc:
+            raise SolverError(
+                f"iteration matrix is singular for h={h:.3e}"
+            ) from exc
+        if not np.all(np.isfinite(self._factorization[0])):
+            raise SolverError(
+                f"iteration matrix is singular for h={h:.3e}"
+            )
 
     def set_timestep(self, h: float) -> None:
         if h != self.h:
@@ -164,6 +176,13 @@ class LinearStepper:
         else:
             b_now = np.asarray(self.system.source(t), dtype=float)
             rhs = (2.0 * C / h - self.system.G) @ x + b_next + b_now
+        if not np.all(np.isfinite(rhs)):
+            error = SolverError(
+                f"non-finite right-hand side at t={t:.6e} "
+                "(NaN/Inf source or state)"
+            )
+            error.time_point = t
+            raise error
         return lu_solve(self._factorization, rhs)
 
 

@@ -155,48 +155,62 @@ def newton(
     exponential nonlinearities.
     """
     x = np.asarray(x0, dtype=float).copy()
-    f = np.asarray(residual(x), dtype=float)
-    fnorm = np.linalg.norm(f)
-    stagnant = 0
-    for iteration in range(1, max_iterations + 1):
-        jac = np.asarray(jacobian(x), dtype=float)
-        try:
-            dx = np.linalg.solve(jac, -f)
-        except np.linalg.LinAlgError:
-            dx, *_ = np.linalg.lstsq(jac, -f, rcond=None)
-        scale = 1.0
-        for _ in range(16 if damping else 1):
-            x_new = x + scale * dx
-            f_new = np.asarray(residual(x_new), dtype=float)
-            fnorm_new = np.linalg.norm(f_new)
-            if np.isfinite(fnorm_new) and (fnorm_new < fnorm or not damping):
-                break
-            scale *= 0.5
-        else:
-            x_new, f_new, fnorm_new = x + dx, None, np.inf
-            f_new = np.asarray(residual(x_new), dtype=float)
-            fnorm_new = np.linalg.norm(f_new)
-        step_small = np.linalg.norm(scale * dx) <= (
-            abstol + reltol * max(np.linalg.norm(x), 1.0)
-        )
-        stagnant = stagnant + 1 if fnorm_new > 0.5 * fnorm else 0
-        x, f, fnorm = x_new, f_new, fnorm_new
-        # A small step alone is not convergence (a singular Jacobian can
-        # stall with a large residual); require the residual to be small
-        # too, with a relaxed threshold for the step-based criterion.
-        if fnorm <= abstol or (step_small and fnorm <= 1e4 * abstol):
-            return x, iteration
-        # Stagnation acceptance: finite-difference Jacobians (and float
-        # cancellation in stiff residuals) bottom out above abstol.  If
-        # the *step* is already negligible and the residual has stopped
-        # improving near that floor, the iterate is as good as this
-        # Jacobian can make it.  (Without step_small this would accept
-        # the slow-crawl phase of damped Newton on exponentials.)
-        if step_small and stagnant >= 3 and fnorm <= 1e6 * abstol:
-            return x, iteration
+    # Divergence probes legitimately evaluate residuals at terrible
+    # iterates (overflow to inf, nan); the guards below treat non-finite
+    # norms as "reject" explicitly, so silence the intermediate warnings.
+    with np.errstate(over="ignore", invalid="ignore"):
+        f = np.asarray(residual(x), dtype=float)
+        fnorm = float(np.linalg.norm(f))
+        history = [fnorm]
+        stagnant = 0
+        for iteration in range(1, max_iterations + 1):
+            jac = np.asarray(jacobian(x), dtype=float)
+            try:
+                dx = np.linalg.solve(jac, -f)
+            except np.linalg.LinAlgError:
+                dx, *_ = np.linalg.lstsq(jac, -f, rcond=None)
+            if not np.all(np.isfinite(dx)):
+                break  # Jacobian produced no usable direction
+            scale = 1.0
+            for _ in range(16 if damping else 1):
+                x_new = x + scale * dx
+                f_new = np.asarray(residual(x_new), dtype=float)
+                fnorm_new = float(np.linalg.norm(f_new))
+                if np.isfinite(fnorm_new) and (fnorm_new < fnorm
+                                               or not damping):
+                    break
+                scale *= 0.5
+            else:
+                x_new = x + dx
+                f_new = np.asarray(residual(x_new), dtype=float)
+                fnorm_new = float(np.linalg.norm(f_new))
+            step_small = np.linalg.norm(scale * dx) <= (
+                abstol + reltol * max(np.linalg.norm(x), 1.0)
+            )
+            stagnant = stagnant + 1 if fnorm_new > 0.5 * fnorm else 0
+            x, f, fnorm = x_new, f_new, fnorm_new
+            history.append(fnorm)
+            # A small step alone is not convergence (a singular Jacobian
+            # can stall with a large residual); require the residual to
+            # be small too, with a relaxed threshold for the step-based
+            # criterion.
+            if fnorm <= abstol or (step_small and fnorm <= 1e4 * abstol):
+                return x, iteration
+            # Stagnation acceptance: finite-difference Jacobians (and
+            # float cancellation in stiff residuals) bottom out above
+            # abstol.  If the *step* is already negligible and the
+            # residual has stopped improving near that floor, the iterate
+            # is as good as this Jacobian can make it.  (Without
+            # step_small this would accept the slow-crawl phase of damped
+            # Newton on exponentials.)
+            if step_small and stagnant >= 3 and fnorm <= 1e6 * abstol:
+                return x, iteration
     raise ConvergenceError(
-        f"Newton failed to converge after {max_iterations} iterations "
-        f"(|F| = {fnorm:.3e})"
+        f"Newton failed to converge after {len(history) - 1} iterations "
+        f"(|F| = {fnorm:.3e})",
+        iterations=len(history) - 1,
+        residual_norm=fnorm,
+        residual_history=history,
     )
 
 
@@ -207,13 +221,16 @@ def dc_operating_point(
     gmin_stepping: bool = True,
     gmin_start: float = 1e-2,
     gmin_steps: int = 8,
+    source_stepping: bool = True,
 ) -> np.ndarray:
     """Quiescent state: solve ``f(x, t) = 0``.
 
-    Plain Newton is attempted first; on divergence, gmin stepping is used:
-    a shunt conductance ``g`` is added to every unknown and reduced
-    geometrically to zero, each solution seeding the next (a homotopy).
-    The paper calls the consistent initial state computation a formal
+    Plain Newton is attempted first; on divergence the standard SPICE
+    recovery ladder takes over: gmin stepping (a shunt conductance ``g``
+    added to every unknown and reduced geometrically to zero, each
+    solution seeding the next), then source stepping (ramping the
+    sources from zero — see :mod:`repro.resilience.homotopy`).  The
+    paper calls the consistent initial state computation a formal
     requirement of the synchronization layer; this is its workhorse.
     """
     guess = system.initial_guess() if x0 is None else np.asarray(x0, float)
@@ -229,12 +246,34 @@ def dc_operating_point(
     try:
         return solve_with_gmin(0.0, guess)
     except ConvergenceError:
-        if not gmin_stepping:
+        if not (gmin_stepping or source_stepping):
             raise
-    x = guess
-    for g in np.geomspace(gmin_start, gmin_start * 1e-9, gmin_steps):
-        x = solve_with_gmin(g, x)
-    return solve_with_gmin(0.0, x)
+    failures = []
+    if gmin_stepping:
+        try:
+            x = guess
+            for g in np.geomspace(gmin_start, gmin_start * 1e-9,
+                                  gmin_steps):
+                x = solve_with_gmin(g, x)
+            return solve_with_gmin(0.0, x)
+        except ConvergenceError as exc:
+            failures.append(("gmin", exc))
+    if source_stepping:
+        from ..resilience.homotopy import source_stepping as _source_step
+
+        try:
+            return _source_step(system, t, guess)
+        except ConvergenceError as exc:
+            failures.append(("source", exc))
+    chain = "; ".join(f"{name}: {exc}" for name, exc in failures)
+    last = failures[-1][1]
+    raise ConvergenceError(
+        f"DC operating point not found, homotopy ladder exhausted "
+        f"({chain})",
+        iterations=getattr(last, "iterations", None),
+        residual_norm=getattr(last, "residual_norm", None),
+        time_point=t,
+    )
 
 
 class NonlinearStepper:
@@ -249,14 +288,20 @@ class NonlinearStepper:
 
     def __init__(self, system: NonlinearSystem, method: str = "trapezoidal",
                  newton_abstol: float = 1e-12,
-                 newton_reltol: float = 1e-12):
+                 newton_reltol: float = 1e-12,
+                 homotopy: bool = False):
         if method not in ("backward_euler", "trapezoidal"):
             raise SolverError(f"unknown integration method {method!r}")
         self.system = system
         self.method = method
         self.newton_abstol = newton_abstol
         self.newton_reltol = newton_reltol
+        #: retry a diverged step with residual-embedding continuation
+        #: (see :func:`repro.resilience.homotopy.embedding_solve`)
+        #: before giving up — slower, but rescues Newton-hostile devices.
+        self.homotopy = homotopy
         self.newton_iterations = 0
+        self.homotopy_steps = 0
 
     def step(self, x: np.ndarray, t: float, h: float) -> np.ndarray:
         """Advance the solution from ``t`` to ``t + h``."""
@@ -282,9 +327,40 @@ class NonlinearStepper:
             def jacobian(x1):
                 return sys.charge_jacobian(x1) / h + \
                     0.5 * sys.static_jacobian(x1, t1)
-        x1, iterations = newton(residual, jacobian, x,
-                                abstol=self.newton_abstol,
-                                reltol=self.newton_reltol)
+        try:
+            x1, iterations = newton(residual, jacobian, x,
+                                    abstol=self.newton_abstol,
+                                    reltol=self.newton_reltol)
+        except ConvergenceError as exc:
+            if not self.homotopy:
+                raise ConvergenceError(
+                    f"{self.method} step diverged at t={t:.6e} "
+                    f"(h={h:.3e}): {exc}",
+                    iterations=exc.iterations,
+                    residual_norm=exc.residual_norm,
+                    time_point=t,
+                    residual_history=exc.residual_history,
+                ) from exc
+            from ..resilience.homotopy import embedding_solve
+
+            try:
+                x1 = embedding_solve(
+                    residual, jacobian, x,
+                    newton_kwargs={"abstol": self.newton_abstol,
+                                   "reltol": self.newton_reltol},
+                )
+                self.homotopy_steps += 1
+            except ConvergenceError as exc2:
+                raise ConvergenceError(
+                    f"{self.method} step diverged at t={t:.6e} "
+                    f"(h={h:.3e}) and the embedding homotopy stalled: "
+                    f"{exc2}",
+                    iterations=exc2.iterations,
+                    residual_norm=exc2.residual_norm,
+                    time_point=t,
+                    residual_history=exc2.residual_history,
+                ) from exc2
+            return x1
         self.newton_iterations += iterations
         return x1
 

@@ -33,6 +33,10 @@ from .nonlinear import (
 class TransientSolver(abc.ABC):
     """Contract every pluggable continuous-time solver fulfils."""
 
+    #: optional :class:`~repro.resilience.health.HealthMonitor`; when
+    #: installed, cooperating solvers report every accepted step.
+    monitor = None
+
     @abc.abstractmethod
     def initialize(self, t0: float = 0.0,
                    x0: Optional[np.ndarray] = None) -> np.ndarray:
@@ -51,6 +55,20 @@ class TransientSolver(abc.ABC):
     @abc.abstractmethod
     def state(self) -> np.ndarray:
         """Current solver state vector."""
+
+    # -- checkpoint support (see repro.resilience.checkpoint) ---------------
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the solver's resumable state."""
+        return {
+            "t": float(self.time),
+            "x": np.asarray(self.state, dtype=float).tolist(),
+        }
+
+    def load_state_dict(self, data: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.initialize(float(data["t"]),
+                        np.asarray(data["x"], dtype=float))
 
 
 class LinearTransientSolver(TransientSolver):
@@ -109,6 +127,8 @@ class LinearTransientSolver(TransientSolver):
         for k in range(substeps):
             x = self._stepper.step(x, self._t + k * h)
             self.step_count += 1
+            if self.monitor is not None:
+                self.monitor.after_step(self._t + (k + 1) * h, x)
         self._t = t
         self._x = x
         return x
@@ -120,6 +140,15 @@ class LinearTransientSolver(TransientSolver):
     @property
     def state(self) -> np.ndarray:
         return self._x
+
+    def state_dict(self) -> dict:
+        data = super().state_dict()
+        data["step_count"] = self.step_count
+        return data
+
+    def load_state_dict(self, data: dict) -> None:
+        super().load_state_dict(data)
+        self.step_count = int(data.get("step_count", 0))
 
 
 class NonlinearTransientSolver(TransientSolver):
@@ -185,13 +214,16 @@ class NonlinearTransientSolver(TransientSolver):
             try:
                 x_be = self._be.step(self._x, self._t, h)
                 x_tr = self._trap.step(self._x, self._t, h)
-            except ConvergenceError:
+            except ConvergenceError as exc:
                 self._h = h * 0.25
                 self.rejected_count += 1
                 if self._h < h_min:
-                    raise SolverError(
-                        f"timestep underflow at t={self._t:.6e}"
+                    underflow = SolverError(
+                        f"timestep underflow at t={self._t:.6e} "
+                        f"(h={self._h:.3e}): {exc}"
                     )
+                    underflow.time_point = self._t
+                    raise underflow from exc
                 continue
             scale = self.abstol + self.reltol * np.maximum(
                 np.abs(x_tr), np.abs(self._x)
@@ -202,15 +234,20 @@ class NonlinearTransientSolver(TransientSolver):
                 self._x = x_tr
                 self.step_count += 1
                 consecutive_rejects = 0
+                if self.monitor is not None:
+                    self.monitor.record_residual(error)
+                    self.monitor.after_step(self._t, self._x)
             else:
                 self.rejected_count += 1
                 consecutive_rejects += 1
                 if consecutive_rejects > 60:
-                    raise SolverError(
+                    stalled = SolverError(
                         f"step controller stalled at t={self._t:.6e}; "
                         "error estimate does not shrink with h "
                         "(inconsistent state after a discontinuity?)"
                     )
+                    stalled.time_point = self._t
+                    raise stalled
             factor = 0.9 / np.sqrt(max(error, 1e-10))
             self._h = float(np.clip(h * np.clip(factor, 0.2, 5.0),
                                     h_min, span))
@@ -225,27 +262,45 @@ class NonlinearTransientSolver(TransientSolver):
     def state(self) -> np.ndarray:
         return self._x
 
+    def state_dict(self) -> dict:
+        data = super().state_dict()
+        data.update(h=self._h, step_count=self.step_count,
+                    rejected_count=self.rejected_count)
+        return data
+
+    def load_state_dict(self, data: dict) -> None:
+        super().load_state_dict(data)
+        self._h = data.get("h")
+        self.step_count = int(data.get("step_count", 0))
+        self.rejected_count = int(data.get("rejected_count", 0))
+
 
 class ScipyIvpSolver(TransientSolver):
     """Adapter plugging SciPy's mature IVP integrators into the framework.
 
-    Accepts either an explicit ODE right-hand side ``rhs(t, x)`` or a
+    Accepts an explicit ODE right-hand side ``rhs(t, x)``, a
     :class:`LinearDae` whose ``C`` matrix is invertible (the ODE form the
-    paper notes most CSSL-descendant tools support).
+    paper notes most CSSL-descendant tools support), or a charge-form
+    :class:`NonlinearSystem` whose charge Jacobian is invertible
+    (``dq/dx · dx/dt = -f(x, t)``).
     """
 
     def __init__(
         self,
         rhs: Optional[Callable[[float, np.ndarray], np.ndarray]] = None,
         linear_system: Optional[LinearDae] = None,
+        nonlinear_system: Optional[NonlinearSystem] = None,
         n: Optional[int] = None,
         method: str = "LSODA",
         rtol: float = 1e-8,
         atol: float = 1e-10,
     ):
-        if (rhs is None) == (linear_system is None):
+        provided = [src is not None
+                    for src in (rhs, linear_system, nonlinear_system)]
+        if sum(provided) != 1:
             raise SolverError(
-                "provide exactly one of rhs= or linear_system="
+                "provide exactly one of rhs=, linear_system= "
+                "or nonlinear_system="
             )
         if linear_system is not None:
             try:
@@ -261,6 +316,24 @@ class ScipyIvpSolver(TransientSolver):
                 return _ci @ (_sys.source(t) - _sys.G @ x)
 
             n = linear_system.n
+        elif nonlinear_system is not None:
+            probe = np.zeros(nonlinear_system.n)
+            jac = np.asarray(nonlinear_system.charge_jacobian(probe),
+                             dtype=float)
+            if not np.isfinite(np.linalg.cond(jac)):
+                raise SolverError(
+                    "ScipyIvpSolver requires an invertible charge "
+                    "Jacobian (a pure ODE system); use the built-in "
+                    "DAE solver for algebraic constraints"
+                )
+
+            def rhs(t, x, _sys=nonlinear_system):
+                return np.linalg.solve(
+                    np.asarray(_sys.charge_jacobian(x), dtype=float),
+                    -np.asarray(_sys.static(x, t), dtype=float),
+                )
+
+            n = nonlinear_system.n
         if n is None:
             raise SolverError("n= is required when passing a bare rhs")
         self.rhs = rhs
@@ -269,6 +342,7 @@ class ScipyIvpSolver(TransientSolver):
         self.rtol = rtol
         self.atol = atol
         self._linear = linear_system
+        self._nonlinear = nonlinear_system
         self._t = 0.0
         self._x = np.zeros(n)
         self.segment_count = 0
@@ -279,6 +353,8 @@ class ScipyIvpSolver(TransientSolver):
             self._x = np.asarray(x0, dtype=float)
         elif self._linear is not None:
             self._x = self._linear.dc()
+        elif self._nonlinear is not None:
+            self._x = dc_operating_point(self._nonlinear, t0)
         else:
             self._x = np.zeros(self.n)
         return self._x
@@ -288,17 +364,36 @@ class ScipyIvpSolver(TransientSolver):
             raise SolverError("cannot advance a transient solver backwards")
         if t == self._t:
             return self._x
-        result = solve_ivp(
-            self.rhs, (self._t, t), self._x,
-            method=self.method, rtol=self.rtol, atol=self.atol,
-        )
+        try:
+            result = solve_ivp(
+                self.rhs, (self._t, t), self._x,
+                method=self.method, rtol=self.rtol, atol=self.atol,
+            )
+        except ValueError as exc:
+            # solve_ivp rejects NaN/Inf-contaminated inputs with a bare
+            # ValueError; normalize to the solver-error contract so
+            # fallback chains and campaigns can classify it.
+            error = SolverError(f"external solver rejected input: {exc}")
+            error.time_point = self._t
+            raise error from exc
         if not result.success:
             raise SolverError(
                 f"external solver failed: {result.message}"
             )
+        x_new = result.y[:, -1]
+        if not np.all(np.isfinite(x_new)):
+            # some methods (e.g. LSODA) integrate a NaN-producing RHS
+            # "successfully"; refuse to adopt a non-finite state.
+            error = SolverError(
+                f"external solver produced non-finite state at t={t:.6e}"
+            )
+            error.time_point = self._t
+            raise error
         self.segment_count += 1
         self._t = t
-        self._x = result.y[:, -1]
+        self._x = x_new
+        if self.monitor is not None:
+            self.monitor.after_step(self._t, self._x)
         return self._x
 
     @property
@@ -308,3 +403,12 @@ class ScipyIvpSolver(TransientSolver):
     @property
     def state(self) -> np.ndarray:
         return self._x
+
+    def state_dict(self) -> dict:
+        data = super().state_dict()
+        data["segment_count"] = self.segment_count
+        return data
+
+    def load_state_dict(self, data: dict) -> None:
+        super().load_state_dict(data)
+        self.segment_count = int(data.get("segment_count", 0))

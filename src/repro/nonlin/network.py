@@ -36,6 +36,10 @@ class MnaNonlinearSystem(NonlinearSystem):
         self.G0 = G0
         self.source = source
         self.devices = devices
+        #: source-stepping homotopy knob: scales the independent-source
+        #: vector ``b(t)`` (see :func:`repro.resilience.homotopy.
+        #: source_stepping`).  1.0 is the real circuit.
+        self.source_scale = 1.0
 
     def charge(self, x):
         q = self.C0 @ x
@@ -50,7 +54,8 @@ class MnaNonlinearSystem(NonlinearSystem):
         return c
 
     def static(self, x, t):
-        f = self.G0 @ x - np.asarray(self.source(t), dtype=float)
+        f = self.G0 @ x \
+            - self.source_scale * np.asarray(self.source(t), dtype=float)
         for device in self.devices:
             device.add_static(x, t, f)
         return f

@@ -1,0 +1,41 @@
+"""`repro.resilience` — fault tolerance for the simulation stack.
+
+The paper's Section 3 objectives ask for solvers that stay *robust*
+across stiff, nonlinear, and mixed-signal workloads; at campaign scale
+(thousands of runs, see :mod:`repro.campaign`) the limiting factor is
+failed and diverged runs, not raw speed.  This subsystem converts
+previously-fatal numerical failures into recovered runs or actionable
+artifacts:
+
+* :class:`ResilientTransientSolver` — per-interval fallback chain
+  (primary → halved step → stiff BDF) with observable tier usage;
+* :func:`continuation_solve` / :func:`gmin_stepping` /
+  :func:`source_stepping` — the SPICE convergence-homotopy ladder;
+* :class:`HealthMonitor` / :class:`DiagnosticReport` — numerical health
+  guards and structured postmortems attached to solver errors;
+* :class:`CheckpointManager` / :class:`Checkpoint` — pickleable
+  snapshots enabling checkpoint/restart of long simulations.
+"""
+
+from .checkpoint import Checkpoint, CheckpointManager
+from .fallback import ResilientTransientSolver
+from .health import (
+    DiagnosticReport,
+    HealthError,
+    HealthMonitor,
+    attach_diagnostic,
+    diagnostic_of,
+)
+from .homotopy import (
+    continuation_solve,
+    embedding_solve,
+    gmin_stepping,
+    source_stepping,
+)
+
+__all__ = [
+    "Checkpoint", "CheckpointManager", "DiagnosticReport", "HealthError",
+    "HealthMonitor", "ResilientTransientSolver", "attach_diagnostic",
+    "continuation_solve", "diagnostic_of", "embedding_solve",
+    "gmin_stepping", "source_stepping",
+]

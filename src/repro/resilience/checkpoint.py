@@ -1,0 +1,127 @@
+"""Checkpoint/restart: periodic pickleable snapshots of simulation state.
+
+Long co-simulations (the virtual-prototyping workloads of the related
+RISC-V/SystemC-AMS work) must survive solver hiccups and process death
+without losing hours of progress.  A checkpoint is a plain ``dict``
+payload assembled by :meth:`repro.core.Simulator.capture_checkpoint`:
+kernel clock, per-cluster dataflow state (period counters, signal
+buffers, activation indices) and the ``state_dict`` of every
+continuous-time solver.  Restoring it into a *freshly built* simulator
+(same factory, fresh process) resumes the run bit-identically — the
+fault-injection suite asserts trajectory equality against an
+uninterrupted run.
+
+:class:`CheckpointManager` stores snapshots either in memory (the
+default — cheap insurance inside one process) or in a directory of
+pickle files (surviving a killed process), pruning all but the newest
+``keep_last``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Checkpoint:
+    """One snapshot: the state payload plus bookkeeping."""
+
+    payload: Dict[str, Any]
+    time_seconds: float
+    index: int
+    path: Optional[str] = None
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps({
+            "payload": self.payload,
+            "time_seconds": self.time_seconds,
+            "index": self.index,
+        }, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Checkpoint":
+        raw = pickle.loads(data)
+        return cls(payload=raw["payload"],
+                   time_seconds=float(raw["time_seconds"]),
+                   index=int(raw["index"]))
+
+
+class CheckpointManager:
+    """Stores, prunes, and reloads simulation checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files go; ``None`` keeps snapshots in memory
+        only (they die with the process, but still enable in-process
+        restarts and postmortem artifacts).
+    keep_last:
+        How many snapshots to retain; older ones are pruned.
+    prefix:
+        File-name prefix for on-disk checkpoints.
+    """
+
+    def __init__(self, directory=None, keep_last: int = 2,
+                 prefix: str = "checkpoint"):
+        self.directory = Path(directory) if directory is not None else None
+        self.keep_last = max(1, int(keep_last))
+        self.prefix = prefix
+        self._memory: List[Checkpoint] = []
+        self._index = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- saving -------------------------------------------------------------
+
+    def save(self, payload: Dict[str, Any],
+             time_seconds: float) -> Checkpoint:
+        self._index += 1
+        checkpoint = Checkpoint(payload=payload,
+                                time_seconds=float(time_seconds),
+                                index=self._index)
+        if self.directory is not None:
+            path = self.directory / (
+                f"{self.prefix}_{self._index:06d}.pkl"
+            )
+            with open(path, "wb") as handle:
+                handle.write(checkpoint.to_bytes())
+            checkpoint.path = str(path)
+        self._memory.append(checkpoint)
+        self._prune()
+        return checkpoint
+
+    def _prune(self) -> None:
+        while len(self._memory) > self.keep_last:
+            stale = self._memory.pop(0)
+            if stale.path is not None and os.path.exists(stale.path):
+                os.remove(stale.path)
+
+    # -- loading ------------------------------------------------------------
+
+    def latest(self) -> Optional[Checkpoint]:
+        if self._memory:
+            return self._memory[-1]
+        return self.latest_on_disk()
+
+    def latest_on_disk(self) -> Optional[Checkpoint]:
+        """Newest checkpoint file in ``directory`` (survives restarts)."""
+        if self.directory is None or not self.directory.is_dir():
+            return None
+        files = sorted(self.directory.glob(f"{self.prefix}_*.pkl"))
+        if not files:
+            return None
+        return self.load(files[-1])
+
+    @staticmethod
+    def load(path) -> Checkpoint:
+        with open(path, "rb") as handle:
+            checkpoint = Checkpoint.from_bytes(handle.read())
+        checkpoint.path = str(path)
+        return checkpoint
+
+    def __len__(self) -> int:
+        return len(self._memory)

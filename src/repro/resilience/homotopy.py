@@ -1,0 +1,250 @@
+"""Convergence homotopy: the SPICE recovery ladder for diverged Newton.
+
+When plain (damped) Newton fails on a DC operating point or an implicit
+integration step, circuit simulators do not give up — they solve a
+*continuation* of easier problems whose solutions track toward the hard
+one:
+
+* **gmin stepping** (:func:`gmin_stepping`) — add a shunt conductance
+  ``g`` to every unknown (making the Jacobian diagonally dominant) and
+  relax ``g`` geometrically toward zero, each rung's solution seeding
+  the next.
+* **source stepping** (:func:`source_stepping`) — ramp the independent
+  sources from zero to full strength.  Systems exposing a
+  ``source_scale`` attribute (e.g.
+  :class:`~repro.nonlin.network.MnaNonlinearSystem`) get true source
+  scaling; any other system falls back to the generic *residual
+  embedding* ``F_a(x) = f(x) - (1 - a) f(x_ref)``, which is exact at
+  ``a = 0`` (``x_ref`` solves it by construction) and recovers the
+  original problem at ``a = 1``.
+
+Both ladders are adaptive: a failed rung is retried with a smaller
+continuation step until progress resumes or the step underflows.
+:func:`continuation_solve` chains plain Newton → gmin → source stepping
+and reports which method finally converged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ConvergenceError
+from ..ct.nonlinear import NonlinearSystem, newton
+
+
+def gmin_stepping(
+    system: NonlinearSystem,
+    t: float = 0.0,
+    x0: Optional[np.ndarray] = None,
+    gmin_start: float = 1e-2,
+    gmin_min: float = 1e-12,
+    reduction: float = 10.0,
+    max_rungs: int = 64,
+) -> np.ndarray:
+    """Solve ``f(x, t) = 0`` by adaptive gmin continuation.
+
+    Starts at shunt conductance ``gmin_start``, divides by ``reduction``
+    per rung; when a rung fails the reduction factor is square-rooted
+    (denser ladder) and the rung retried from the last good solution.
+    Raises :class:`~repro.core.errors.ConvergenceError` if the ladder
+    stalls.
+    """
+    x = np.asarray(system.initial_guess() if x0 is None else x0,
+                   dtype=float)
+
+    def solve_at(g: float, start: np.ndarray) -> np.ndarray:
+        eye = np.eye(system.n)
+        result, _ = newton(
+            lambda v: system.static(v, t) + g * v,
+            lambda v: system.static_jacobian(v, t) + g * eye,
+            start,
+        )
+        return result
+
+    g = gmin_start
+    x = solve_at(g, x)      # the easiest rung must succeed outright
+    factor = reduction
+    rungs = 0
+    while g > gmin_min:
+        g_next = g / factor
+        try:
+            x = solve_at(g_next, x)
+            g = g_next
+        except ConvergenceError:
+            factor = np.sqrt(factor)
+            if factor < 1.0 + 1e-6:
+                raise ConvergenceError(
+                    f"gmin stepping stalled at g={g:.3e} "
+                    "(continuation step underflow)"
+                )
+        rungs += 1
+        if rungs > max_rungs:
+            raise ConvergenceError(
+                f"gmin stepping exceeded {max_rungs} rungs at g={g:.3e}"
+            )
+    return solve_at(0.0, x)
+
+
+def embedding_solve(
+    residual: Callable[[np.ndarray], np.ndarray],
+    jacobian: Callable[[np.ndarray], np.ndarray],
+    x_ref: np.ndarray,
+    alpha_start: float = 1e-12,
+    growth: float = 10.0,
+    max_rungs: int = 256,
+    newton_kwargs: Optional[dict] = None,
+) -> np.ndarray:
+    """Generic residual-embedding continuation.
+
+    Solves ``F_a(x) = residual(x) - (1 - a) * residual(x_ref) = 0``
+    along an adaptive ramp ``a: 0 -> 1``.  At ``a = 0`` the reference
+    point is an exact solution; at ``a = 1`` the original residual is
+    recovered.  A failed rung shrinks the ramp step (square-rooting the
+    growth factor); the final solve at ``a = 1`` uses the exact residual
+    so no embedding bias survives.
+    """
+    kwargs = newton_kwargs or {}
+    x = np.asarray(x_ref, dtype=float).copy()
+    f_ref = np.asarray(residual(x_ref), dtype=float)
+
+    def solve_at(a: float, start: np.ndarray) -> np.ndarray:
+        offset = (1.0 - a) * f_ref
+        result, _ = newton(
+            lambda v: np.asarray(residual(v), dtype=float) - offset,
+            jacobian, start, **kwargs,
+        )
+        return result
+
+    alpha = alpha_start
+    factor = growth
+    x = solve_at(alpha, x)
+    rungs = 0
+    while alpha < 1.0:
+        a_next = min(1.0, alpha * factor)
+        try:
+            x = solve_at(a_next, x)
+            alpha = a_next
+        except ConvergenceError:
+            factor = np.sqrt(factor)
+            if factor < 1.0 + 1e-9:
+                raise ConvergenceError(
+                    f"residual embedding stalled at alpha={alpha:.3e}"
+                )
+        rungs += 1
+        if rungs > max_rungs:
+            raise ConvergenceError(
+                f"residual embedding exceeded {max_rungs} rungs at "
+                f"alpha={alpha:.3e}"
+            )
+    return solve_at(1.0, x)
+
+
+def source_stepping(
+    system: NonlinearSystem,
+    t: float = 0.0,
+    x0: Optional[np.ndarray] = None,
+    alpha_start: float = 1e-12,
+    growth: float = 10.0,
+    max_rungs: int = 256,
+) -> np.ndarray:
+    """Solve ``f(x, t) = 0`` by ramping the sources from zero.
+
+    If the system exposes a ``source_scale`` attribute (the protocol
+    implemented by :class:`~repro.nonlin.network.MnaNonlinearSystem`),
+    the independent sources are genuinely scaled by the continuation
+    parameter.  Otherwise the generic residual embedding of
+    :func:`embedding_solve` is used with the initial guess as the
+    reference point.
+    """
+    guess = np.asarray(system.initial_guess() if x0 is None else x0,
+                       dtype=float)
+    if not hasattr(system, "source_scale"):
+        return embedding_solve(
+            lambda v: system.static(v, t),
+            lambda v: system.static_jacobian(v, t),
+            guess, alpha_start=alpha_start, growth=growth,
+            max_rungs=max_rungs,
+        )
+
+    def solve_at(alpha: float, start: np.ndarray) -> np.ndarray:
+        previous = system.source_scale
+        system.source_scale = alpha
+        try:
+            result, _ = newton(
+                lambda v: system.static(v, t),
+                lambda v: system.static_jacobian(v, t),
+                start,
+            )
+        finally:
+            system.source_scale = previous
+        return result
+
+    x = solve_at(0.0, guess)    # sources off: usually the trivial point
+    alpha = alpha_start
+    factor = growth
+    rungs = 0
+    while alpha < 1.0:
+        a_next = min(1.0, alpha * factor)
+        try:
+            x = solve_at(a_next, x)
+            alpha = a_next
+        except ConvergenceError:
+            factor = np.sqrt(factor)
+            if factor < 1.0 + 1e-9:
+                raise ConvergenceError(
+                    f"source stepping stalled at alpha={alpha:.3e}"
+                )
+        rungs += 1
+        if rungs > max_rungs:
+            raise ConvergenceError(
+                f"source stepping exceeded {max_rungs} rungs at "
+                f"alpha={alpha:.3e}"
+            )
+    return solve_at(1.0, x)
+
+
+def continuation_solve(
+    system: NonlinearSystem,
+    t: float = 0.0,
+    x0: Optional[np.ndarray] = None,
+    use_gmin: bool = True,
+    use_source: bool = True,
+) -> Tuple[np.ndarray, str]:
+    """The full recovery ladder: Newton → gmin stepping → source stepping.
+
+    Returns ``(solution, method)`` with ``method`` one of ``"newton"``,
+    ``"gmin"`` or ``"source"``.  On total failure the raised
+    :class:`~repro.core.errors.ConvergenceError` lists every ladder
+    stage that was attempted.
+    """
+    guess = np.asarray(system.initial_guess() if x0 is None else x0,
+                       dtype=float)
+    failures = []
+    try:
+        x, _ = newton(lambda v: system.static(v, t),
+                      lambda v: system.static_jacobian(v, t), guess)
+        return x, "newton"
+    except ConvergenceError as exc:
+        failures.append(("newton", exc))
+    if use_gmin:
+        try:
+            return gmin_stepping(system, t, guess), "gmin"
+        except ConvergenceError as exc:
+            failures.append(("gmin", exc))
+    if use_source:
+        try:
+            return source_stepping(system, t, guess), "source"
+        except ConvergenceError as exc:
+            failures.append(("source", exc))
+    chain = "; ".join(f"{name}: {exc}" for name, exc in failures)
+    last = failures[-1][1]
+    error = ConvergenceError(
+        f"continuation ladder exhausted ({chain})",
+        iterations=getattr(last, "iterations", None),
+        residual_norm=getattr(last, "residual_norm", None),
+        time_point=t,
+    )
+    error.ladder = [name for name, _exc in failures]
+    raise error

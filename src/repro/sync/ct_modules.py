@@ -52,12 +52,17 @@ class CtTdfModule(TdfModule):
     """
 
     def __init__(self, name: str, parent: Optional[Module] = None,
-                 interpolate_inputs: bool = True):
+                 interpolate_inputs: bool = True,
+                 resilient: bool = False,
+                 resilient_options: Optional[dict] = None):
         super().__init__(name, parent)
         self._inputs: list[tuple[TdfIn, InputHolder]] = []
         self._outputs: list[tuple[TdfOut, Callable[[np.ndarray], float]]] = []
         self._solver: Optional[TransientSolver] = None
         self._interpolate = interpolate_inputs
+        #: wrap the solver in a ResilientTransientSolver fallback chain.
+        self.resilient = resilient
+        self.resilient_options = dict(resilient_options or {})
         #: activations skipped by the settle-gating optimisation.
         self.skipped_activations = 0
         self.gating_enabled = False
@@ -82,8 +87,20 @@ class CtTdfModule(TdfModule):
     def initialize(self) -> None:
         for port, holder in self._inputs:
             holder.value = holder._previous = port.initial_value
-        self._solver = self._make_solver()
+        solver = self._make_solver()
+        if self.resilient:
+            from ..resilience.fallback import ResilientTransientSolver
+
+            solver = ResilientTransientSolver(
+                solver, **self.resilient_options
+            )
+        self._solver = solver
         self._solver.initialize(0.0)
+
+    def solver_metrics(self) -> dict:
+        """Fallback-tier and health statistics (resilient modules)."""
+        metrics = getattr(self._solver, "metrics", None)
+        return metrics() if metrics is not None else {}
 
     def processing(self) -> None:
         solver = self._solver
@@ -108,7 +125,10 @@ class CtTdfModule(TdfModule):
             holder.push(value, t_prev, t_now)
         if self._should_skip(samples):
             self.skipped_activations += 1
-            solver._t = t_now  # time marches on even when gated
+            # Time marches on even when gated (unwrap a resilient chain).
+            getattr(solver, "primary", solver)._t = t_now
+            if hasattr(solver, "_t_good"):
+                solver._t_good = t_now
             self._emit(solver.state)
             return
         before = np.array(solver.state, copy=True)
@@ -140,6 +160,42 @@ class CtTdfModule(TdfModule):
     def _make_solver(self) -> TransientSolver:
         raise NotImplementedError
 
+    def _install_solver(self, primary: TransientSolver) -> None:
+        """Adopt a rebuilt primary, preserving a resilient wrapper."""
+        from ..resilience.fallback import ResilientTransientSolver
+
+        if isinstance(self._solver, ResilientTransientSolver):
+            self._solver.replace_primary(primary)
+        else:
+            self._solver = primary
+
+    # -- checkpoint hooks -------------------------------------------------------
+
+    def checkpoint_state(self):
+        return {
+            "solver": (self._solver.state_dict()
+                       if self._solver is not None else None),
+            "holders": [
+                (holder.value, holder._previous, holder._t0, holder._t1)
+                for _port, holder in self._inputs
+            ],
+            "skipped_activations": self.skipped_activations,
+            "last_inputs": self._last_inputs,
+            "last_delta": self._last_delta,
+        }
+
+    def restore_state(self, data) -> None:
+        if data is None:
+            return
+        if data["solver"] is not None and self._solver is not None:
+            self._solver.load_state_dict(data["solver"])
+        for (_port, holder), values in zip(self._inputs, data["holders"]):
+            (holder.value, holder._previous,
+             holder._t0, holder._t1) = values
+        self.skipped_activations = int(data["skipped_activations"])
+        self._last_inputs = data["last_inputs"]
+        self._last_delta = data["last_delta"]
+
 
 class ElnTdfModule(CtTdfModule):
     """An electrical linear network embedded in the TDF world.
@@ -163,8 +219,11 @@ class ElnTdfModule(CtTdfModule):
                  parent: Optional[Module] = None,
                  method: str = "trapezoidal",
                  oversample: int = 1,
-                 interpolate_inputs: bool = True):
-        super().__init__(name, parent, interpolate_inputs)
+                 interpolate_inputs: bool = True,
+                 resilient: bool = False,
+                 resilient_options: Optional[dict] = None):
+        super().__init__(name, parent, interpolate_inputs,
+                         resilient, resilient_options)
         self.network = network
         self.method = method
         if oversample < 1:
@@ -276,7 +335,7 @@ class ElnTdfModule(CtTdfModule):
             # Topology-preserving rebuild: carry the state vector over.
             old_state = np.array(self._solver.state, copy=True)
             old_time = self._solver.time
-            self._solver = self._make_solver()
+            self._install_solver(self._make_solver())
             self._solver.initialize(old_time, x0=old_state)
             # The new topology changes the algebraic solution: snap it
             # while the differential states carry over continuously.
@@ -291,6 +350,31 @@ class ElnTdfModule(CtTdfModule):
                 f"{self.full_name()!r}: network index not built yet"
             )
         return self._index
+
+    def checkpoint_state(self):
+        data = super().checkpoint_state()
+        data["switch_closed"] = [sw.closed
+                                 for sw, _p in self._switch_bindings]
+        data["switch_states"] = list(self._switch_states)
+        data["rebuild_count"] = self.rebuild_count
+        return data
+
+    def restore_state(self, data) -> None:
+        if data is None:
+            return
+        changed = False
+        for (switch, _port), closed in zip(self._switch_bindings,
+                                           data["switch_closed"]):
+            if switch.closed != closed:
+                switch.closed = closed
+                changed = True
+        if changed:
+            # Rebuild the iteration matrices for the checkpointed
+            # topology before the solver state is loaded below.
+            self._install_solver(self._make_solver())
+        self._switch_states = list(data["switch_states"])
+        self.rebuild_count = int(data["rebuild_count"])
+        super().restore_state(data)
 
 
 class _DeferredVoltage:
@@ -329,8 +413,11 @@ class LsfTdfModule(CtTdfModule):
                  parent: Optional[Module] = None,
                  method: str = "trapezoidal",
                  oversample: int = 1,
-                 interpolate_inputs: bool = True):
-        super().__init__(name, parent, interpolate_inputs)
+                 interpolate_inputs: bool = True,
+                 resilient: bool = False,
+                 resilient_options: Optional[dict] = None):
+        super().__init__(name, parent, interpolate_inputs,
+                         resilient, resilient_options)
         self.network = network
         self.method = method
         self.oversample = max(1, oversample)
@@ -418,8 +505,11 @@ class NonlinearTdfModule(CtTdfModule):
     def __init__(self, name: str, system: NonlinearSystem,
                  parent: Optional[Module] = None,
                  abstol: float = 1e-8, reltol: float = 1e-5,
-                 interpolate_inputs: bool = True):
-        super().__init__(name, parent, interpolate_inputs)
+                 interpolate_inputs: bool = True,
+                 resilient: bool = False,
+                 resilient_options: Optional[dict] = None):
+        super().__init__(name, parent, interpolate_inputs,
+                         resilient, resilient_options)
         self.system = system
         self.abstol = abstol
         self.reltol = reltol
@@ -450,7 +540,10 @@ class NonlinearTdfModule(CtTdfModule):
 
     @property
     def internal_steps(self) -> int:
-        return self._solver.step_count if self._solver else 0
+        if self._solver is None:
+            return 0
+        solver = getattr(self._solver, "primary", self._solver)
+        return solver.step_count
 
 
 class SolverTdfModule(CtTdfModule):
@@ -463,8 +556,11 @@ class SolverTdfModule(CtTdfModule):
 
     def __init__(self, name: str, solver: TransientSolver,
                  parent: Optional[Module] = None,
-                 interpolate_inputs: bool = True):
-        super().__init__(name, parent, interpolate_inputs)
+                 interpolate_inputs: bool = True,
+                 resilient: bool = False,
+                 resilient_options: Optional[dict] = None):
+        super().__init__(name, parent, interpolate_inputs,
+                         resilient, resilient_options)
         self._external_solver = solver
 
     def add_input(self, name: str, initial: float = 0.0) -> InputHolder:

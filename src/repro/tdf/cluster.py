@@ -28,7 +28,11 @@ from fractions import Fraction
 from math import gcd
 from typing import Optional
 
-from ..core.errors import ElaborationError, SchedulingError
+from ..core.errors import (
+    ElaborationError,
+    SchedulingError,
+    SynchronizationError,
+)
 from ..core.process import THREAD, Process
 from ..core.time import SimTime
 from .module import TdfDeIn, TdfDeOut, TdfModule
@@ -100,6 +104,10 @@ class TdfCluster:
         self._signals: list = []
         self._de_inputs: list[TdfDeIn] = []
         self._de_outputs: list[TdfDeOut] = []
+        #: set by restore_state(): the period at checkpoint time already
+        #: executed before the snapshot, so the resumed driver must sleep
+        #: one period before its first execute_period().
+        self._skip_first_period = False
 
     # -- elaboration ------------------------------------------------------------
 
@@ -291,6 +299,9 @@ class TdfCluster:
 
     def _drive(self):
         assert self.period is not None
+        if self._skip_first_period:
+            self._skip_first_period = False
+            yield self.period
         while True:
             self.execute_period()
             yield self.period
@@ -319,3 +330,50 @@ class TdfCluster:
                 signal.compact(needed)
             else:
                 signal.compact(signal.write_head)
+
+    # -- checkpoint support ------------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """Picklable snapshot of the cluster's runtime state."""
+        return {
+            "name": self.name,
+            "period_count": self.period_count,
+            "signals": [signal.snapshot() for signal in self._signals],
+            "modules": [
+                {
+                    "name": module.full_name(),
+                    "activation_index": module._activation_index,
+                    "activation_count": module.activation_count,
+                    "extra": module.checkpoint_state(),
+                }
+                for module in self.modules
+            ],
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Reinstall a :meth:`checkpoint_state` snapshot.
+
+        The receiving cluster must be freshly elaborated from the same
+        model factory: signals and modules are matched positionally (the
+        elaboration order is deterministic) with module names checked.
+        """
+        if (len(data["signals"]) != len(self._signals)
+                or len(data["modules"]) != len(self.modules)):
+            raise SynchronizationError(
+                f"checkpoint does not match cluster {self.name!r} "
+                "(different signal/module counts — was the model "
+                "rebuilt from the same factory?)"
+            )
+        self.period_count = int(data["period_count"])
+        for signal, snap in zip(self._signals, data["signals"]):
+            signal.restore(snap)
+        for module, snap in zip(self.modules, data["modules"]):
+            if module.full_name() != snap["name"]:
+                raise SynchronizationError(
+                    f"checkpoint module {snap['name']!r} does not match "
+                    f"{module.full_name()!r} in cluster {self.name!r}"
+                )
+            module._activation_index = int(snap["activation_index"])
+            module.activation_count = int(snap["activation_count"])
+            module.restore_state(snap["extra"])
+        self._skip_first_period = True

@@ -97,6 +97,16 @@ class TdfModule(Module):
         self._activation_index += 1
         self.activation_count += 1
 
+    # -- checkpoint hooks -------------------------------------------------------
+
+    def checkpoint_state(self):
+        """Override to contribute extra picklable state to checkpoints
+        (e.g. an embedded CT solver's ``state_dict``)."""
+        return None
+
+    def restore_state(self, data) -> None:
+        """Override to reinstall :meth:`checkpoint_state` data."""
+
 
 class TdfDeIn:
     """Converter port: reads a DE signal into the TDF world.

@@ -93,6 +93,17 @@ class TdfSignal:
             del self._samples[:drop]
             self._offset = min_needed
 
+    # -- checkpoint support ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable copy of the buffered samples."""
+        return {"samples": list(self._samples), "offset": self._offset}
+
+    def restore(self, data: dict) -> None:
+        """Reinstall a :meth:`snapshot` (after :meth:`prime`)."""
+        self._samples = list(data["samples"])
+        self._offset = int(data["offset"])
+
 
 class TdfPortBase:
     """Shared machinery of TDF in/out ports."""
