@@ -1,0 +1,142 @@
+"""Benchmark models for the block-execution perf harness.
+
+Two representative workloads:
+
+* :func:`build_adc_chain` — a TDF-heavy signal chain where every module
+  is block-capable (sources, amplifier, FIR, quantizer, IIR, sink).
+  This is the workload the compiled-schedule / batched execution engine
+  is designed to accelerate.
+* :func:`build_mixed_chain` — a mixed-signal chain with an embedded
+  continuous-time solver (``ElnTdfModule``).  The per-activation solver
+  lockstep bounds the achievable speedup; this model tracks how much
+  the surrounding dataflow overhead still shrinks.
+
+Both builders return a top-level module exposing ``.sink`` (a
+:class:`repro.lib.TdfSink`); :func:`sink_streams` extracts the recorded
+(times, samples) arrays for equivalence checks.
+"""
+
+import numpy as np
+
+from repro.core import Module, SimTime
+from repro.eln import Capacitor, Network, Resistor, Vsource
+from repro.lib import (
+    Add2,
+    FirFilter,
+    GaussianNoiseSource,
+    IdealAdc,
+    IirFilter,
+    Mixer,
+    SaturatingAmp,
+    SineSource,
+    TdfSink,
+    butterworth_lowpass_sections,
+    fir_lowpass,
+)
+from repro.sync import ElnTdfModule
+from repro.tdf import TdfSignal
+
+#: base sample rate of both models (1 MHz, 1 us timestep).
+FS = 1e6
+
+
+def _us(x: float) -> SimTime:
+    return SimTime(x, "us")
+
+
+class AdcChainTop(Module):
+    """tone+noise -> add -> saturating amp -> FIR -> ADC -> IIR -> sink."""
+
+    def __init__(self):
+        super().__init__("adc_chain")
+        self.s_tone = TdfSignal("s_tone")
+        self.s_noise = TdfSignal("s_noise")
+        self.s_sum = TdfSignal("s_sum")
+        self.s_amp = TdfSignal("s_amp")
+        self.s_fir = TdfSignal("s_fir")
+        self.s_adc = TdfSignal("s_adc")
+        self.s_iir = TdfSignal("s_iir")
+
+        self.tone = SineSource("tone", 17.3e3, amplitude=0.7,
+                               parent=self, timestep=_us(1))
+        self.noise = GaussianNoiseSource("noise", rms=1e-3, seed=7,
+                                         parent=self)
+        self.add = Add2("add", parent=self)
+        self.amp = SaturatingAmp("amp", gain=1.2, limit=1.0, mode="tanh",
+                                 parent=self)
+        self.fir = FirFilter("fir", fir_lowpass(63, 40e3, FS),
+                             parent=self)
+        self.adc = IdealAdc("adc", bits=10, parent=self)
+        self.iir = IirFilter(
+            "iir", butterworth_lowpass_sections(4, 50e3, FS),
+            parent=self,
+        )
+        self.sink = TdfSink("sink", parent=self)
+
+        self.tone.out(self.s_tone)
+        self.noise.out(self.s_noise)
+        self.add.a(self.s_tone)
+        self.add.b(self.s_noise)
+        self.add.out(self.s_sum)
+        self.amp.inp(self.s_sum)
+        self.amp.out(self.s_amp)
+        self.fir.inp(self.s_amp)
+        self.fir.out(self.s_fir)
+        self.adc.inp(self.s_fir)
+        self.adc.out(self.s_adc)
+        self.iir.inp(self.s_adc)
+        self.iir.out(self.s_iir)
+        self.sink.inp(self.s_iir)
+
+
+class MixedChainTop(Module):
+    """sine -> RC network (CT solver) -> mixer (x LO sine) -> sink."""
+
+    def __init__(self):
+        super().__init__("mixed_chain")
+        net = Network("rc")
+        net.add(Vsource("Vin", "in", "0"))
+        net.add(Resistor("R1", "in", "out", 1e3))
+        net.add(Capacitor("C1", "out", "0", 1e-9))
+
+        self.s_src = TdfSignal("s_src")
+        self.s_rc = TdfSignal("s_rc")
+        self.s_lo = TdfSignal("s_lo")
+        self.s_mix = TdfSignal("s_mix")
+
+        self.src = SineSource("src", 21e3, amplitude=0.9,
+                              parent=self, timestep=_us(1))
+        self.rc = ElnTdfModule("rc", net, parent=self)
+        self.lo = SineSource("lo", 100e3, parent=self)
+        self.mixer = Mixer("mixer", parent=self)
+        self.sink = TdfSink("sink", parent=self)
+
+        self.src.out(self.s_src)
+        self.rc.drive_voltage("Vin")(self.s_src)
+        self.rc.sample_voltage("out")(self.s_rc)
+        self.lo.out(self.s_lo)
+        self.mixer.rf(self.s_rc)
+        self.mixer.lo(self.s_lo)
+        self.mixer.out(self.s_mix)
+        self.sink.inp(self.s_mix)
+
+
+def build_adc_chain() -> Module:
+    return AdcChainTop()
+
+
+def build_mixed_chain() -> Module:
+    return MixedChainTop()
+
+
+#: name -> (builder, full-run duration in us, quick duration in us)
+MODELS = {
+    "adc_chain": (build_adc_chain, 200_000.0, 20_000.0),
+    "mixed_chain": (build_mixed_chain, 30_000.0, 5_000.0),
+}
+
+
+def sink_streams(top: Module):
+    """(times, samples) arrays recorded by the model's sink."""
+    times, samples = top.sink.as_arrays()
+    return np.asarray(times, dtype=float), np.asarray(samples, dtype=float)

@@ -1,0 +1,247 @@
+"""Block-execution perf harness: scalar vs compiled/batched TDF runs.
+
+For each model in :mod:`models` the harness runs the same simulation
+twice — once with ``tdf_block=False`` (the scalar reference engine) and
+once with block mode on — checks the recorded output streams are
+bit-identical, and reports samples/sec plus the block/scalar speedup.
+A third short profiled run (``Simulator.enable_profiling``) attributes
+wall-clock time to individual modules.
+
+Usage::
+
+    python benchmarks/perf/run_perf.py                # full run
+    python benchmarks/perf/run_perf.py --quick        # CI-sized run
+    python benchmarks/perf/run_perf.py --output BENCH_PR3.json
+    python benchmarks/perf/run_perf.py --quick \
+        --check-regression BENCH_PR3.json             # gate CI
+
+The regression gate compares *speedups* (block vs scalar on the same
+machine and run size), not absolute samples/sec, so a committed
+baseline stays meaningful across hardware: the run fails when any
+model's speedup drops more than ``--threshold`` (default 20%) below
+the baseline, or when any equivalence check fails.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+for path in (os.path.join(ROOT, "src"), HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import numpy as np  # noqa: E402
+
+from models import MODELS, sink_streams  # noqa: E402
+from repro.core import SimTime, Simulator  # noqa: E402
+
+#: batching configuration for the block runs: large batches amortize
+#: the numpy dispatch, and the compaction interval must not fragment
+#: them (batches never cross a compaction boundary).
+BLOCK_BATCH = 512
+BLOCK_COMPACT = 4096
+
+
+def run_model(builder, duration_us: float, *, block: bool,
+              profile: bool = False):
+    """One timed simulation.
+
+    Returns ``(wall_s, cpu_s, times, samples, sim)`` — wall clock for
+    human-facing throughput, process CPU time for the regression gate
+    (insensitive to other load on the machine).
+    """
+    top = builder()
+    sim = Simulator(
+        top,
+        tdf_block=block,
+        tdf_batch=BLOCK_BATCH if block else 1,
+        tdf_compact_every=BLOCK_COMPACT,
+    )
+    if profile:
+        sim.enable_profiling()
+    sim.elaborate()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    sim.run(SimTime(duration_us, "us"))
+    cpu = time.process_time() - cpu0
+    wall = time.perf_counter() - wall0
+    times, samples = sink_streams(top)
+    return wall, cpu, times, samples, sim
+
+
+def measure(name: str, builder, duration_us: float,
+            repeats: int = 2) -> dict:
+    # Best-of-N on both engines damps scheduler noise so the CI
+    # regression gate is judging the code, not the machine load; the
+    # gated speedup uses CPU time for the same reason.
+    scalar_w = scalar_c = np.inf
+    block_w = block_c = np.inf
+    t_ref = x_ref = t_blk = x_blk = None
+    for _ in range(repeats):
+        wall, cpu, t_ref, x_ref, _ = run_model(builder, duration_us,
+                                               block=False)
+        scalar_w, scalar_c = min(scalar_w, wall), min(scalar_c, cpu)
+        wall, cpu, t_blk, x_blk, _ = run_model(builder, duration_us,
+                                               block=True)
+        block_w, block_c = min(block_w, wall), min(block_c, cpu)
+    equivalent = (np.array_equal(t_ref, t_blk)
+                  and np.array_equal(x_ref, x_blk))
+    samples = int(len(x_ref))
+    return {
+        "samples": samples,
+        "scalar_seconds": scalar_w,
+        "block_seconds": block_w,
+        "scalar_cpu_seconds": scalar_c,
+        "block_cpu_seconds": block_c,
+        "scalar_samples_per_sec": samples / scalar_w,
+        "block_samples_per_sec": samples / block_w,
+        "speedup": scalar_c / block_c,
+        "equivalent": bool(equivalent),
+    }
+
+
+def profile_model(builder, duration_us: float, top_n: int = 8) -> dict:
+    """Per-module seconds from a short profiled block run."""
+    _wall, _cpu, _t, _x, sim = run_model(builder, duration_us,
+                                         block=True, profile=True)
+    seconds: dict[str, float] = {}
+    for cluster in sim.profile()["clusters"].values():
+        seconds.update(cluster["module_seconds"])
+    ranked = sorted(seconds.items(), key=lambda kv: -kv[1])[:top_n]
+    return {module: round(secs, 6) for module, secs in ranked}
+
+
+def run_suite(quick: bool) -> dict:
+    report = {
+        "schema": "repro-perf/1",
+        "mode": "quick" if quick else "full",
+        "tdf_batch": BLOCK_BATCH,
+        "benchmarks": {},
+        "profile": {},
+    }
+    for name, (builder, full_us, quick_us) in MODELS.items():
+        duration = quick_us if quick else full_us
+        print(f"[perf] {name}: {duration:.0f} us simulated ...",
+              flush=True)
+        result = measure(name, builder, duration)
+        report["benchmarks"][name] = result
+        print(f"[perf]   scalar {result['scalar_samples_per_sec']:.0f} "
+              f"samples/s, block {result['block_samples_per_sec']:.0f} "
+              f"samples/s, speedup {result['speedup']:.2f}x, "
+              f"equivalent={result['equivalent']}", flush=True)
+        report["profile"][name] = profile_model(
+            builder, min(duration, quick_us)
+        )
+    return report
+
+
+def check_regression(report: dict, baseline_path: str,
+                     threshold: float) -> list[str]:
+    """Failure messages (empty = pass).
+
+    Speedups are only compared against the baseline section recorded
+    in the *same* run mode — quick runs amortize elaboration and
+    warm-up less, so their speedups sit systematically below full-run
+    numbers.
+    """
+    failures = []
+    for name, result in report["benchmarks"].items():
+        if not result["equivalent"]:
+            failures.append(
+                f"{name}: block output diverges from scalar reference"
+            )
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except OSError:
+        failures.append(f"baseline {baseline_path!r} not readable")
+        return failures
+    section = baseline.get("runs", {}).get(report["mode"])
+    if section is None:
+        failures.append(
+            f"baseline {baseline_path!r} has no "
+            f"{report['mode']!r}-mode section"
+        )
+        return failures
+    for name, result in report["benchmarks"].items():
+        base = section.get("benchmarks", {}).get(name)
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - threshold)
+        if result["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {result['speedup']:.2f}x fell more "
+                f"than {threshold:.0%} below baseline "
+                f"{base['speedup']:.2f}x"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized runs (~10x shorter)")
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--baseline", action="store_true",
+                        help="with --output: run BOTH modes and write "
+                        "a two-section baseline usable by "
+                        "--check-regression in either mode")
+    parser.add_argument("--check-regression", metavar="BASELINE",
+                        default=None,
+                        help="compare against a committed report; "
+                        "exit non-zero on equivalence failure or "
+                        "speedup regression")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional speedup regression "
+                        "(default 0.20)")
+    args = parser.parse_args(argv)
+
+    if args.baseline:
+        if not args.output:
+            parser.error("--baseline requires --output")
+        payload = {
+            "schema": "repro-perf/1",
+            "tdf_batch": BLOCK_BATCH,
+            "runs": {
+                "full": run_suite(False),
+                "quick": run_suite(True),
+            },
+        }
+        report = payload["runs"]["full"]
+    else:
+        report = run_suite(args.quick)
+        payload = report
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[perf] report written to {args.output}")
+
+    status = 0
+    if args.check_regression:
+        failures = check_regression(report, args.check_regression,
+                                    args.threshold)
+        for message in failures:
+            print(f"[perf] FAIL: {message}", file=sys.stderr)
+        status = 1 if failures else 0
+    else:
+        for name, result in report["benchmarks"].items():
+            if not result["equivalent"]:
+                print(f"[perf] FAIL: {name}: block output diverges "
+                      "from scalar reference", file=sys.stderr)
+                status = 1
+    print(json.dumps(
+        {name: round(r["speedup"], 2)
+         for name, r in report["benchmarks"].items()},
+        indent=None))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

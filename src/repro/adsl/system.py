@@ -117,6 +117,11 @@ class LevelMeter(TdfModule):
     """The DSP block's receive side: exponential RMS level estimate,
     reported to software through the register file (backdoor poke)."""
 
+    #: the register poke is DE-visible state outside any converter
+    #: port — running periods ahead of kernel time would let software
+    #: observe future levels.
+    batch_unsafe = True
+
     def __init__(self, name: str, registers: RegisterFile,
                  parent: Optional[Module] = None,
                  smoothing: float = 0.01):

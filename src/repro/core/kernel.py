@@ -64,6 +64,10 @@ class Kernel:
         self._initialized = False
         self._stop_requested = False
         self._time_callbacks: list[Callable[[int], None]] = []
+        #: end tick of the current :meth:`run` call (None = unbounded).
+        #: Block-executing TDF clusters read this to clamp how many
+        #: periods they may batch without overrunning the run boundary.
+        self.run_limit_ticks: Optional[int] = None
         Kernel._current = self
 
     # -- global context -----------------------------------------------------
@@ -151,8 +155,11 @@ class Kernel:
 
         Returns the simulation time at which the run stopped.
         """
-        self.initialize()
         limit = None if duration is None else self.now_ticks + duration.ticks
+        # Published before initialization: the first cluster period runs
+        # during initialize() and must already see the run boundary.
+        self.run_limit_ticks = limit
+        self.initialize()
         while not self._stop_requested:
             entry = self._pop_next_timed()
             if entry is None:

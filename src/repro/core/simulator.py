@@ -20,13 +20,25 @@ from .trace import Trace
 class Simulator:
     """Owns one kernel and one elaborated design."""
 
-    def __init__(self, top: Module, trace: Optional[Trace] = None):
+    def __init__(self, top: Module, trace: Optional[Trace] = None, *,
+                 tdf_block: bool = True, tdf_batch: int = 16,
+                 tdf_compact_every: int = 64):
         self.top = top
         self.trace = trace
         self.kernel = Kernel()
         self._elaborated = False
         self._stopped = False
         self._finalizers: list = []
+        #: TDF execution tuning, read by TdfRegistry.finalize:
+        #: ``tdf_block`` compiles cluster schedules into fused
+        #: ``processing_block`` runs (False = scalar reference mode);
+        #: ``tdf_batch`` caps how many cluster periods a DE-decoupled
+        #: cluster may execute per kernel wake-up; ``tdf_compact_every``
+        #: is the signal-buffer compaction interval in periods.
+        self.tdf_block = tdf_block
+        self.tdf_batch = tdf_batch
+        self.tdf_compact_every = tdf_compact_every
+        self._profiling = False
         #: set by run(checkpoint_every=...); reusable for postmortems.
         self.checkpoint_manager = None
 
@@ -163,6 +175,47 @@ class Simulator:
             cluster.restore_state(data)
         self.kernel.now_ticks = int(payload["now_ticks"])
         return self.kernel.now
+
+    # -- profiling -----------------------------------------------------------
+
+    def enable_profiling(self) -> None:
+        """Record per-module wall-clock time inside every TDF cluster.
+
+        Call before or after elaboration but before :meth:`run`;
+        results come back through :meth:`profile`.
+        """
+        self._profiling = True
+        registry = getattr(self, "_tdf_registry", None)
+        if registry is not None:
+            for cluster in registry.clusters:
+                cluster.enable_profiling()
+
+    def profile(self) -> dict:
+        """Per-cluster/per-module time accounting (see
+        :meth:`enable_profiling`).
+
+        Returns ``{"clusters": {name: {"periods", "module_seconds",
+        "module_activations", "block_activations", "total_seconds"}},
+        "total_seconds": float}`` — wall-clock seconds spent inside
+        module activations, keyed by module ``full_name``.
+        """
+        registry = getattr(self, "_tdf_registry", None)
+        clusters = registry.clusters if registry is not None else []
+        report: dict = {"clusters": {}, "total_seconds": 0.0}
+        for cluster in clusters:
+            prof = cluster._profile
+            if prof is None:
+                continue
+            total = sum(prof["module_seconds"].values())
+            report["clusters"][cluster.name] = {
+                "periods": prof["periods"],
+                "module_seconds": dict(prof["module_seconds"]),
+                "module_activations": dict(prof["module_activations"]),
+                "block_activations": dict(prof["block_activations"]),
+                "total_seconds": total,
+            }
+            report["total_seconds"] += total
+        return report
 
     @property
     def now(self) -> SimTime:

@@ -72,19 +72,44 @@ class LinearDae:
         """
         freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
         if b_ac is None:
-            b_ac = np.asarray(self.source(0.0), dtype=float)
-        out = np.empty((len(freqs), self.n), dtype=complex)
-        for k, f in enumerate(freqs):
-            A = self.G + 2j * np.pi * f * self.C
-            try:
-                out[k] = np.linalg.solve(A, b_ac)
-            except np.linalg.LinAlgError as exc:
-                raise SolverError(
-                    f"singular system matrix in AC analysis at f={f}"
-                ) from exc
-        return out
+            b_ac = np.asarray(self.source(0.0), dtype=float).copy()
+        # Stack (G + j*2*pi*f*C) for all frequencies and solve the whole
+        # batch in one LAPACK call instead of a Python loop.
+        A = (self.G[None, :, :]
+             + 2j * np.pi * freqs[:, None, None] * self.C[None, :, :])
+        rhs = np.broadcast_to(
+            np.asarray(b_ac, dtype=complex)[None, :, None],
+            (len(freqs), self.n, 1),
+        )
+        try:
+            return np.linalg.solve(A, rhs)[:, :, 0]
+        except np.linalg.LinAlgError:
+            # Batched solve reports failure for the whole stack; redo
+            # frequency by frequency to name the singular one.
+            for f, A_f in zip(freqs, A):
+                try:
+                    np.linalg.solve(A_f, np.asarray(b_ac, dtype=complex))
+                except np.linalg.LinAlgError as exc:
+                    raise SolverError(
+                        f"singular system matrix in AC analysis at f={f}"
+                    ) from exc
+            raise SolverError("singular system matrix in AC analysis")
 
     # -- transient -----------------------------------------------------------------
+
+    def eval_source_block(self, times: np.ndarray) -> np.ndarray:
+        """Source vectors for many time points: shape (len(times), n).
+
+        Each row equals ``source(t)`` exactly (the source callable is
+        still invoked once per time point — arbitrary Python callables
+        cannot be batched safely — but callers get one contiguous array
+        to slice instead of issuing interleaved calls).
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        out = np.empty((len(times), self.n))
+        for k in range(len(times)):
+            out[k] = self.source(times[k])
+        return out
 
     def transient(
         self,
@@ -106,9 +131,8 @@ class LinearDae:
         times = t0 + h * np.arange(steps + 1)
         states = np.empty((steps + 1, self.n))
         states[0] = x
-        for k in range(steps):
-            x = stepper.step(x, times[k])
-            states[k + 1] = x
+        if steps:
+            states[1:] = stepper.step_block(x, times[:steps])
         return times, states
 
 
@@ -184,6 +208,84 @@ class LinearStepper:
             error.time_point = t
             raise error
         return lu_solve(self._factorization, rhs)
+
+    def step_block(self, x: np.ndarray, times: np.ndarray,
+                   mode: str = "exact") -> np.ndarray:
+        """Advance through ``len(times)`` consecutive steps at once.
+
+        ``times[k]`` is the start time of step ``k`` (so the step
+        advances to ``times[k] + h``); returns the states *after* each
+        step as shape ``(len(times), n)``.  All source vectors are
+        evaluated up front in one batch; the state recurrence itself is
+        inherently sequential, so the per-step work differs by mode:
+
+        * ``"exact"`` (default) — replays the scalar :meth:`step`
+          arithmetic per step and is bit-identical to a Python loop of
+          ``step`` calls, while amortizing source evaluation and
+          attribute lookups over the whole block.
+        * ``"fused"`` — performs a single multi-RHS ``lu_solve`` for
+          all source terms plus one for the state-propagation matrix,
+          reducing the loop to one mat-vec per step.  Algebraically
+          identical but associates the solves differently, so results
+          may differ from scalar stepping at round-off (ULP) level.
+        """
+        if mode not in ("exact", "fused"):
+            raise SolverError(
+                f"unknown step_block mode {mode!r}; "
+                "expected 'exact' or 'fused'"
+            )
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        steps = len(times)
+        system, h, fact = self.system, self.h, self._factorization
+        C = system.C
+        states = np.empty((steps, system.n))
+        x = np.asarray(x, dtype=float)
+        b_next = system.eval_source_block(times + h)
+        if self.method == "backward_euler":
+            b_total = b_next
+        else:
+            M = 2.0 * C / h - system.G
+            b_now = system.eval_source_block(times)
+        if mode == "exact":
+            for k in range(steps):
+                if self.method == "backward_euler":
+                    rhs = C @ x / h + b_next[k]
+                else:
+                    rhs = M @ x + b_next[k] + b_now[k]
+                if not np.all(np.isfinite(rhs)):
+                    error = SolverError(
+                        f"non-finite right-hand side at "
+                        f"t={times[k]:.6e} (NaN/Inf source or state)"
+                    )
+                    error.time_point = float(times[k])
+                    raise error
+                x = lu_solve(fact, rhs)
+                states[k] = x
+            return states
+        # fused: q_k = A^-1 b_k for every step in one multi-RHS solve,
+        # P = A^-1 M once, then x_{k+1} = P x_k + q_k.
+        if self.method == "backward_euler":
+            P = lu_solve(fact, C / h)
+        else:
+            P = lu_solve(fact, M)
+            b_total = b_next + b_now
+        if not np.all(np.isfinite(b_total)):
+            bad = int(np.argwhere(
+                ~np.isfinite(b_total).all(axis=1)
+            )[0][0])
+            error = SolverError(
+                f"non-finite right-hand side at t={times[bad]:.6e} "
+                "(NaN/Inf source or state)"
+            )
+            error.time_point = float(times[bad])
+            raise error
+        Q = lu_solve(fact, b_total.T).T
+        for k in range(steps):
+            x = P @ x + Q[k]
+            states[k] = x
+        if not np.all(np.isfinite(states)):
+            raise SolverError("non-finite state in fused block step")
+        return states
 
 
 def state_space_to_dae(

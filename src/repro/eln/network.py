@@ -155,8 +155,18 @@ class Network:
             component.stamp(stamper)
         source_rows = stamper.sources
 
+        # The source closure runs once (trapezoidal: twice) per
+        # timestep — the hottest allocation site in transient analysis.
+        # Rotate over two preallocated buffers instead of np.zeros per
+        # call: two, because the trapezoidal stepper holds b(t) and
+        # b(t+h) simultaneously.  Callers that retain a result across
+        # further source() calls must copy (see LinearDae.ac).
+        pool = [np.zeros(offset), np.zeros(offset)]
+
         def source(t: float) -> np.ndarray:
-            b = np.zeros(offset)
+            b = pool[0]
+            pool[0], pool[1] = pool[1], pool[0]
+            b[:] = 0.0
             for row, waveform in source_rows:
                 b[row] += waveform(t)
             return b

@@ -54,6 +54,13 @@ class IdealAdc(TdfModule):
                                    self.full_scale))
         )
 
+    def processing_block(self, n):
+        # quantize_midrise is pure numpy ufuncs — it vectorizes as-is.
+        self.out.write_block(
+            quantize_midrise(self.inp.read_block(n), self.bits,
+                             self.full_scale)
+        )
+
 
 class FlashAdc(TdfModule):
     """Flash ADC: ``2**bits - 1`` comparators with individual offsets.
@@ -84,6 +91,11 @@ class FlashAdc(TdfModule):
         value = self.inp.read()
         code = int(np.sum(value > self.thresholds))
         self.out.write(-self.full_scale + (code + 0.5) * self.step)
+
+    def processing_block(self, n):
+        x = self.inp.read_block(n)
+        codes = np.sum(x[:, None] > self.thresholds[None, :], axis=1)
+        self.out.write_block(-self.full_scale + (codes + 0.5) * self.step)
 
 
 class PipelineStage:
@@ -190,10 +202,62 @@ class PipelinedAdc:
         decisions, backend = self.convert(v)
         return self.reconstruct(decisions, backend, calibrated)
 
+    def convert_block(self, samples: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`convert` over a sample batch.
+
+        Returns ``(decisions, backend)`` with ``decisions`` of shape
+        ``(n_stages, len(samples))``.  Bit-identical to per-sample
+        :meth:`convert` calls: the per-stage arithmetic is the same
+        elementwise, and the noise draws come from one C-ordered
+        ``(n, n_stages)`` normal batch — the exact generator-stream
+        positions the sample-major scalar loop would consume.
+        """
+        residue = np.array(samples, dtype=float)
+        m = len(residue)
+        n_stages = len(self.stages)
+        decisions = np.empty((n_stages, m), dtype=np.int64)
+        # Scalar conversion draws sample-major over the *noisy* stages
+        # only; a C-ordered (samples, noisy-stages) batch consumes the
+        # identical generator-stream positions.
+        noisy = [si for si, stage in enumerate(self.stages)
+                 if stage.noise_rms > 0.0]
+        noise = (self._rng.normal(0.0, 1.0, (m, len(noisy)))
+                 if noisy else None)
+        column = {si: c for c, si in enumerate(noisy)}
+        for si, stage in enumerate(self.stages):
+            quarter = stage.vref / 4.0
+            d = np.where(
+                residue > quarter + stage.comparator_offset, 1,
+                np.where(residue < -quarter + stage.comparator_offset,
+                         -1, 0),
+            )
+            decisions[si] = d
+            residue = stage.gain * residue - d * stage.vref
+            if stage.noise_rms > 0.0:
+                residue = residue + stage.noise_rms * noise[:, column[si]]
+        backend = quantize_midrise(
+            np.clip(residue, -self.vref, self.vref),
+            self.backend_bits, self.vref,
+        )
+        return decisions, backend
+
+    def reconstruct_block(self, decisions: np.ndarray,
+                          backend: np.ndarray,
+                          calibrated: bool) -> np.ndarray:
+        """Vectorized :meth:`reconstruct` over a converted batch."""
+        estimate = np.array(backend, dtype=float)
+        for si in range(len(self.stages) - 1, -1, -1):
+            gain = self.stages[si].gain if calibrated else 2.0
+            estimate = (estimate + decisions[si] * self.vref) / gain
+        return estimate
+
     def convert_array(self, samples: np.ndarray,
                       calibrated: bool = True) -> np.ndarray:
-        return np.array([self.sample(float(v), calibrated)
-                         for v in np.asarray(samples, dtype=float)])
+        decisions, backend = self.convert_block(
+            np.asarray(samples, dtype=float)
+        )
+        return self.reconstruct_block(decisions, backend, calibrated)
 
 
 class PipelinedAdcModule(TdfModule):
@@ -215,3 +279,19 @@ class PipelinedAdcModule(TdfModule):
         decisions, backend = self.adc.convert(self.inp.read())
         self.out.write(self.adc.reconstruct(decisions, backend, True))
         self.out_raw.write(self.adc.reconstruct(decisions, backend, False))
+
+    def processing_block(self, n):
+        decisions, backend = self.adc.convert_block(self.inp.read_block(n))
+        self.out.write_block(
+            self.adc.reconstruct_block(decisions, backend, True)
+        )
+        self.out_raw.write_block(
+            self.adc.reconstruct_block(decisions, backend, False)
+        )
+
+    def checkpoint_state(self):
+        return {"rng": self.adc._rng.bit_generator.state}
+
+    def restore_state(self, data):
+        if data is not None:
+            self.adc._rng.bit_generator.state = data["rng"]

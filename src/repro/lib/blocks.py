@@ -37,6 +37,15 @@ class TdfSink(TdfModule):
             self.samples.append(self.inp.read(k))
             self.times.append(base + k * step)
 
+    def processing_block(self, n):
+        if not self.inp.block_readable():
+            # Object-mode stream: keep the raw payloads (a block read
+            # would coerce them to float).
+            self._scalar_fallback(n)
+            return
+        self.samples.extend(self.inp.read_block(n).tolist())
+        self.times.extend(self.sample_times(n, self.inp.rate).tolist())
+
     def as_arrays(self):
         return np.asarray(self.times), np.asarray(self.samples)
 
@@ -54,6 +63,11 @@ class LinearAmp(TdfModule):
 
     def processing(self):
         self.out.write(self.gain * self.inp.read() + self.offset)
+
+    def processing_block(self, n):
+        self.out.write_block(
+            self.gain * self.inp.read_block(n) + self.offset
+        )
 
 
 class SaturatingAmp(TdfModule):
@@ -86,6 +100,13 @@ class SaturatingAmp(TdfModule):
             value = self.limit * float(np.tanh(raw / self.limit))
         self.out.write(value)
 
+    def processing_block(self, n):
+        raw = self.gain * self.inp.read_block(n)
+        if self.mode == "hard":
+            self.out.write_block(np.clip(raw, -self.limit, self.limit))
+        else:
+            self.out.write_block(self.limit * np.tanh(raw / self.limit))
+
 
 class Vga(TdfModule):
     """Variable-gain amplifier: ``out = in * 10**(gain_db/20)`` where the
@@ -98,8 +119,14 @@ class Vga(TdfModule):
         self.out = TdfOut("out")
 
     def processing(self):
-        gain = 10.0 ** (self.gain_db.read() / 20.0)
+        # np.power (not the ** operator) so the scalar and block paths
+        # share one libm entry point and stay bit-identical.
+        gain = np.power(10.0, self.gain_db.read() / 20.0)
         self.out.write(gain * self.inp.read())
+
+    def processing_block(self, n):
+        gain = np.power(10.0, self.gain_db.read_block(n) / 20.0)
+        self.out.write_block(gain * self.inp.read_block(n))
 
 
 class Mixer(TdfModule):
@@ -115,6 +142,11 @@ class Mixer(TdfModule):
 
     def processing(self):
         self.out.write(self.gain * self.rf.read() * self.lo.read())
+
+    def processing_block(self, n):
+        self.out.write_block(
+            self.gain * self.rf.read_block(n) * self.lo.read_block(n)
+        )
 
 
 class QuadratureOscillator(TdfModule):
@@ -147,6 +179,15 @@ class QuadratureOscillator(TdfModule):
                  + self.phase)
         self.i_out.write(self.amplitude * np.cos(angle))
         self.q_out.write(
+            self.amplitude * (1.0 + self.gain_imbalance)
+            * np.sin(angle + self.quadrature_error)
+        )
+
+    def processing_block(self, n):
+        angle = (2 * np.pi * self.frequency * self.activation_times(n)
+                 + self.phase)
+        self.i_out.write_block(self.amplitude * np.cos(angle))
+        self.q_out.write_block(
             self.amplitude * (1.0 + self.gain_imbalance)
             * np.sin(angle + self.quadrature_error)
         )
@@ -190,6 +231,13 @@ class Comparator(TdfModule):
         if self.de_out is not None:
             self.de_out.write(self._state)
 
+    def checkpoint_state(self):
+        return {"state": self._state}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._state = bool(data["state"])
+
 
 class SampleHold(TdfModule):
     """Decimating sample-and-hold: samples every ``factor``-th input and
@@ -224,6 +272,26 @@ class SampleHold(TdfModule):
         for k in range(self.factor):
             self.out.write(self._held, k)
 
+    def processing_block(self, n):
+        if self.jitter_rms > 0.0 and self.factor > 1:
+            # The jitter path draws one RNG sample per activation and
+            # interpolates data-dependently; replay it sequentially.
+            self._scalar_fallback(n)
+            return
+        frames = self.inp.read_block(n).reshape(n, self.factor)
+        held = frames[:, 0]
+        self.out.write_block(np.repeat(held, self.factor))
+        self._held = float(held[-1])
+
+    def checkpoint_state(self):
+        return {"held": self._held,
+                "rng": self._rng.bit_generator.state}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._held = float(data["held"])
+            self._rng.bit_generator.state = data["rng"]
+
 
 class DeadbandBlock(TdfModule):
     """Deadband nonlinearity: zero output within +/- width/2."""
@@ -246,6 +314,13 @@ class DeadbandBlock(TdfModule):
         else:
             self.out.write(0.0)
 
+    def processing_block(self, n):
+        x = self.inp.read_block(n)
+        self.out.write_block(np.where(
+            x > self.half, x - self.half,
+            np.where(x < -self.half, x + self.half, 0.0),
+        ))
+
 
 class MapBlock(TdfModule):
     """Applies an arbitrary unary function sample-by-sample."""
@@ -259,6 +334,14 @@ class MapBlock(TdfModule):
 
     def processing(self):
         self.out.write(float(self.func(self.inp.read())))
+
+    def processing_block(self, n):
+        # The callable stays scalar (arbitrary Python); batch the I/O.
+        x = self.inp.read_block(n)
+        self.out.write_block(np.fromiter(
+            (float(self.func(float(v))) for v in x),
+            dtype=float, count=len(x),
+        ))
 
 
 class Add2(TdfModule):
@@ -275,3 +358,9 @@ class Add2(TdfModule):
 
     def processing(self):
         self.out.write(self.wa * self.a.read() + self.wb * self.b.read())
+
+    def processing_block(self, n):
+        self.out.write_block(
+            self.wa * self.a.read_block(n)
+            + self.wb * self.b.read_block(n)
+        )

@@ -36,6 +36,15 @@ class IdealDac(TdfModule):
         code = int(np.clip(code, 0, 2 ** self.bits - 1))
         self.out.write(-self.full_scale + (code + 0.5) * self.step)
 
+    def processing_block(self, n):
+        # int() truncates toward zero; np.trunc matches (np.floor
+        # would not, for negative inputs).
+        codes = np.trunc(self.inp.read_block(n)).astype(np.int64)
+        codes = np.clip(codes, 0, 2 ** self.bits - 1)
+        self.out.write_block(
+            -self.full_scale + (codes + 0.5) * self.step
+        )
+
 
 class SwitchedCapDac(TdfModule):
     """Binary-weighted switched-capacitor DAC with mismatch and settling.
@@ -83,6 +92,35 @@ class SwitchedCapDac(TdfModule):
         target = self.level(int(self.inp.read()))
         self._state += self.settling * (target - self._state)
         self.out.write(self._state)
+
+    def processing_block(self, n):
+        codes = np.clip(
+            np.trunc(self.inp.read_block(n)).astype(np.int64),
+            0, 2 ** self.bits - 1,
+        )
+        # Accumulate bit weights in the same LSB-first order as
+        # level()'s loop (adding 0.0 for clear bits is a float no-op).
+        acc = np.zeros(len(codes))
+        for k in range(self.bits):
+            acc += np.where((codes >> k) & 1, self.weights[k], 0.0)
+        targets = (-self.full_scale
+                   + 2.0 * self.full_scale * acc / self.total)
+        # The settling recurrence is sequential by nature; replaying it
+        # per sample (same ops, same order) keeps bit-identity.
+        out = np.empty(len(codes))
+        state = self._state
+        for j in range(len(codes)):
+            state += self.settling * (float(targets[j]) - state)
+            out[j] = state
+        self._state = state
+        self.out.write_block(out)
+
+    def checkpoint_state(self):
+        return {"state": self._state}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._state = float(data["state"])
 
     def inl(self) -> np.ndarray:
         """Integral nonlinearity (in LSB) over all codes."""

@@ -184,6 +184,35 @@ class FirFilter(TdfModule):
             self._history[0] = self.inp.read(k)
             self.out.write(float(self.taps @ self._history), k)
 
+    def processing_block(self, n):
+        # Newest-first layout: ext[j] holds x[last - j], so the window
+        # [x_t, x_{t-1}, ..., x_{t-L+1}] the scalar path keeps in
+        # ``_history`` is the contiguous slice ext[m-1-t : m-1-t+L].
+        # Each output is the same ``taps @ contiguous-window`` product
+        # as scalar mode (identical values, identical BLAS call), so
+        # results match bit-for-bit; the win is dropping the per-sample
+        # np.roll allocation and port dispatch.
+        taps = self.taps
+        depth = len(taps)
+        x = self.inp.read_block(n)
+        m = len(x)
+        ext = np.empty(m + depth - 1)
+        ext[:m] = x[::-1]
+        ext[m:] = self._history[:depth - 1]
+        out = np.empty(m)
+        for t in range(m):
+            lo = m - 1 - t
+            out[t] = taps @ ext[lo: lo + depth]
+        self.out.write_block(out)
+        self._history = ext[:depth].copy()
+
+    def checkpoint_state(self):
+        return {"history": self._history.tolist()}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._history = np.asarray(data["history"], dtype=float)
+
 
 class IirFilter(TdfModule):
     """Streaming biquad-cascade IIR filter."""
@@ -201,3 +230,25 @@ class IirFilter(TdfModule):
             for section in self.sections:
                 y = section.step(y)
             self.out.write(y, k)
+
+    def processing_block(self, n):
+        # The biquad recurrence is sequential; batching the port I/O
+        # around the same per-sample state updates keeps results
+        # bit-identical while removing the dispatch overhead.
+        x = self.inp.read_block(n)
+        out = np.empty(len(x))
+        sections = self.sections
+        for j in range(len(x)):
+            y = float(x[j])
+            for section in sections:
+                y = section.step(y)
+            out[j] = y
+        self.out.write_block(out)
+
+    def checkpoint_state(self):
+        return {"z": [(s._z1, s._z2) for s in self.sections]}
+
+    def restore_state(self, data):
+        if data is not None:
+            for section, (z1, z2) in zip(self.sections, data["z"]):
+                section._z1, section._z2 = float(z1), float(z2)

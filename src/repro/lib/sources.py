@@ -31,6 +31,11 @@ class TdfSourceBase(TdfModule):
         step = self.timestep.to_seconds() / self.out.rate
         return self.local_time.to_seconds() + k * step
 
+    def _block_times(self, n: int) -> np.ndarray:
+        """All sample times of the next ``n`` activations (bit-identical
+        to per-sample :meth:`_sample_time` evaluation)."""
+        return self.sample_times(n, self.out.rate)
+
 
 class SineSource(TdfSourceBase):
     """``amplitude * sin(2*pi*frequency*t + phase) + offset``."""
@@ -53,6 +58,12 @@ class SineSource(TdfSourceBase):
             )
             self.out.write(value, k)
 
+    def processing_block(self, n):
+        t = self._block_times(n)
+        self.out.write_block(self.offset + self.amplitude * np.sin(
+            2 * np.pi * self.frequency * t + self.phase
+        ))
+
 
 class ConstSource(TdfSourceBase):
     """Constant level."""
@@ -66,6 +77,14 @@ class ConstSource(TdfSourceBase):
     def processing(self):
         for k in range(self.out.rate):
             self.out.write(self.level, k)
+
+    def processing_block(self, n):
+        if type(self.level) is float:
+            self.out.write_block(np.full(n * self.out.rate, self.level))
+        else:
+            # Non-float levels keep the signal in object mode; replay
+            # the scalar writes so the payload type is preserved.
+            self._scalar_fallback(n)
 
 
 class StepSource(TdfSourceBase):
@@ -83,6 +102,15 @@ class StepSource(TdfSourceBase):
         for k in range(self.out.rate):
             t = self._sample_time(k)
             self.out.write(self.level if t >= self.step_time else 0.0, k)
+
+    def processing_block(self, n):
+        if type(self.level) is not float:
+            self._scalar_fallback(n)
+            return
+        t = self._block_times(n)
+        self.out.write_block(
+            np.where(t >= self.step_time, self.level, 0.0)
+        )
 
 
 class PulseSource(TdfSourceBase):
@@ -106,6 +134,15 @@ class PulseSource(TdfSourceBase):
             phase = (self._sample_time(k) / self.period) % 1.0
             self.out.write(self.high if phase < self.duty else self.low, k)
 
+    def processing_block(self, n):
+        if type(self.high) is not float or type(self.low) is not float:
+            self._scalar_fallback(n)
+            return
+        phase = (self._block_times(n) / self.period) % 1.0
+        self.out.write_block(
+            np.where(phase < self.duty, self.high, self.low)
+        )
+
 
 class RampSource(TdfSourceBase):
     """``offset + slope * t``."""
@@ -122,6 +159,11 @@ class RampSource(TdfSourceBase):
             self.out.write(self.offset + self.slope * self._sample_time(k),
                            k)
 
+    def processing_block(self, n):
+        self.out.write_block(
+            self.offset + self.slope * self._block_times(n)
+        )
+
 
 class GaussianNoiseSource(TdfSourceBase):
     """White Gaussian noise with given RMS; reproducible via ``seed``."""
@@ -136,6 +178,20 @@ class GaussianNoiseSource(TdfSourceBase):
     def processing(self):
         for k in range(self.out.rate):
             self.out.write(float(self._rng.normal(0.0, self.rms)), k)
+
+    def processing_block(self, n):
+        # One batched draw consumes the generator stream exactly like
+        # n*rate sequential scalar draws (same bit-stream positions).
+        self.out.write_block(
+            self._rng.normal(0.0, self.rms, n * self.out.rate)
+        )
+
+    def checkpoint_state(self):
+        return {"rng": self._rng.bit_generator.state}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._rng.bit_generator.state = data["rng"]
 
 
 class PrbsSource(TdfSourceBase):
@@ -174,6 +230,29 @@ class PrbsSource(TdfSourceBase):
                 self.amplitude if self._bit else -self.amplitude, k
             )
 
+    def processing_block(self, n):
+        # The LFSR recurrence is inherently sequential, but emitting the
+        # whole block through one array write still removes the
+        # per-sample port dispatch.
+        values = np.empty(n * self.out.rate)
+        for j in range(len(values)):
+            if self._count == self.samples_per_bit:
+                self._bit = self._advance()
+                self._count = 0
+            self._count += 1
+            values[j] = self.amplitude if self._bit else -self.amplitude
+        self.out.write_block(values)
+
+    def checkpoint_state(self):
+        return {"state": self._state, "bit": self._bit,
+                "count": self._count}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._state = int(data["state"])
+            self._bit = int(data["bit"])
+            self._count = int(data["count"])
+
 
 class SampleListSource(TdfSourceBase):
     """Plays back a pre-computed sample array (cycling at the end)."""
@@ -192,6 +271,19 @@ class SampleListSource(TdfSourceBase):
             self.out.write(float(self.samples[self._index]), k)
             self._index = (self._index + 1) % len(self.samples)
 
+    def processing_block(self, n):
+        total = n * self.out.rate
+        idx = (self._index + np.arange(total)) % len(self.samples)
+        self.out.write_block(self.samples[idx])
+        self._index = (self._index + total) % len(self.samples)
+
+    def checkpoint_state(self):
+        return {"index": self._index}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._index = int(data["index"])
+
 
 class FunctionSource(TdfSourceBase):
     """Samples an arbitrary function of time."""
@@ -205,3 +297,13 @@ class FunctionSource(TdfSourceBase):
     def processing(self):
         for k in range(self.out.rate):
             self.out.write(float(self.func(self._sample_time(k))), k)
+
+    def processing_block(self, n):
+        # Arbitrary callables cannot be vectorized safely; call them one
+        # by one (with plain-float arguments, as in scalar mode) and
+        # batch only the port writes.
+        times = self._block_times(n)
+        self.out.write_block(np.fromiter(
+            (float(self.func(float(t))) for t in times),
+            dtype=float, count=len(times),
+        ))

@@ -108,19 +108,54 @@ class CtTdfModule(TdfModule):
             raise SynchronizationError(
                 f"{self.full_name()!r} activated before initialization"
             )
-        t_now = self.local_time.to_seconds()
-        if self._activation_index == 0:
+        samples = tuple(port.read() for port, _h in self._inputs)
+        state = self._advance_one(self.local_time.to_seconds(), samples,
+                                  first=self._activation_index == 0)
+        self._emit(state)
+
+    def processing_block(self, n: int) -> None:
+        """Batch the port I/O around the sequential solver lockstep.
+
+        The solver advance is inherently per-activation (each step
+        consumes the previous state), so the block path replays the
+        exact scalar per-activation core; the win is one buffer read /
+        write per port instead of ``n`` dispatches.
+        """
+        if self._solver is None:
+            raise SynchronizationError(
+                f"{self.full_name()!r} activated before initialization"
+            )
+        if not all(port.block_readable() for port, _h in self._inputs):
+            self._scalar_fallback(n)
+            return
+        times = self.activation_times(n)
+        columns = [port.read_block(n) for port, _h in self._inputs]
+        outs = np.empty((len(self._outputs), n))
+        base = self._activation_index
+        for a in range(n):
+            samples = tuple(float(col[a]) for col in columns)
+            state = self._advance_one(float(times[a]), samples,
+                                      first=base + a == 0)
+            for slot, (_port, extract) in enumerate(self._outputs):
+                outs[slot, a] = extract(state)
+        for slot, (port, _extract) in enumerate(self._outputs):
+            port.write_block(outs[slot])
+
+    def _advance_one(self, t_now: float, samples: tuple,
+                     first: bool) -> np.ndarray:
+        """Latch one activation's inputs, advance the solver, and return
+        the state to emit (shared by the scalar and block paths)."""
+        solver = self._solver
+        if first:
             # First activation: latch the t=0 input samples, snap the
             # algebraic unknowns to them (consistent initialization;
             # differential states keep their quiescent values), and
             # emit the resulting state.
-            for port, holder in self._inputs:
-                holder.push(port.read(), 0.0, 0.0)
+            for (port, holder), value in zip(self._inputs, samples):
+                holder.push(value, 0.0, 0.0)
             self._snap()
-            self._emit(solver.state)
-            return
+            return solver.state
         t_prev = solver.time
-        samples = tuple(port.read() for port, _h in self._inputs)
         for (port, holder), value in zip(self._inputs, samples):
             holder.push(value, t_prev, t_now)
         if self._should_skip(samples):
@@ -129,14 +164,13 @@ class CtTdfModule(TdfModule):
             getattr(solver, "primary", solver)._t = t_now
             if hasattr(solver, "_t_good"):
                 solver._t_good = t_now
-            self._emit(solver.state)
-            return
+            return solver.state
         before = np.array(solver.state, copy=True)
         state = solver.advance_to(t_now)
         self._last_delta = float(np.max(np.abs(state - before))) \
             if state.size else 0.0
         self._last_inputs = samples
-        self._emit(state)
+        return state
 
     # -- internals -----------------------------------------------------------------
 
@@ -342,6 +376,18 @@ class ElnTdfModule(CtTdfModule):
             self._snap()
             self.rebuild_count += 1
         super().processing()
+
+    def processing_block(self, n: int) -> None:
+        if self._switch_bindings:
+            # The DE-controlled switch check must run per activation.
+            self._scalar_fallback(n)
+            return
+        super().processing_block(n)
+
+    def de_coupled(self) -> bool:
+        # Switch-control InPorts live inside a list, invisible to the
+        # attribute scan of the base implementation.
+        return bool(self._switch_bindings) or super().de_coupled()
 
     @property
     def index(self):

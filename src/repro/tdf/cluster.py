@@ -20,10 +20,21 @@ At runtime each cluster is one kernel thread waking once per cluster
 period: it samples the DE converter inputs, executes a full schedule
 iteration (modules may run *ahead* of kernel time within the period),
 flushes converter outputs (replayed at exact sample times), and sleeps.
+
+**Block execution** (the default) compiles the static schedule into
+run-length-encoded entries — consecutive activations of one module fuse
+into a single ``processing_block(n)`` call when the module opts in —
+and, for clusters with no DE coupling at all, batches up to
+``tdf_batch`` periods into one super-iteration per wake-up.  Both
+transformations are observationally identical to scalar execution:
+dataflow determinism makes the sample streams independent of firing
+order, and batching is clamped to the current ``run()`` boundary so the
+number of executed periods matches the scalar wake-up count exactly.
 """
 
 from __future__ import annotations
 
+import time as _time
 from fractions import Fraction
 from math import gcd
 from typing import Optional
@@ -54,9 +65,16 @@ class TdfRegistry:
             module.set_attributes()
         clusters = _discover_clusters(self.modules)
         for k, members in enumerate(clusters):
-            cluster = TdfCluster(f"cluster{k}", members)
+            cluster = TdfCluster(
+                f"cluster{k}", members,
+                block_mode=getattr(simulator, "tdf_block", True),
+                batch=getattr(simulator, "tdf_batch", 16),
+                compact_every=getattr(simulator, "tdf_compact_every", 64),
+            )
             cluster.elaborate()
             cluster.install(simulator.kernel)
+            if getattr(simulator, "_profiling", False):
+                cluster.enable_profiling()
             self.clusters.append(cluster)
 
 
@@ -93,7 +111,9 @@ def _discover_clusters(modules: list[TdfModule]) -> list[list[TdfModule]]:
 class TdfCluster:
     """One synchronized group of TDF modules."""
 
-    def __init__(self, name: str, modules: list[TdfModule]):
+    def __init__(self, name: str, modules: list[TdfModule],
+                 block_mode: bool = True, batch: int = 16,
+                 compact_every: int = 64):
         self.name = name
         self.modules = modules
         self.period: Optional[SimTime] = None
@@ -101,6 +121,19 @@ class TdfCluster:
         self.schedule: list[TdfModule] = []
         self.epoch_ticks = 0
         self.period_count = 0
+        self.block_mode = block_mode
+        self.batch = max(1, int(batch)) if block_mode else 1
+        self.compact_every = max(1, int(compact_every))
+        self._next_compact = self.compact_every
+        #: compiled schedules: periods-per-iteration -> RLE entry list.
+        self._entry_cache: dict[int, list] = {}
+        #: decided during elaborate(): may this cluster batch periods?
+        self._batch_safe = False
+        #: per-module wall-clock accounting, enabled by
+        #: Simulator.enable_profiling().
+        self._profile: Optional[dict] = None
+        #: the kernel this cluster was installed on (set by install()).
+        self._kernel = None
         self._signals: list = []
         self._de_inputs: list[TdfDeIn] = []
         self._de_outputs: list[TdfDeOut] = []
@@ -117,6 +150,13 @@ class TdfCluster:
         self._solve_rates()
         self._propagate_timesteps()
         self._build_schedule()
+        self._batch_safe = (
+            self.batch > 1
+            and not self._de_inputs
+            and not self._de_outputs
+            and not any(m.batch_unsafe or m.de_coupled()
+                        for m in self.modules)
+        )
         for signal in self._signals:
             signal.prime()
         for module in self.modules:
@@ -247,13 +287,21 @@ class TdfCluster:
                     module.timestep.ticks // port.rate
                 )
 
-    def _build_schedule(self) -> None:
+    def _simulate_schedule(self, periods: int) -> list:
+        """Token-simulate ``periods`` cluster periods into an RLE PASS.
+
+        Returns ``[(module, run_length), ...]``: the greedy simulation
+        fires each module as many consecutive times as its input tokens
+        allow, so consecutive activations fuse naturally — for a simple
+        chain every module appears once with ``run_length ==
+        repetitions * periods``.  Raises on deadlock.
+        """
         edges = list(self._edges())
         tokens = {
             (id(wp), id(rp)): d for _w, _wr, _r, _rr, d, wp, rp in edges
         }
         remaining = {
-            id(m): self.repetitions[id(m)] for m in self.modules
+            id(m): self.repetitions[id(m)] * periods for m in self.modules
         }
         inputs_of = {id(m): [] for m in self.modules}
         outputs_of = {id(m): [] for m in self.modules}
@@ -261,11 +309,19 @@ class TdfCluster:
             key = (id(wp), id(rp))
             inputs_of[id(r_mod)].append((key, r_rate))
             outputs_of[id(w_mod)].append((key, w_rate))
-        order: list[TdfModule] = []
+        entries: list[tuple[TdfModule, int, bool]] = []
         progress = True
         while progress and any(remaining.values()):
             progress = False
             for module in self.modules:
+                # Token counts before the run: a fused block call reads
+                # its whole input up front, which is only legal when
+                # every input edge already holds the run's full demand
+                # (feedback loops through the module itself interleave
+                # production with consumption and must stay scalar).
+                before = [tokens[key]
+                          for key, _need in inputs_of[id(module)]]
+                fired = 0
                 while remaining[id(module)] > 0 and all(
                     tokens[key] >= need
                     for key, need in inputs_of[id(module)]
@@ -275,8 +331,19 @@ class TdfCluster:
                     for key, produced in outputs_of[id(module)]:
                         tokens[key] += produced
                     remaining[id(module)] -= 1
-                    order.append(module)
+                    fired += 1
+                if fired:
                     progress = True
+                    fusable = all(
+                        have >= fired * need
+                        for have, (_key, need) in zip(
+                            before, inputs_of[id(module)])
+                    )
+                    if entries and entries[-1][0] is module:
+                        prev = entries[-1]
+                        entries[-1] = (module, prev[1] + fired, False)
+                    else:
+                        entries.append((module, fired, fusable))
         if any(remaining.values()):
             stuck = [m.full_name() for m in self.modules
                      if remaining[id(m)] > 0]
@@ -284,12 +351,38 @@ class TdfCluster:
                 f"TDF cluster {self.name!r} deadlocks (insufficient "
                 f"delays on a feedback loop); stuck modules: {stuck}"
             )
-        self.schedule = order
+        return entries
+
+    def _build_schedule(self) -> None:
+        runs = self._simulate_schedule(1)
+        self.schedule = [m for m, count, _ok in runs
+                         for _ in range(count)]
+
+    def _entries_for(self, periods: int) -> list:
+        """Compiled schedule for ``periods``: (module, count, use_block).
+
+        ``use_block`` routes the run through ``processing_block``; runs
+        of modules that do not opt in (or single activations, where the
+        scalar call is cheaper, or runs whose inputs are not fully
+        available up front) execute sample-at-a-time.
+        """
+        cached = self._entry_cache.get(periods)
+        if cached is None:
+            cached = [
+                (module, count,
+                 self.block_mode and count > 1 and fusable
+                 and module.supports_block())
+                for module, count, fusable
+                in self._simulate_schedule(periods)
+            ]
+            self._entry_cache[periods] = cached
+        return cached
 
     # -- runtime ----------------------------------------------------------------
 
     def install(self, kernel) -> None:
         """Register the cluster driver thread and converter writers."""
+        self._kernel = kernel
         for converter in self._de_outputs:
             converter.make_writer_thread(kernel)
         process = Process(
@@ -301,27 +394,103 @@ class TdfCluster:
         assert self.period is not None
         if self._skip_first_period:
             self._skip_first_period = False
-            yield self.period
+            # Resume from a checkpoint: period_count periods already ran
+            # before the snapshot, so sleep until the next period start.
+            resume = self.period_count * self.period.ticks
+            yield SimTime.from_ticks(
+                max(resume - self._kernel.now_ticks, 0)
+            )
         while True:
-            self.execute_period()
-            yield self.period
+            n = self._periods_this_wake()
+            self.execute_periods(n)
+            yield SimTime.from_ticks(n * self.period.ticks)
+
+    def _periods_this_wake(self) -> int:
+        """How many periods to batch into the current wake-up.
+
+        Batching runs the cluster *ahead* of kernel time, which is only
+        observationally safe with zero DE coupling; the count is clamped
+        to the run() boundary so exactly as many periods execute per
+        run as with scalar one-period-per-wake pacing (a wake landing
+        exactly on the boundary still executes, hence the ``+ 1``).
+        """
+        if not self._batch_safe:
+            return 1
+        limit = self._kernel.run_limit_ticks
+        if limit is None:
+            return 1  # unbounded run: pace period-by-period
+        avail = (limit - self._kernel.now_ticks) // self.period.ticks + 1
+        # Never batch across a compaction boundary: compacting at the
+        # exact same period counts as scalar mode keeps checkpoint
+        # snapshots (sample buffers + offsets) bit-identical.
+        avail = min(avail, self._next_compact - self.period_count)
+        return max(1, min(self.batch, avail))
 
     def execute_period(self) -> None:
         """Run exactly one cluster period (one full static schedule)."""
+        self.execute_periods(1)
+
+    def execute_periods(self, n: int) -> None:
+        """Run ``n`` cluster periods through the compiled schedule."""
         for converter in self._de_inputs:
             converter.sample()
         base = self.period_count * self.period.ticks
         self.epoch_ticks = 0  # local time is measured from t=0
-        for module in self.schedule:
-            module._activate()
+        if self._profile is None:
+            for module, count, use_block in self._entries_for(n):
+                if use_block:
+                    module._activate_block(count)
+                else:
+                    for _ in range(count):
+                        module._activate()
+        else:
+            self._execute_profiled(n)
         for converter in self._de_outputs:
             converter.flush(base)
-        self.period_count += 1
+        self.period_count += n
         # Amortized housekeeping: dropping consumed samples every period
-        # would dominate the per-sample cost; every 64 periods keeps the
-        # buffers bounded at negligible overhead.
-        if self.period_count % 64 == 0:
+        # would dominate the per-sample cost; compacting every
+        # ``compact_every`` periods keeps the buffers bounded at
+        # negligible overhead.
+        if self.period_count >= self._next_compact:
             self._compact()
+            self._next_compact = self.compact_every * (
+                self.period_count // self.compact_every + 1
+            )
+
+    def _execute_profiled(self, n: int) -> None:
+        prof = self._profile
+        for module, count, use_block in self._entries_for(n):
+            name = module.full_name()
+            start = _time.perf_counter()
+            if use_block:
+                module._activate_block(count)
+            else:
+                for _ in range(count):
+                    module._activate()
+            elapsed = _time.perf_counter() - start
+            prof["module_seconds"][name] = (
+                prof["module_seconds"].get(name, 0.0) + elapsed
+            )
+            prof["module_activations"][name] = (
+                prof["module_activations"].get(name, 0) + count
+            )
+            if use_block:
+                prof["block_activations"][name] = (
+                    prof["block_activations"].get(name, 0) + count
+                )
+        prof["periods"] = prof.get("periods", 0) + n
+
+    def enable_profiling(self) -> dict:
+        """Turn on per-module wall-clock accounting; returns the dict."""
+        if self._profile is None:
+            self._profile = {
+                "module_seconds": {},
+                "module_activations": {},
+                "block_activations": {},
+                "periods": 0,
+            }
+        return self._profile
 
     def _compact(self) -> None:
         for signal in self._signals:
@@ -365,6 +534,9 @@ class TdfCluster:
                 "rebuilt from the same factory?)"
             )
         self.period_count = int(data["period_count"])
+        self._next_compact = self.compact_every * (
+            self.period_count // self.compact_every + 1
+        )
         for signal, snap in zip(self._signals, data["signals"]):
             signal.restore(snap)
         for module, snap in zip(self.modules, data["modules"]):

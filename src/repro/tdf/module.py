@@ -19,11 +19,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from ..core.errors import ElaborationError, SynchronizationError
 from ..core.events import Event
 from ..core.module import Module
 from ..core.port import InPort, OutPort
-from ..core.time import SimTime, ZERO_TIME
+from ..core.time import FEMTO, SimTime, ZERO_TIME
 from .signal import TdfIn, TdfOut, TdfPortBase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -32,6 +34,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class TdfModule(Module):
     """Base class for timed-dataflow modules."""
+
+    #: Set True on subclasses whose ``processing`` has side effects the
+    #: cluster may not run ahead of kernel time (e.g. poking DE-visible
+    #: state outside converter ports).  Disables period batching for the
+    #: whole cluster; block fusion within one period is unaffected.
+    batch_unsafe = False
 
     def __init__(self, name: str, parent: Optional[Module] = None):
         super().__init__(name, parent)
@@ -54,6 +62,19 @@ class TdfModule(Module):
         """Override: the per-activation behaviour."""
         raise NotImplementedError
 
+    def processing_block(self, n: int) -> None:
+        """Override to process ``n`` consecutive activations at once.
+
+        A block-capable implementation must be *observationally
+        identical* to ``n`` sequential :meth:`processing` calls — same
+        output samples bit-for-bit, same internal state afterwards.  Use
+        :meth:`TdfIn.read_block` / :meth:`TdfOut.write_block` for port
+        I/O and :meth:`activation_times` for the activation instants.
+        Modules that do not override this run sample-at-a-time inside
+        the compiled schedule.
+        """
+        raise NotImplementedError
+
     def set_timestep(self, timestep: SimTime) -> None:
         """Request this module's activation period."""
         self.requested_timestep = timestep
@@ -67,6 +88,54 @@ class TdfModule(Module):
             self._cluster.epoch_ticks
             + self.activation_count * self.timestep.ticks
         )
+
+    # -- block-mode helpers ----------------------------------------------------
+
+    def supports_block(self) -> bool:
+        """True when the subclass overrides :meth:`processing_block`."""
+        return (type(self).processing_block
+                is not TdfModule.processing_block)
+
+    def activation_times(self, n: int):
+        """``local_time.to_seconds()`` of the next ``n`` activations.
+
+        Bit-identical to evaluating :attr:`local_time` per activation:
+        the tick arithmetic stays exact-integer and the single
+        femtosecond scaling matches ``SimTime.to_seconds``.
+        """
+        epoch = self._cluster.epoch_ticks if self._cluster else 0
+        ts = self.timestep.ticks if self.timestep else 0
+        ticks = epoch + (self.activation_count
+                         + np.arange(n, dtype=np.int64)) * ts
+        return ticks * FEMTO
+
+    def sample_times(self, n: int, rate: int):
+        """Per-sample times for ``n`` activations of a rate-``rate`` port.
+
+        Matches the scalar idiom ``local_time.to_seconds() + k * step``
+        (with ``step = timestep.to_seconds() / rate``) bit-for-bit: the
+        per-activation base time and the ``k * step`` offset are computed
+        and added in the same order.
+        """
+        base = self.activation_times(n)
+        if rate == 1:
+            return base
+        step = self.timestep.to_seconds() / rate
+        offsets = np.arange(rate) * step
+        return (base[:, None] + offsets[None, :]).ravel()
+
+    def de_coupled(self) -> bool:
+        """True when the module touches the DE world directly.
+
+        Covers converter ports and raw DE ports held as attributes
+        (e.g. a TDF module reading an ``InPort`` each activation).
+        Such modules pin their cluster to one-period-at-a-time
+        execution so DE-side values stay synchronized.
+        """
+        if self.converter_ports():
+            return True
+        return any(isinstance(v, (InPort, OutPort))
+                   for v in vars(self).values())
 
     # -- framework plumbing -----------------------------------------------------------
 
@@ -96,6 +165,26 @@ class TdfModule(Module):
         self.processing()
         self._activation_index += 1
         self.activation_count += 1
+
+    def _activate_block(self, n: int) -> None:
+        self.processing_block(n)
+        self._activation_index += n
+        self.activation_count += n
+
+    def _scalar_fallback(self, n: int) -> None:
+        """Run ``processing()`` ``n`` times from inside
+        ``processing_block`` (for parameterizations a vectorized path
+        cannot reproduce bit-exactly, e.g. data-dependent RNG draws).
+        Temporarily advances the activation counters so per-activation
+        port indexing and ``local_time`` stay correct; ``_activate_block``
+        applies the real increment afterwards.
+        """
+        for _ in range(n):
+            self.processing()
+            self._activation_index += 1
+            self.activation_count += 1
+        self._activation_index -= n
+        self.activation_count -= n
 
     # -- checkpoint hooks -------------------------------------------------------
 

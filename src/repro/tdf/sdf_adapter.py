@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..core.errors import ElaborationError
 from ..core.module import Module
 from ..sdf.graph import Actor, SdfGraph
@@ -108,3 +110,38 @@ class SdfGraphModule(TdfModule):
             for k in range(port.rate):
                 port.write(actor.collected[k], k)
             del actor.collected[: port.rate]
+
+    def processing_block(self, n):
+        if not all(port.block_readable() for port, _a in self._inputs):
+            # Non-numeric token streams must reach the actors with
+            # their original payload types.
+            self._scalar_fallback(n)
+            return
+        feeds = [(port, actor, port.read_block(n))
+                 for port, actor in self._inputs]
+        gathered: list[list] = [[] for _ in self._outputs]
+        for a in range(n):
+            for port, actor, data in feeds:
+                actor.pending.extend(
+                    data[a * port.rate:(a + 1) * port.rate].tolist()
+                )
+            self.graph.run(1)
+            for slot, (port, actor) in enumerate(self._outputs):
+                if len(actor.collected) < port.rate:
+                    raise ElaborationError(
+                        f"SDF output {actor.name!r} produced "
+                        f"{len(actor.collected)} tokens, port needs "
+                        f"{port.rate}"
+                    )
+                gathered[slot].extend(actor.collected[: port.rate])
+                del actor.collected[: port.rate]
+        for (port, actor), values in zip(self._outputs, gathered):
+            if all(type(v) is float for v in values):
+                port.write_block(np.asarray(values))
+            else:
+                # Arbitrary token types: replay the scalar writes with
+                # explicit per-activation indexing.
+                signal = port._check_bound()
+                base = port.delay + self._activation_index * port.rate
+                for k, value in enumerate(values):
+                    signal.set(base + k, value)

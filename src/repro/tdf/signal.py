@@ -9,17 +9,30 @@ samples), following the SystemC-AMS TDF conventions:
   value — this is what breaks feedback loops;
 * an **in-port delay** of ``d`` makes the reader lag ``d`` samples behind
   the stream, reading its own initial value for the first ``d`` samples.
+
+Storage: the sample stream is backed by a preallocated ``float64``
+numpy ring buffer so block-capable modules (see
+:meth:`~repro.tdf.module.TdfModule.processing_block`) can read and
+write contiguous array views instead of issuing one ``read()``/
+``write()`` call per sample.  The first write of a non-float payload
+transparently demotes the signal to a plain object list with identical
+semantics (and no vector fast path).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from ..core.errors import ElaborationError, SynchronizationError
 from ..core.time import SimTime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .module import TdfModule
+
+#: Initial ring-buffer capacity (samples); grows geometrically.
+_MIN_CAPACITY = 64
 
 
 class TdfSignal:
@@ -29,8 +42,10 @@ class TdfSignal:
         self.name = name
         self.writer: Optional["TdfOut"] = None
         self.readers: list["TdfIn"] = []
-        self._samples: list = []
-        self._offset = 0  # absolute index of _samples[0]
+        self._offset = 0  # absolute index of the oldest retained sample
+        self._buf: Optional[np.ndarray] = np.empty(_MIN_CAPACITY)
+        self._length = 0  # number of valid samples in the buffer
+        self._objects: Optional[list] = None  # non-numeric fallback
 
     # -- elaboration -----------------------------------------------------------
 
@@ -47,62 +62,172 @@ class TdfSignal:
 
     def prime(self) -> None:
         """Install the writer's delay samples (initial tokens)."""
-        self._samples = []
         self._offset = 0
+        self._length = 0
+        self._objects = None
+        if self._buf is None:
+            self._buf = np.empty(_MIN_CAPACITY)
         if self.writer is not None and self.writer.delay:
             initial = self.writer.initial_value
-            self._samples = [initial] * self.writer.delay
+            if type(initial) is float:
+                self._reserve(self.writer.delay)
+                self._buf[: self.writer.delay] = initial
+                self._length = self.writer.delay
+            else:
+                self._demote()
+                self._objects.extend([initial] * self.writer.delay)
+
+    # -- storage internals -------------------------------------------------------
+
+    @property
+    def is_vector(self) -> bool:
+        """True while the stream is numpy-backed (block I/O possible)."""
+        return self._objects is None
+
+    def _demote(self) -> None:
+        """Switch to the object-list fallback, keeping all samples."""
+        if self._objects is None:
+            self._objects = [float(v) for v in self._buf[: self._length]] \
+                if self._length else []
+            self._buf = None
+
+    def _reserve(self, capacity: int) -> None:
+        """Grow the ring so at least ``capacity`` samples fit."""
+        if len(self._buf) < capacity:
+            grown = np.empty(max(capacity, 2 * len(self._buf)))
+            grown[: self._length] = self._buf[: self._length]
+            self._buf = grown
 
     # -- runtime -----------------------------------------------------------------
 
     def set(self, index: int, value) -> None:
         slot = index - self._offset
-        if slot == len(self._samples):
-            self._samples.append(value)
-        elif 0 <= slot < len(self._samples):
-            self._samples[slot] = value
-        elif slot > len(self._samples):
-            self._samples.extend(
-                [0.0] * (slot - len(self._samples)) + [value]
-            )
-        else:
+        if slot < 0:
             raise SynchronizationError(
                 f"write to already-compacted sample {index} of "
                 f"{self.name!r}"
             )
+        if self._objects is not None:
+            samples = self._objects
+            if slot == len(samples):
+                samples.append(value)
+            elif slot < len(samples):
+                samples[slot] = value
+            else:
+                samples.extend([0.0] * (slot - len(samples)) + [value])
+            return
+        if type(value) is not float and not isinstance(value, np.floating):
+            self._demote()
+            self.set(index, value)
+            return
+        if slot >= self._length:
+            self._reserve(slot + 1)
+            if slot > self._length:
+                self._buf[self._length: slot] = 0.0
+            self._length = slot + 1
+        self._buf[slot] = value
 
     def get(self, index: int):
         slot = index - self._offset
-        if slot < 0 or slot >= len(self._samples):
+        if slot < 0 or slot >= self._len():
             raise SynchronizationError(
                 f"read of unavailable sample {index} of {self.name!r} "
                 f"(have [{self._offset}, "
-                f"{self._offset + len(self._samples)}))"
+                f"{self._offset + self._len()}))"
             )
-        return self._samples[slot]
+        if self._objects is not None:
+            return self._objects[slot]
+        return float(self._buf[slot])
+
+    def _len(self) -> int:
+        return len(self._objects) if self._objects is not None \
+            else self._length
 
     @property
     def write_head(self) -> int:
         """Absolute index one past the newest sample."""
-        return self._offset + len(self._samples)
+        return self._offset + self._len()
+
+    # -- block (vector) access ----------------------------------------------------
+
+    def write_view(self, start: int, count: int) -> Optional[np.ndarray]:
+        """Writable float64 view covering absolute ``[start, start+count)``.
+
+        Returns None when the signal runs in object-list mode (callers
+        fall back to per-sample :meth:`set`).  Samples between the
+        current head and ``start`` (possible with out-port delays on
+        sibling ports) are zero-filled, matching :meth:`set`.
+        """
+        if self._objects is not None:
+            return None
+        lo = start - self._offset
+        if lo < 0:
+            raise SynchronizationError(
+                f"block write to already-compacted sample {start} of "
+                f"{self.name!r}"
+            )
+        hi = lo + count
+        self._reserve(hi)
+        if lo > self._length:
+            self._buf[self._length: lo] = 0.0
+        self._length = max(self._length, hi)
+        return self._buf[lo:hi]
+
+    def read_view(self, start: int, count: int) -> Optional[np.ndarray]:
+        """Read-only float64 view of absolute ``[start, start+count)``.
+
+        Returns None in object-list mode.  The view aliases the ring
+        buffer and is only valid until the next write or compaction.
+        """
+        if self._objects is not None:
+            return None
+        lo = start - self._offset
+        if lo < 0 or lo + count > self._length:
+            raise SynchronizationError(
+                f"block read of unavailable samples [{start}, "
+                f"{start + count}) of {self.name!r} (have "
+                f"[{self._offset}, {self._offset + self._length}))"
+            )
+        return self._buf[lo: lo + count]
 
     def compact(self, min_needed: int) -> None:
         """Drop samples below ``min_needed`` (end-of-period housekeeping)."""
         drop = min_needed - self._offset
-        if drop > 0:
-            del self._samples[:drop]
-            self._offset = min_needed
+        if drop <= 0:
+            return
+        if self._objects is not None:
+            del self._objects[:drop]
+        else:
+            keep = self._length - drop
+            if keep > 0:
+                # Slide the live window to the front of the ring.
+                self._buf[:keep] = self._buf[drop: self._length]
+            self._length = max(keep, 0)
+        self._offset = min_needed
 
     # -- checkpoint support ------------------------------------------------------
 
     def snapshot(self) -> dict:
         """Picklable copy of the buffered samples."""
-        return {"samples": list(self._samples), "offset": self._offset}
+        if self._objects is not None:
+            samples = list(self._objects)
+        else:
+            samples = self._buf[: self._length].tolist()
+        return {"samples": samples, "offset": self._offset}
 
     def restore(self, data: dict) -> None:
         """Reinstall a :meth:`snapshot` (after :meth:`prime`)."""
-        self._samples = list(data["samples"])
+        samples = data["samples"]
         self._offset = int(data["offset"])
+        if all(type(v) is float for v in samples):
+            self._objects = None
+            self._buf = np.empty(max(_MIN_CAPACITY, len(samples)))
+            self._buf[: len(samples)] = samples
+            self._length = len(samples)
+        else:
+            self._buf = None
+            self._length = 0
+            self._objects = list(samples)
 
 
 class TdfPortBase:
@@ -199,6 +324,44 @@ class TdfIn(TdfPortBase):
             return self.initial_value
         return signal.get(absolute)
 
+    def read_block(self, activations: int) -> np.ndarray:
+        """Samples for the next ``activations`` activations as one array.
+
+        Returns a float64 array of ``activations * rate`` samples; slots
+        before the stream start (in-port delay) hold the port's initial
+        value.  When possible the result is a zero-copy view of the
+        signal buffer, valid only for the duration of the current
+        ``processing_block`` call.
+        """
+        signal = self._check_bound()
+        count = activations * self._rate
+        start = self.module._activation_index * self._rate - self._delay
+        if start >= 0:
+            view = signal.read_view(start, count)
+            if view is not None:
+                return view
+            return np.fromiter(
+                (signal.get(start + k) for k in range(count)),
+                dtype=float, count=count,
+            )
+        head = min(-start, count)
+        out = np.empty(count)
+        out[:head] = float(self.initial_value)
+        if count > head:
+            view = signal.read_view(0, count - head)
+            if view is not None:
+                out[head:] = view
+            else:
+                out[head:] = [signal.get(k) for k in range(count - head)]
+        return out
+
+    def block_readable(self) -> bool:
+        """True when :meth:`read_block` reproduces scalar reads exactly
+        (numeric stream, float initial value) — modules that retain raw
+        payloads check this before trusting the float coercion."""
+        return (self.signal is not None and self.signal.is_vector
+                and type(self.initial_value) is float)
+
     def next_needed(self) -> int:
         """Absolute index of the oldest sample this reader still needs."""
         return max(0, self.module._activation_index * self._rate
@@ -223,3 +386,26 @@ class TdfOut(TdfPortBase):
         absolute = (self._delay
                     + self.module._activation_index * self._rate + sample)
         signal.set(absolute, value)
+
+    def write_block(self, values: np.ndarray) -> None:
+        """Write ``activations * rate`` samples for consecutive activations.
+
+        ``values`` must hold a whole number of activations' worth of
+        samples, laid out activation-major (matching repeated scalar
+        ``write(value, k)`` calls).
+        """
+        signal = self._check_bound()
+        values = np.asarray(values, dtype=float).ravel()
+        count = len(values)
+        if count % self._rate:
+            raise SynchronizationError(
+                f"block write of {count} samples is not a multiple of "
+                f"rate {self._rate} on port {self.full_name()!r}"
+            )
+        start = self._delay + self.module._activation_index * self._rate
+        view = signal.write_view(start, count)
+        if view is not None:
+            view[:] = values
+        else:
+            for k in range(count):
+                signal.set(start + k, float(values[k]))

@@ -1,0 +1,386 @@
+"""Scalar <-> block execution equivalence (PR 3 acceptance).
+
+The compiled-schedule / batched TDF engine must be *observationally
+identical* to the scalar reference engine: every output stream
+bit-for-bit equal, and checkpoints interchangeable between the two
+modes.  These tests cover the tier-1 model shapes: a TDF-heavy ADC
+chain, the bench_e4 pipelined-ADC testbench (shared RNG stream), the
+bench_e1 ADSL virtual prototype (DE-coupled clusters), multirate and
+mixed block/scalar clusters, feedback delay loops, a CT-embedding
+cluster, and object-mode (non-float payload) fallbacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adsl import REG_HOOK_STATUS, REG_LINE_LEVEL, AdslSystem
+from repro.core import Module, SimTime, Simulator
+from repro.eln import Capacitor, Network, Resistor, Vsource
+from repro.lib import (
+    Add2,
+    FirFilter,
+    GaussianNoiseSource,
+    IdealAdc,
+    IirFilter,
+    PipelinedAdc,
+    PipelinedAdcModule,
+    SampleHold,
+    SaturatingAmp,
+    SineSource,
+    TdfSink,
+    butterworth_lowpass_sections,
+    fir_lowpass,
+)
+from repro.sync import ElnTdfModule
+from repro.tdf import TdfIn, TdfModule, TdfOut, TdfSignal
+
+
+def us(x):
+    return SimTime(x, "us")
+
+
+#: (tdf_batch, tdf_compact_every) block configurations under test —
+#: a tiny batch (forces many partial runs), the default, and a large
+#: batch crossing several compaction intervals.
+BLOCK_CONFIGS = [(4, 16), (16, 64), (256, 1024)]
+
+
+def run_sim(build, duration, *, block, batch=16, compact=64):
+    top = build()
+    Simulator(top, tdf_block=block, tdf_batch=batch,
+              tdf_compact_every=compact).run(duration)
+    return top
+
+
+def assert_streams_equal(ref: TdfSink, got: TdfSink):
+    np.testing.assert_array_equal(np.asarray(ref.times),
+                                  np.asarray(got.times))
+    np.testing.assert_array_equal(np.asarray(ref.samples),
+                                  np.asarray(got.samples))
+
+
+# -- TDF-heavy chain ----------------------------------------------------------
+
+
+class ChainTop(Module):
+    """sine+noise -> add -> tanh amp -> FIR -> ADC -> IIR -> sink."""
+
+    def __init__(self):
+        super().__init__("chain")
+        fs = 1e6
+        names = ["s_tone", "s_noise", "s_sum", "s_amp", "s_fir",
+                 "s_adc", "s_iir"]
+        for n in names:
+            setattr(self, n, TdfSignal(n))
+        self.tone = SineSource("tone", 13e3, amplitude=0.6,
+                               parent=self, timestep=us(1))
+        self.noise = GaussianNoiseSource("noise", rms=5e-3, seed=3,
+                                         parent=self)
+        self.add = Add2("add", parent=self)
+        self.amp = SaturatingAmp("amp", gain=1.5, limit=1.0,
+                                 parent=self)
+        self.fir = FirFilter("fir", fir_lowpass(31, 60e3, fs),
+                             parent=self)
+        self.adc = IdealAdc("adc", bits=8, parent=self)
+        self.iir = IirFilter(
+            "iir", butterworth_lowpass_sections(3, 80e3, fs),
+            parent=self)
+        self.sink = TdfSink("sink", parent=self)
+        self.tone.out(self.s_tone)
+        self.noise.out(self.s_noise)
+        self.add.a(self.s_tone)
+        self.add.b(self.s_noise)
+        self.add.out(self.s_sum)
+        self.amp.inp(self.s_sum)
+        self.amp.out(self.s_amp)
+        self.fir.inp(self.s_amp)
+        self.fir.out(self.s_fir)
+        self.adc.inp(self.s_fir)
+        self.adc.out(self.s_adc)
+        self.iir.inp(self.s_adc)
+        self.iir.out(self.s_iir)
+        self.sink.inp(self.s_iir)
+
+
+class TestAdcChain:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return run_sim(ChainTop, us(4000), block=False)
+
+    @pytest.mark.parametrize("batch,compact", BLOCK_CONFIGS)
+    def test_bit_identical(self, reference, batch, compact):
+        top = run_sim(ChainTop, us(4000), block=True, batch=batch,
+                      compact=compact)
+        assert_streams_equal(reference.sink, top.sink)
+
+    def test_checkpoint_payloads_match(self):
+        def payload(block):
+            top = ChainTop()
+            sim = Simulator(top, tdf_block=block)
+            sim.run(us(2000))
+            return sim.capture_checkpoint()
+        assert _normalize(payload(False)) == _normalize(payload(True))
+
+    def test_cross_mode_resume(self):
+        reference = run_sim(ChainTop, us(4000), block=False)
+        # Run half in scalar mode, checkpoint, resume in block mode.
+        head_top = ChainTop()
+        head_sim = Simulator(head_top, tdf_block=False)
+        head_sim.run(us(2000), checkpoint_every=us(2000))
+        checkpoint = head_sim.checkpoint_manager.latest()
+        tail_top = ChainTop()
+        tail_sim = Simulator(tail_top, tdf_block=True)
+        tail_sim.restore_checkpoint(checkpoint.payload)
+        tail_sim.run(us(2000))
+        head = np.asarray(head_top.sink.samples)
+        tail = np.asarray(tail_top.sink.samples)
+        full = np.asarray(reference.sink.samples)
+        assert len(head) + len(tail) == len(full)
+        np.testing.assert_array_equal(head, full[:len(head)])
+        np.testing.assert_array_equal(tail, full[len(head):])
+
+
+def _normalize(value):
+    """Checkpoint payloads with numpy members -> comparable builtins."""
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+# -- bench_e4: pipelined ADC testbench ---------------------------------------
+
+
+class PipelinedTop(Module):
+    """Coherent tone through the noisy pipelined ADC (both outputs)."""
+
+    def __init__(self):
+        super().__init__("e4")
+        self.s_in = TdfSignal("s_in")
+        self.s_cal = TdfSignal("s_cal")
+        self.s_raw = TdfSignal("s_raw")
+        adc = PipelinedAdc(
+            n_stages=7, backend_bits=3,
+            gain_errors=[0.01, -0.008, 0.012, 0.0, -0.01, 0.006, 0.0],
+            comparator_offsets=[0.02, -0.01, 0.0, 0.015, 0.0, 0.0, 0.01],
+            noise_rms=1e-3, seed=11,
+        )
+        self.src = SineSource("src", 17e3, amplitude=0.9,
+                              parent=self, timestep=us(1))
+        self.adc = PipelinedAdcModule("adc", adc, parent=self)
+        self.sink_cal = TdfSink("sink_cal", parent=self)
+        self.sink_raw = TdfSink("sink_raw", parent=self)
+        self.src.out(self.s_in)
+        self.adc.inp(self.s_in)
+        self.adc.out(self.s_cal)
+        self.adc.out_raw(self.s_raw)
+        self.sink_cal.inp(self.s_cal)
+        self.sink_raw.inp(self.s_raw)
+
+
+@pytest.mark.parametrize("batch,compact", BLOCK_CONFIGS)
+def test_pipelined_adc_bit_identical(batch, compact):
+    """The batched noise draws must consume the exact scalar RNG stream."""
+    ref = run_sim(PipelinedTop, us(3000), block=False)
+    got = run_sim(PipelinedTop, us(3000), block=True, batch=batch,
+                  compact=compact)
+    assert_streams_equal(ref.sink_cal, got.sink_cal)
+    assert_streams_equal(ref.sink_raw, got.sink_raw)
+
+
+def test_pipelined_adc_cross_mode_resume():
+    """Block-mode checkpoint (including the RNG stream position)
+    resumed by the scalar engine."""
+    reference = run_sim(PipelinedTop, us(2000), block=False)
+    head_top = PipelinedTop()
+    head_sim = Simulator(head_top, tdf_block=True)
+    head_sim.run(us(1000), checkpoint_every=us(1000))
+    checkpoint = head_sim.checkpoint_manager.latest()
+    tail_top = PipelinedTop()
+    tail_sim = Simulator(tail_top, tdf_block=False)
+    tail_sim.restore_checkpoint(checkpoint.payload)
+    tail_sim.run(us(1000))
+    for sink in ("sink_cal", "sink_raw"):
+        head = np.asarray(getattr(head_top, sink).samples)
+        tail = np.asarray(getattr(tail_top, sink).samples)
+        full = np.asarray(getattr(reference, sink).samples)
+        assert len(head) + len(tail) == len(full)
+        np.testing.assert_array_equal(head, full[:len(head)])
+        np.testing.assert_array_equal(tail, full[len(head):])
+
+
+# -- bench_e1: ADSL virtual prototype ----------------------------------------
+
+
+def test_adsl_system_bit_identical():
+    """The full mixed-signal prototype (DE software, converter ports,
+    CT line model, decimating RX path) matches in both modes."""
+    ref = AdslSystem()
+    Simulator(ref, tdf_block=False).run(SimTime(6, "ms"))
+    got = AdslSystem()
+    Simulator(got, tdf_block=True).run(SimTime(6, "ms"))
+    np.testing.assert_array_equal(ref.rx_output(), got.rx_output())
+    np.testing.assert_array_equal(np.asarray(ref.hook_sink.samples),
+                                  np.asarray(got.hook_sink.samples))
+    for reg in (REG_LINE_LEVEL, REG_HOOK_STATUS):
+        assert ref.registers.peek(reg) == got.registers.peek(reg)
+
+
+# -- multirate + mixed block/scalar cluster ----------------------------------
+
+
+class ScalarGain(TdfModule):
+    """Deliberately block-incapable: forces a scalar run inside an
+    otherwise compiled schedule."""
+
+    def __init__(self, name, gain, parent=None):
+        super().__init__(name, parent)
+        self.inp = TdfIn("inp")
+        self.out = TdfOut("out")
+        self.gain = gain
+
+    def processing(self):
+        self.out.write(self.gain * self.inp.read())
+
+
+class MultirateTop(Module):
+    """rate-2 source -> FIR (rate 1) -> scalar-only gain -> S&H(2) -> sink."""
+
+    def __init__(self):
+        super().__init__("multirate")
+        for n in ["s_src", "s_fir", "s_gain", "s_sh"]:
+            setattr(self, n, TdfSignal(n))
+        self.src = SineSource("src", 9e3, amplitude=0.8, parent=self,
+                              timestep=us(2), rate=2)
+        self.fir = FirFilter("fir", fir_lowpass(15, 100e3, 1e6),
+                             parent=self)
+        self.gain = ScalarGain("gain", 0.5, parent=self)
+        self.sh = SampleHold("sh", factor=2, parent=self)
+        self.sink = TdfSink("sink", parent=self, rate=2)
+        self.src.out(self.s_src)
+        self.fir.inp(self.s_src)
+        self.fir.out(self.s_fir)
+        self.gain.inp(self.s_fir)
+        self.gain.out(self.s_gain)
+        self.sh.inp(self.s_gain)
+        self.sh.out(self.s_sh)
+        self.sink.inp(self.s_sh)
+
+
+@pytest.mark.parametrize("batch,compact", BLOCK_CONFIGS)
+def test_multirate_mixed_cluster(batch, compact):
+    ref = run_sim(MultirateTop, us(3000), block=False)
+    got = run_sim(MultirateTop, us(3000), block=True, batch=batch,
+                  compact=compact)
+    assert_streams_equal(ref.sink, got.sink)
+
+
+# -- feedback through a delay port -------------------------------------------
+
+
+class FeedbackTop(Module):
+    """Accumulator: y[n] = x[n] + y[n-1] via a 1-sample feedback delay.
+
+    The self-loop keeps the adder's run non-fusable; the rest of the
+    cluster still compiles to block runs.
+    """
+
+    def __init__(self):
+        super().__init__("feedback")
+        self.s_x = TdfSignal("s_x")
+        self.s_y = TdfSignal("s_y")
+        self.src = SineSource("src", 11e3, amplitude=0.1, parent=self,
+                              timestep=us(1))
+        self.add = Add2("add", wa=1.0, wb=0.995, parent=self)
+        self.sink = TdfSink("sink", parent=self)
+        self.src.out(self.s_x)
+        self.add.a(self.s_x)
+        self.add.b.set_delay(1)
+        self.add.b(self.s_y)
+        self.add.out(self.s_y)
+        self.sink.inp(self.s_y)
+
+
+@pytest.mark.parametrize("batch,compact", BLOCK_CONFIGS)
+def test_feedback_delay_loop(batch, compact):
+    ref = run_sim(FeedbackTop, us(3000), block=False)
+    got = run_sim(FeedbackTop, us(3000), block=True, batch=batch,
+                  compact=compact)
+    assert_streams_equal(ref.sink, got.sink)
+
+
+# -- CT-embedding cluster -----------------------------------------------------
+
+
+class RcTop(Module):
+    def __init__(self):
+        super().__init__("rc_top")
+        net = Network("rc")
+        net.add(Vsource("Vin", "in", "0"))
+        net.add(Resistor("R1", "in", "out", 1e3))
+        net.add(Capacitor("C1", "out", "0", 1e-9))
+        self.s_in = TdfSignal("s_in")
+        self.s_out = TdfSignal("s_out")
+        self.src = SineSource("src", 40e3, parent=self, timestep=us(1))
+        self.rc = ElnTdfModule("rc", net, parent=self)
+        self.sink = TdfSink("sink", parent=self)
+        self.src.out(self.s_in)
+        self.rc.drive_voltage("Vin")(self.s_in)
+        self.rc.sample_voltage("out")(self.s_out)
+        self.sink.inp(self.s_out)
+
+
+@pytest.mark.parametrize("batch,compact", BLOCK_CONFIGS)
+def test_ct_embedded_cluster(batch, compact):
+    ref = run_sim(RcTop, us(2000), block=False)
+    got = run_sim(RcTop, us(2000), block=True, batch=batch,
+                  compact=compact)
+    assert_streams_equal(ref.sink, got.sink)
+
+
+# -- object-mode (non-float payload) fallback --------------------------------
+
+
+class TokenSource(TdfModule):
+    """Writes alternating int / float payloads (scalar only)."""
+
+    def __init__(self, name, parent=None, timestep=None):
+        super().__init__(name, parent)
+        self.out = TdfOut("out")
+        self._timestep = timestep
+        self._n = 0
+
+    def set_attributes(self):
+        if self._timestep is not None:
+            self.set_timestep(self._timestep)
+
+    def processing(self):
+        value = self._n if self._n % 2 else float(self._n)
+        self.out.write(value)
+        self._n += 1
+
+
+class ObjectModeTop(Module):
+    def __init__(self):
+        super().__init__("objmode")
+        self.s = TdfSignal("s")
+        self.src = TokenSource("src", parent=self, timestep=us(1))
+        self.sink = TdfSink("sink", parent=self)
+        self.src.out(self.s)
+        self.sink.inp(self.s)
+
+
+def test_object_mode_payloads_preserved():
+    """A demoted (object-mode) stream must reach the sink with its
+    original payload types in both engines."""
+    ref = run_sim(ObjectModeTop, us(200), block=False)
+    got = run_sim(ObjectModeTop, us(200), block=True)
+    assert ref.sink.samples == got.sink.samples
+    assert [type(v) for v in ref.sink.samples] \
+        == [type(v) for v in got.sink.samples]
+    assert any(type(v) is int for v in got.sink.samples)
