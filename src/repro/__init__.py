@@ -11,9 +11,11 @@ extensions (:mod:`repro.nonlin`, :mod:`repro.power`,
 :mod:`repro.multidomain`), a synchronization layer (:mod:`repro.sync`),
 a mixed-signal module library (:mod:`repro.lib`), and a parallel
 campaign engine for sweeps, corners, and Monte Carlo with result
-caching (:mod:`repro.campaign`), and a resilience layer — solver
+caching (:mod:`repro.campaign`), a resilience layer — solver
 fallback chains, convergence homotopy, numerical health guards, and
-checkpoint/restart (:mod:`repro.resilience`).
+checkpoint/restart (:mod:`repro.resilience`) — and a static model
+verifier that lints rates, schedules, MNA structure, and DE/TDF
+synchronization before any simulation runs (:mod:`repro.verify`).
 """
 
 __version__ = "1.0.0"

@@ -25,14 +25,22 @@ from .records import RunRecord, canonical_json
 
 
 def cache_key(campaign_name: str, params: Dict[str, Any],
-              code_version: str) -> str:
-    """Content hash identifying one campaign point."""
-    identity = canonical_json({
+              code_version: str, ruleset: str = "") -> str:
+    """Content hash identifying one campaign point.
+
+    ``ruleset`` is the static-verifier ruleset version (see
+    :func:`repro.verify.ruleset_version`): a point that passed
+    verification under one ruleset must re-verify — and therefore
+    re-run — when rules are added, removed, or reclassified.
+    """
+    identity: Dict[str, Any] = {
         "campaign": campaign_name,
         "params": params,
         "code": code_version,
-    })
-    return hashlib.sha256(identity.encode()).hexdigest()
+    }
+    if ruleset:
+        identity["ruleset"] = ruleset
+    return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
 
 
 class ResultCache:

@@ -216,6 +216,14 @@ class CampaignRunner:
         If given, ``records.jsonl`` is written there after the run
         (and, unless ``cache_dir`` is set or caching disabled, the
         cache lives in ``out_dir/cache``).
+    verify:
+        Static pre-flight verification of build-style campaign points
+        (see :mod:`repro.verify`): each pending point's model is built
+        in the parent process and statically checked; points with
+        verification errors are recorded as ``status="failed"`` /
+        ``failure_kind="static"`` without ever forking a worker.
+        ``"auto"`` (default) enables this whenever the campaign uses
+        ``build=``; ``"on"`` / ``"off"`` force it.
     """
 
     def __init__(self, campaign: Campaign, workers: int = 1,
@@ -223,7 +231,7 @@ class CampaignRunner:
                  retries: int = 1, chunk_size: Optional[int] = None,
                  out_dir=None, use_cache: bool = True,
                  progress: Optional[Callable[[RunRecord], None]] = None,
-                 checkpoint_every=None):
+                 checkpoint_every=None, verify: str = "auto"):
         self.campaign = campaign
         self.workers = max(1, int(workers))
         self.timeout = timeout
@@ -239,7 +247,13 @@ class CampaignRunner:
             cache_dir = self.out_dir / "cache"
         self.cache = (ResultCache(cache_dir)
                       if use_cache and cache_dir is not None else None)
+        if verify not in ("auto", "on", "off"):
+            raise ValueError(
+                f"verify must be 'auto', 'on', or 'off'; got "
+                f"{verify!r}")
+        self.verify = verify
         self.stats: Dict[str, int] = {}
+        self._ruleset: Optional[str] = None
 
     # -- planning -----------------------------------------------------------
 
@@ -264,7 +278,69 @@ class CampaignRunner:
 
     def _cache_key(self, record: RunRecord) -> str:
         return cache_key(self.campaign.name, record.params,
-                         self._code_version)
+                         self._code_version,
+                         self._ruleset_version())
+
+    def _ruleset_version(self) -> str:
+        """The verifier ruleset version baked into cache keys, so
+        cached results invalidate when the ruleset changes."""
+        if self._ruleset is None:
+            from ..verify import ruleset_version
+
+            self._ruleset = ruleset_version()
+        return self._ruleset
+
+    def _verify_enabled(self) -> bool:
+        if self.verify == "off":
+            return False
+        # Only build-style campaigns expose a model to analyze; a
+        # run= callable is opaque to static verification.
+        return self.campaign.build is not None
+
+    def _preflight(self, tasks: List[RunTask],
+                   by_index: Dict[int, RunRecord]) -> List[RunTask]:
+        """Statically verify pending points in the parent process.
+
+        Points whose models carry verification *errors* are recorded
+        as ``failure_kind="static"`` failures (with the full JSON
+        report persisted under ``out_dir/failures``) and dropped from
+        the dispatch list — no worker is ever forked for them.  Points
+        whose build itself raises fall through to normal execution,
+        which already classifies build failures.
+        """
+        if not self._verify_enabled():
+            return tasks
+        from ..verify import verify_model
+
+        runnable: List[RunTask] = []
+        rejected = 0
+        for index, params, attempt in tasks:
+            try:
+                simulator = self.campaign.build(dict(params))
+                report = verify_model(simulator.top)
+            except Exception:
+                runnable.append((index, params, attempt))
+                continue
+            if report.ok:
+                runnable.append((index, params, attempt))
+                continue
+            rejected += 1
+            record = by_index[index]
+            record.status = "failed"
+            record.failure_kind = "static"
+            record.error = ("static verification failed: "
+                            + "; ".join(d.format()
+                                        for d in report.errors))
+            self._persist_failure(record, {
+                "diagnostic": {
+                    "message": record.error,
+                    "verification": report.to_dict(),
+                },
+            })
+            if self.progress is not None:
+                self.progress(record)
+        self.stats["static"] = rejected
+        return runnable
 
     # -- execution ----------------------------------------------------------
 
@@ -293,7 +369,12 @@ class CampaignRunner:
             else:
                 pending.append((record.index, record.params, 1))
 
-        # 2. execute misses, retrying failures up to ``retries`` times
+        # 2. static pre-flight: reject broken models without forking
+        self.stats = {}
+        pending = self._preflight(pending, by_index)
+        static = self.stats.get("static", 0)
+
+        # 3. execute misses, retrying failures up to ``retries`` times
         executed = 0
         retried = 0
         target: RunTarget = (campaign.run, campaign.build,
@@ -324,7 +405,7 @@ class CampaignRunner:
             retried += len(retry)
             pending = retry
 
-        # 3. persist
+        # 4. persist
         for record in records:
             if record.status == "ok" and not record.cached \
                     and self.cache is not None:
@@ -335,6 +416,7 @@ class CampaignRunner:
             "cached": cached,
             "executed": executed,
             "retried": retried,
+            "static": static,
             "failed": sum(1 for r in records if r.status == "failed"),
         }
         results = CampaignResults(records)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, Optional, Sequence
 
-from .errors import ElaborationError
+from .errors import BindingError, ElaborationError
 from .events import Event
 from .port import Port
 from .process import METHOD, THREAD, Process
@@ -41,6 +41,11 @@ class Module:
         if self.parent is None:
             return self.name
         return f"{self.parent.full_name()}.{self.name}"
+
+    def path(self) -> str:
+        """The full hierarchical path of this module (alias of
+        :meth:`full_name`), e.g. ``"tb.rx.mixer"``."""
+        return self.full_name()
 
     def walk(self) -> Iterator["Module"]:
         """Depth-first iteration over this module and all descendants."""
@@ -108,7 +113,13 @@ class Module:
 
     def check_bindings(self) -> None:
         for port in self.ports():
-            port.resolve()
+            try:
+                port.resolve()
+            except BindingError as exc:
+                # Port names are leaf-local; re-raise with the full
+                # hierarchical path so the failing instance is findable.
+                raise BindingError(
+                    f"in module {self.path()!r}: {exc}") from exc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.full_name()!r})"

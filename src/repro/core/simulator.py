@@ -22,11 +22,22 @@ class Simulator:
 
     def __init__(self, top: Module, trace: Optional[Trace] = None, *,
                  tdf_block: bool = True, tdf_batch: int = 16,
-                 tdf_compact_every: int = 64):
+                 tdf_compact_every: int = 64, verify: str = "off"):
         self.top = top
         self.trace = trace
         self.kernel = Kernel()
         self._elaborated = False
+        if verify not in ("off", "warn", "error"):
+            raise ValueError(
+                f"verify must be 'off', 'warn', or 'error'; got "
+                f"{verify!r}")
+        #: Static-verification mode applied at elaboration: ``"error"``
+        #: refuses to elaborate a model with verification errors,
+        #: ``"warn"`` logs findings and continues, ``"off"`` skips the
+        #: verifier entirely.
+        self.verify_mode = verify
+        #: The last pre-elaboration report (``verify != "off"`` only).
+        self.verification_report = None
         self._stopped = False
         self._finalizers: list = []
         #: TDF execution tuning, read by TdfRegistry.finalize:
@@ -61,9 +72,35 @@ class Simulator:
         """
         self._finalizers.append(callback)
 
-    def elaborate(self) -> None:
+    def elaborate(self, verify: Optional[str] = None) -> None:
         if self._elaborated:
             return
+        mode = self.verify_mode if verify is None else verify
+        if mode not in ("off", "warn", "error"):
+            raise ValueError(
+                f"verify must be 'off', 'warn', or 'error'; got "
+                f"{mode!r}")
+        if mode != "off":
+            # Static pre-flight: catch composition errors (rates,
+            # schedules, MNA structure, sync) before paying for any
+            # kernel or solver setup.
+            from ..verify import verify_model
+
+            report = verify_model(self.top)
+            self.verification_report = report
+            if mode == "error":
+                report.raise_if_errors()
+            elif not report.clean():
+                import logging
+
+                logger = logging.getLogger("repro.verify")
+                for diagnostic in report:
+                    level = (logging.ERROR
+                             if diagnostic.severity == "error"
+                             else logging.WARNING
+                             if diagnostic.severity == "warning"
+                             else logging.INFO)
+                    logger.log(level, "%s", diagnostic.format())
         modules = list(self.top.walk())
         names = [m.full_name() for m in modules]
         if len(set(names)) != len(names):

@@ -1,0 +1,43 @@
+"""Static model verification: pre-simulation lint over all MoCs.
+
+A rule-based analyzer that walks an elaborated-but-not-run model and
+reports structural problems — inconsistent TDF rates, unschedulable
+dataflow, ill-formed electrical networks, ambiguous synchronization —
+as structured :class:`Diagnostic` objects, before a single timestep is
+paid for.  Entry points::
+
+    from repro.verify import verify
+    report = verify(top_module)      # or a Network / SdfGraph
+    if not report.ok:
+        print(report.format_text())
+
+or from the shell::
+
+    python -m repro.verify model.py::Top --json
+
+``Simulator(top, verify="error")`` gates elaboration on a clean
+report, and the campaign runner uses the same machinery to classify
+structurally-broken sweep points without forking workers.
+"""
+
+from .diagnostics import (
+    Diagnostic,
+    StaticVerificationError,
+    VerificationReport,
+)
+from .engine import verify, verify_model, verify_network, verify_sdf
+from .registry import Rule, all_rules, rule, ruleset_version
+
+__all__ = [
+    "Diagnostic",
+    "Rule",
+    "StaticVerificationError",
+    "VerificationReport",
+    "all_rules",
+    "rule",
+    "ruleset_version",
+    "verify",
+    "verify_model",
+    "verify_network",
+    "verify_sdf",
+]

@@ -1,0 +1,174 @@
+"""Structured diagnostics emitted by the static model verifier.
+
+A :class:`Diagnostic` pins one finding to a rule id, a severity, and a
+hierarchical location path ("tb.rc.v_out", "net.R1", "cluster0"), so
+tooling can sort, filter, and machine-read results; a
+:class:`VerificationReport` aggregates the findings of one verifier run
+with text and JSON renderings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..core.errors import ElaborationError
+
+#: Ordered from most to least severe; the order drives report sorting.
+SEVERITIES = ("error", "warning", "info")
+
+#: Version of the report JSON layout (bumped on breaking changes).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class Diagnostic:
+    """One static-analysis finding."""
+
+    #: Rule identifier, e.g. ``"TDF004"`` (``"VERIFY000"`` for internal
+    #: failures of the verifier itself).
+    rule: str
+    #: ``"error"`` | ``"warning"`` | ``"info"``.
+    severity: str
+    #: Hierarchical path of the offending object (module / port / net /
+    #: node / actor), dot-separated where a hierarchy exists.
+    location: str
+    #: Human-readable description of the finding.
+    message: str
+    #: Optional suggestion for fixing the model.
+    hint: str = ""
+    #: Structured extras (cycle member lists, computed bounds, ...).
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; "
+                f"expected one of {SEVERITIES}"
+            )
+
+    def format(self) -> str:
+        text = (f"{self.severity}[{self.rule}] {self.location}: "
+                f"{self.message}")
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.hint:
+            payload["hint"] = self.hint
+        if self.data:
+            payload["data"] = self.data
+        return payload
+
+
+class StaticVerificationError(ElaborationError):
+    """Raised when verification errors gate elaboration or a campaign.
+
+    Carries the full :class:`VerificationReport` under ``report``.
+    """
+
+    def __init__(self, report: "VerificationReport"):
+        errors = report.errors
+        lines = [f"model verification failed with {len(errors)} "
+                 f"error(s):"]
+        lines += [f"  {d.format()}" for d in errors]
+        super().__init__("\n".join(lines))
+        self.report = report
+
+
+class VerificationReport:
+    """The outcome of one verifier run over one model."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic],
+                 target: str = "", ruleset: str = ""):
+        order = {severity: k for k, severity in enumerate(SEVERITIES)}
+        self.diagnostics: List[Diagnostic] = sorted(
+            diagnostics,
+            key=lambda d: (order[d.severity], d.rule, d.location),
+        )
+        #: Name of the verified object (top module / network / graph).
+        self.target = target
+        #: Ruleset version the run used (see ``ruleset_version()``).
+        self.ruleset = ruleset
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "info"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings/infos allowed)."""
+        return not self.errors
+
+    def clean(self) -> bool:
+        """True when nothing at all was reported."""
+        return not self.diagnostics
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def counts(self) -> Dict[str, int]:
+        return {severity: sum(1 for d in self.diagnostics
+                              if d.severity == severity)
+                for severity in SEVERITIES}
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    # -- enforcement ---------------------------------------------------------
+
+    def raise_if_errors(self) -> None:
+        if not self.ok:
+            raise StaticVerificationError(self)
+
+    # -- rendering -----------------------------------------------------------
+
+    def summary(self) -> str:
+        counts = self.counts()
+        head = f"{self.target or 'model'}: "
+        if not self.diagnostics:
+            return head + "clean"
+        parts = [f"{n} {severity}{'s' if n != 1 else ''}"
+                 for severity, n in counts.items() if n]
+        return head + ", ".join(parts)
+
+    def format_text(self, min_severity: str = "info") -> str:
+        threshold = SEVERITIES.index(min_severity)
+        lines = [d.format() for d in self.diagnostics
+                 if SEVERITIES.index(d.severity) <= threshold]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "target": self.target,
+            "ruleset": self.ruleset,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

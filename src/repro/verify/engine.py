@@ -1,0 +1,94 @@
+"""The verifier driver: build a context, run the selected rules.
+
+:func:`verify` is the single entry point; it dispatches on the target
+type (module hierarchy, electrical network, SDF graph, or a
+``Simulator``) and never executes a timestep of the model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.module import Module
+from ..eln.network import Network
+from ..sdf.graph import SdfGraph
+from .context import (
+    VerifyContext,
+    build_context,
+    network_context,
+    sdf_context,
+)
+from .diagnostics import Diagnostic, VerificationReport
+from .registry import ruleset_version, select_rules
+
+
+def _run_rules(ctx: VerifyContext, target: str,
+               select: Optional[Sequence[str]],
+               ignore: Optional[Sequence[str]]) -> VerificationReport:
+    diagnostics = list(ctx.setup_diagnostics)
+    for rule_obj in select_rules(select, ignore):
+        try:
+            found = rule_obj.run(ctx)
+        except Exception as exc:
+            diagnostics.append(Diagnostic(
+                rule="VERIFY000", severity="error", location=target,
+                message=(f"rule {rule_obj.rule_id} crashed: "
+                         f"{type(exc).__name__}: {exc}"),
+                hint="this is a verifier bug; report it with the "
+                     "model that triggered it",
+            ))
+            continue
+        for diagnostic in found:
+            # The registry owns severities: whatever the rule body
+            # stamped, the registered classification wins.
+            diagnostic.severity = rule_obj.severity
+            diagnostics.append(diagnostic)
+    return VerificationReport(diagnostics, target=target,
+                              ruleset=ruleset_version())
+
+
+def verify_model(top: Module, *,
+                 select: Optional[Sequence[str]] = None,
+                 ignore: Optional[Sequence[str]] = None,
+                 ) -> VerificationReport:
+    """Statically verify a module hierarchy."""
+    return _run_rules(build_context(top), top.full_name(),
+                      select, ignore)
+
+
+def verify_network(network: Network, *,
+                   select: Optional[Sequence[str]] = None,
+                   ignore: Optional[Sequence[str]] = None,
+                   ) -> VerificationReport:
+    """Statically verify a standalone electrical network."""
+    return _run_rules(network_context(network), network.name,
+                      select, ignore)
+
+
+def verify_sdf(graph: SdfGraph, *,
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None,
+               ) -> VerificationReport:
+    """Statically verify a standalone SDF graph."""
+    return _run_rules(sdf_context(graph), graph.name, select, ignore)
+
+
+def verify(target, *,
+           select: Optional[Sequence[str]] = None,
+           ignore: Optional[Sequence[str]] = None,
+           ) -> VerificationReport:
+    """Verify any supported target (Module, Network, SdfGraph, or a
+    Simulator — which verifies its top module)."""
+    if isinstance(target, Module):
+        return verify_model(target, select=select, ignore=ignore)
+    if isinstance(target, Network):
+        return verify_network(target, select=select, ignore=ignore)
+    if isinstance(target, SdfGraph):
+        return verify_sdf(target, select=select, ignore=ignore)
+    top = getattr(target, "top", None)
+    if isinstance(top, Module):
+        return verify_model(top, select=select, ignore=ignore)
+    raise TypeError(
+        f"cannot verify {type(target).__name__}; expected a Module, "
+        f"Network, SdfGraph, or Simulator"
+    )

@@ -1,0 +1,71 @@
+"""Structural checks on the DE module hierarchy (CORE0xx)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.errors import BindingError
+from ..core.events import Event
+from ..core.port import Port
+from .registry import rule
+
+
+@rule("CORE001", domain="core", severity="error")
+def duplicate_module_names(ctx):
+    """Two modules share the same hierarchical name."""
+    counts = Counter(m.full_name() for m in ctx.modules)
+    for name, n in counts.items():
+        if n > 1:
+            yield ctx.diag(
+                "CORE001", "error", name,
+                f"{n} modules share the hierarchical name {name!r}",
+                hint="rename one of the modules or give them distinct "
+                     "parents",
+            )
+
+
+@rule("CORE002", domain="core", severity="error")
+def unbound_de_port(ctx):
+    """A DE port is unbound or sits on a port-to-port binding cycle."""
+    for module, attr, port in ctx.de_ports:
+        try:
+            port.resolve()
+        except BindingError as exc:
+            yield ctx.diag(
+                "CORE002", "error",
+                f"{module.full_name()}.{attr}",
+                str(exc),
+                hint="bind the port to a signal (or to a parent port "
+                     "that eventually reaches one) before simulating",
+            )
+
+
+@rule("CORE003", domain="core", severity="warning")
+def process_never_runs(ctx):
+    """A process with no sensitivity and dont_initialize never executes."""
+    for process in ctx.processes:
+        if not process.static_sensitivity and process.dont_initialize:
+            yield ctx.diag(
+                "CORE003", "warning", process.name,
+                "process has an empty static sensitivity list and "
+                "dont_initialize=True, so the kernel will never run it",
+                hint="add a sensitivity entry or drop dont_initialize",
+            )
+
+
+@rule("CORE004", domain="core", severity="error")
+def invalid_sensitivity_entry(ctx):
+    """A sensitivity list entry cannot be resolved to an event."""
+    for process in ctx.processes:
+        for entry in process.static_sensitivity:
+            if isinstance(entry, (Event, Port)):
+                continue
+            if callable(getattr(entry, "default_event", None)):
+                continue
+            yield ctx.diag(
+                "CORE004", "error", process.name,
+                f"sensitivity entry {entry!r} is not an Event, Signal, "
+                f"or Port",
+                hint="sensitivity lists accept events, signals, ports, "
+                     "and clocks",
+            )

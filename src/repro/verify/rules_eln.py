@@ -1,0 +1,287 @@
+"""Electrical-network / MNA structural checks (ELN0xx).
+
+All checks are *structural*: they inspect the node graph and the MNA
+sparsity pattern, never component values, so they also apply unchanged
+to the multi-domain libraries (mechanical, thermal) whose elements
+subclass the electrical primitives.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..eln.components import (
+    Capacitor,
+    Ccvs,
+    Cccs,
+    Gyrator,
+    IdealOpAmp,
+    IdealTransformer,
+    Inductor,
+    Isource,
+    Probe,
+    Resistor,
+    Switch,
+    Vccs,
+    Vcvs,
+    Vsource,
+)
+from ..eln.network import GROUND, Network
+from .registry import rule
+
+#: Components whose branch equation pins a voltage between their first
+#: two terminals — a cycle made only of these is structurally singular.
+_VOLTAGE_DEFINED = (Vsource, Probe, Inductor, Vcvs, Ccvs)
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, x: str) -> str:
+        parent = self._parent.setdefault(x, x)
+        while parent != x:
+            self._parent[x] = parent = self._parent.setdefault(
+                parent, parent)
+            x = parent
+        return x
+
+    def union(self, a: str, b: str) -> bool:
+        """Merge; returns False when a and b were already connected
+        (i.e. the new edge closes a cycle)."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[ra] = rb
+        return True
+
+
+def _dc_edges(component) -> List[Tuple[str, str]]:
+    """Node pairs this component connects for DC-path purposes — i.e.
+    pairs between which its stamp provides a static (G-matrix) branch.
+
+    Pure dynamic or current-output elements (capacitors, current
+    sources, transconductances) contribute nothing; unknown component
+    subclasses are treated liberally as connecting all their terminals
+    so third-party elements don't raise false alarms.
+    """
+    nodes = component.nodes
+    if isinstance(component, IdealTransformer):
+        return [(nodes[0], nodes[1]), (nodes[2], nodes[3])]
+    if isinstance(component, IdealOpAmp):
+        return [(nodes[2], GROUND)]  # output is driven; inputs float
+    if isinstance(component, Gyrator):
+        return list(combinations(set(nodes), 2))
+    if isinstance(component, (Isource, Capacitor, Vccs, Cccs)):
+        return []
+    if isinstance(component,
+                  (Resistor, Inductor, Vsource, Switch, Probe,
+                   Vcvs, Ccvs)):
+        return [(nodes[0], nodes[1])]
+    return list(combinations(set(nodes), 2))
+
+
+def _islands(network: Network) -> List[set]:
+    """Connected components of the node graph (every element connects
+    all of its terminals), as sets of node names including ground."""
+    uf = _UnionFind()
+    for component in network.components:
+        for a, b in zip(component.nodes, component.nodes[1:]):
+            uf.union(a, b)
+    groups: Dict[str, set] = {}
+    for component in network.components:
+        for node in component.nodes:
+            groups.setdefault(uf.find(node), set()).add(node)
+    return list(groups.values())
+
+
+def _floating_nodes(network: Network) -> set:
+    """Nodes in islands that do not contain the ground reference."""
+    floating: set = set()
+    for island in _islands(network):
+        if GROUND not in island:
+            floating |= island
+    return floating
+
+
+@rule("ELN001", domain="eln", severity="warning")
+def dangling_node(ctx):
+    """A node is attached to only one component terminal."""
+    for location, network in ctx.networks:
+        attachments: Dict[str, List[str]] = {}
+        for component in network.components:
+            for node in component.nodes:
+                if node != GROUND:
+                    attachments.setdefault(node, []).append(
+                        component.name)
+        for node, owners in sorted(attachments.items()):
+            if len(owners) == 1:
+                yield ctx.diag(
+                    "ELN001", "warning", f"{location}.{node}",
+                    f"node {node!r} touches only one terminal "
+                    f"(component {owners[0]!r})",
+                    hint="connect a second element or tie the node "
+                         "to ground",
+                )
+
+
+@rule("ELN002", domain="eln", severity="error")
+def floating_subcircuit(ctx):
+    """A connected subcircuit has no path to the ground reference."""
+    for location, network in ctx.networks:
+        if not network.components:
+            continue  # ELN008 reports empty networks
+        for island in _islands(network):
+            if GROUND not in island:
+                nodes = sorted(island)
+                yield ctx.diag(
+                    "ELN002", "error", f"{location}.{nodes[0]}",
+                    f"subcircuit {{{', '.join(nodes)}}} has no "
+                    f"connection to ground ('0'); its node voltages "
+                    f"are undefined",
+                    hint="reference the subcircuit to node '0' "
+                         "somewhere",
+                    nodes=nodes,
+                )
+
+
+@rule("ELN003", domain="eln", severity="error")
+def voltage_source_loop(ctx):
+    """A loop of voltage-defined branches over-determines the mesh."""
+    for location, network in ctx.networks:
+        uf = _UnionFind()
+        for component in network.components:
+            if not isinstance(component, _VOLTAGE_DEFINED):
+                continue
+            a, b = component.nodes[0], component.nodes[1]
+            if not uf.union(a, b):
+                yield ctx.diag(
+                    "ELN003", "error",
+                    f"{location}.{component.name}",
+                    f"component {component.name!r} closes a loop of "
+                    f"voltage-defined branches (voltage sources, "
+                    f"inductors, probes) between nodes {a!r} and "
+                    f"{b!r}",
+                    hint="insert a series resistance or remove one "
+                         "source from the loop",
+                )
+
+
+@rule("ELN004", domain="eln", severity="error")
+def no_dc_path_to_ground(ctx):
+    """A node has no static path to ground (I-source/C cutset)."""
+    for location, network in ctx.networks:
+        if not network.components:
+            continue
+        floating = _floating_nodes(network)  # ELN002's findings
+        uf = _UnionFind()
+        uf.find(GROUND)
+        for component in network.components:
+            for a, b in _dc_edges(component):
+                uf.union(a, b)
+        ground_root = uf.find(GROUND)
+        for node in network.node_names():
+            if node in floating:
+                continue
+            if uf.find(node) != ground_root:
+                yield ctx.diag(
+                    "ELN004", "error", f"{location}.{node}",
+                    f"node {node!r} is cut off from ground by "
+                    f"capacitors/current sources only; its DC "
+                    f"operating point is undefined",
+                    hint="add a (large) resistor to ground or rework "
+                         "the current-source/capacitor cutset",
+                )
+
+
+@rule("ELN005", domain="eln", severity="error")
+def structurally_singular(ctx):
+    """The MNA sparsity pattern admits no structural pivot for a row."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import maximum_bipartite_matching
+
+    for location, network in ctx.networks:
+        try:
+            dae, index = network.assemble()
+        except Exception:
+            continue  # unbuildable networks are reported elsewhere
+        pattern = csr_matrix(
+            (dae.G != 0.0) | (dae.C != 0.0), dtype=float)
+        matching = maximum_bipartite_matching(pattern,
+                                              perm_type="row")
+        unmatched = np.flatnonzero(np.asarray(matching) == -1)
+        if not len(unmatched):
+            continue
+        names = ([f"v({n})" for n in network.node_names()]
+                 + [f"i({c})" for c in index.current_index])
+        rows = [names[k] for k in unmatched]
+        yield ctx.diag(
+            "ELN005", "error", f"{location}.{network.name}",
+            f"MNA system is structurally singular: no nonzero "
+            f"pattern entry can pivot unknown(s) {rows}",
+            hint="some unknown appears in no equation (or vice "
+                 "versa); check controlled-source wiring",
+            unknowns=rows,
+        )
+
+
+@rule("ELN006", domain="eln", severity="warning")
+def self_shorted_component(ctx):
+    """All terminals of a component land on the same node."""
+    for location, network in ctx.networks:
+        for component in network.components:
+            if len(set(component.nodes)) == 1:
+                yield ctx.diag(
+                    "ELN006", "warning",
+                    f"{location}.{component.name}",
+                    f"component {component.name!r} has all terminals "
+                    f"on node {component.nodes[0]!r}; its stamp is a "
+                    f"no-op",
+                    hint="rewire the component or delete it",
+                )
+
+
+@rule("ELN007", domain="eln", severity="error")
+def bad_current_control(ctx):
+    """A current-controlled source references an unusable branch."""
+    for location, network in ctx.networks:
+        by_name = {c.name: c for c in network.components}
+        for component in network.components:
+            if not isinstance(component, (Ccvs, Cccs)):
+                continue
+            control = by_name.get(component.control)
+            if control is None:
+                yield ctx.diag(
+                    "ELN007", "error",
+                    f"{location}.{component.name}",
+                    f"controlling component {component.control!r} "
+                    f"does not exist in network {network.name!r}",
+                    hint="name an existing component as the control",
+                )
+            elif not control.needs_current:
+                yield ctx.diag(
+                    "ELN007", "error",
+                    f"{location}.{component.name}",
+                    f"controlling component {component.control!r} "
+                    f"({type(control).__name__}) carries no "
+                    f"branch-current unknown",
+                    hint="control from a voltage source, inductor, or "
+                         "probe (insert a Probe in series to measure "
+                         "a current)",
+                )
+
+
+@rule("ELN008", domain="eln", severity="error")
+def empty_network(ctx):
+    """A network contains no components."""
+    for location, network in ctx.networks:
+        if not network.components:
+            yield ctx.diag(
+                "ELN008", "error", f"{location}.{network.name}",
+                f"network {network.name!r} is empty; MNA assembly "
+                f"will fail",
+                hint="add components or drop the network",
+            )

@@ -1,0 +1,150 @@
+"""Untimed SDF graph checks (SDF0xx)."""
+
+from __future__ import annotations
+
+from ..core.errors import SchedulingError
+from .registry import rule
+
+#: Edges whose statically predicted peak occupancy exceeds this many
+#: tokens per schedule period are reported by SDF005.
+DEFAULT_BUFFER_LIMIT = 4096
+
+
+def _repetitions(graph):
+    try:
+        return graph.repetition_vector()
+    except SchedulingError:
+        return None
+
+
+def _symbolic_run(graph, repetitions):
+    """Execute token counts for one schedule period without touching
+    the graph.  Returns (deadlocked_actor_names, peak_per_edge)."""
+    counts = {id(e): len(e.initial_tokens) for e in graph.edges}
+    peak = dict(counts)
+    remaining = dict(repetitions)
+    inputs_of = {a: [] for a in graph.actors}
+    outputs_of = {a: [] for a in graph.actors}
+    for edge in graph.edges:
+        inputs_of[edge.dst].append(edge)
+        outputs_of[edge.src].append(edge)
+    progress = True
+    while progress and any(remaining.values()):
+        progress = False
+        for actor in graph.actors:
+            while remaining[actor] > 0 and all(
+                counts[id(e)] >= e.consume_rate
+                for e in inputs_of[actor]
+            ):
+                for e in inputs_of[actor]:
+                    counts[id(e)] -= e.consume_rate
+                for e in outputs_of[actor]:
+                    counts[id(e)] += e.produce_rate
+                    peak[id(e)] = max(peak[id(e)], counts[id(e)])
+                remaining[actor] -= 1
+                progress = True
+    stuck = sorted(a.name for a, r in remaining.items() if r > 0)
+    return stuck, peak
+
+
+def _edge_label(graph_location, edge):
+    return (f"{graph_location}.{edge.src.name}.{edge.src_port}->"
+            f"{edge.dst.name}.{edge.dst_port}")
+
+
+@rule("SDF001", domain="sdf", severity="error")
+def sdf_rate_inconsistent(ctx):
+    """SDF balance equations admit only the zero solution."""
+    for location, graph in ctx.sdf_graphs:
+        try:
+            graph.repetition_vector()
+        except SchedulingError as exc:
+            yield ctx.diag(
+                "SDF001", "error", location,
+                str(exc),
+                hint="fix the produce/consume rates so every cycle "
+                     "of the graph balances",
+            )
+
+
+@rule("SDF002", domain="sdf", severity="error")
+def sdf_deadlock(ctx):
+    """An SDF graph deadlocks for lack of initial tokens."""
+    for location, graph in ctx.sdf_graphs:
+        repetitions = _repetitions(graph)
+        if repetitions is None:
+            continue  # SDF001 reported the graph already
+        stuck, _peak = _symbolic_run(graph, repetitions)
+        if stuck:
+            cycles = graph.zero_delay_cycles()
+            yield ctx.diag(
+                "SDF002", "error", f"{location}.{stuck[0]}",
+                f"graph deadlocks; actors never fired to completion: "
+                f"{stuck}"
+                + (f"; zero-delay cycles: {cycles}" if cycles else ""),
+                hint="place initial tokens on each feedback cycle",
+                stuck=stuck,
+                cycles=cycles,
+            )
+
+
+@rule("SDF003", domain="sdf", severity="error")
+def sdf_undriven_input(ctx):
+    """A declared SDF input port has no edge feeding it."""
+    for location, graph in ctx.sdf_graphs:
+        driven = {(id(e.dst), e.dst_port) for e in graph.edges}
+        for actor in graph.actors:
+            for port in actor.input_rates:
+                if (id(actor), port) not in driven:
+                    yield ctx.diag(
+                        "SDF003", "error",
+                        f"{location}.{actor.name}.{port}",
+                        f"input port {port!r} of actor "
+                        f"{actor.name!r} is not driven by any edge",
+                        hint="connect an edge to the port or remove "
+                             "it from input_rates",
+                    )
+
+
+@rule("SDF004", domain="sdf", severity="warning")
+def sdf_unconnected_output(ctx):
+    """A declared SDF output port feeds no edge."""
+    for location, graph in ctx.sdf_graphs:
+        used = {(id(e.src), e.src_port) for e in graph.edges}
+        for actor in graph.actors:
+            for port in actor.output_rates:
+                if (id(actor), port) not in used:
+                    yield ctx.diag(
+                        "SDF004", "warning",
+                        f"{location}.{actor.name}.{port}",
+                        f"output port {port!r} of actor "
+                        f"{actor.name!r} feeds no edge; its tokens "
+                        f"are discarded",
+                        hint="connect the port or remove it from "
+                             "output_rates",
+                    )
+
+
+@rule("SDF005", domain="sdf", severity="warning")
+def sdf_buffer_bound(ctx):
+    """An edge's predicted peak occupancy exceeds the buffer limit."""
+    for location, graph in ctx.sdf_graphs:
+        repetitions = _repetitions(graph)
+        if repetitions is None:
+            continue
+        stuck, peak = _symbolic_run(graph, repetitions)
+        if stuck:
+            continue  # SDF002 covers deadlocked graphs
+        for edge in graph.edges:
+            bound = peak[id(edge)]
+            if bound > DEFAULT_BUFFER_LIMIT:
+                yield ctx.diag(
+                    "SDF005", "warning",
+                    _edge_label(location, edge),
+                    f"predicted peak occupancy of {bound} tokens per "
+                    f"schedule period exceeds the "
+                    f"{DEFAULT_BUFFER_LIMIT}-token limit",
+                    hint="lower the rate mismatch or split the "
+                         "transfer across more firings",
+                    bound=bound,
+                )

@@ -184,7 +184,7 @@ def test_cache_hit_miss_across_invocations(tmp_path):
                            cache_dir=tmp_path / "cache")
     results_1 = first.run()
     assert first.stats == {"total": 6, "cached": 0, "executed": 6,
-                           "retried": 0, "failed": 0}
+                           "retried": 0, "static": 0, "failed": 0}
 
     second = CampaignRunner(adc_campaign(6), workers=1,
                             cache_dir=tmp_path / "cache")
