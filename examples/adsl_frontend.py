@@ -8,7 +8,14 @@ meter — then prints the measured receive SNDR and the frequency-domain
 views of the starred analog blocks.
 
 Run:  python examples/adsl_frontend.py
+
+With ``--observe DIR`` the run records unified telemetry
+(see :mod:`repro.observe`) and exports ``trace.json`` (open it at
+https://ui.perfetto.dev), ``trace.jsonl`` and ``metrics.json`` under
+``DIR``; ``--duration MS`` shortens the simulated time (CI runs 2 ms).
 """
+
+import argparse
 
 import numpy as np
 
@@ -25,13 +32,31 @@ from repro.core import SimTime, Simulator
 from repro.ct import magnitude_db
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--observe", metavar="DIR", default=None,
+                        help="record telemetry and export trace.json / "
+                        "trace.jsonl / metrics.json under DIR")
+    parser.add_argument("--duration", type=float, default=25.0,
+                        metavar="MS", help="simulated time in "
+                        "milliseconds (default: 25)")
+    args = parser.parse_args(argv)
+
     config = AdslConfig()
     system = AdslSystem(config)
-    simulator = Simulator(system)
+    simulator = Simulator(system,
+                          observe=bool(args.observe))
 
-    print("running 25 ms of the ADSL SLIC/codec prototype ...")
-    simulator.run(SimTime(25, "ms"))
+    print(f"running {args.duration:g} ms of the ADSL SLIC/codec "
+          "prototype ...")
+    simulator.run(SimTime(int(args.duration * 1000), "us"))
+
+    if args.observe:
+        paths = simulator.export_telemetry(args.observe)
+        print(f"telemetry exported: {paths['chrome']} "
+              f"(load in https://ui.perfetto.dev)")
+        print(simulator.telemetry.summary(
+            extra=simulator.metrics_snapshot()))
 
     print(f"\n-- time domain "
           f"({len(system.tap_sub.samples)} line samples) --")

@@ -18,10 +18,19 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+#: Record schema version.  v1: the original field set.  v2 (additive):
+#: ``schema`` itself plus ``metrics_telemetry`` — the engine-health
+#: snapshot harvested via ``Simulator.metrics_snapshot`` after each
+#: build-style run.  v1 records (no ``schema`` key) still load; new
+#: fields default to v1 semantics (``metrics_telemetry=None``).
+SCHEMA_VERSION = 2
+
 #: Record fields that legitimately differ between executions of the
-#: same campaign point (timing, cache provenance) and are therefore
-#: excluded from determinism fingerprints.
-VOLATILE_FIELDS = ("wall_time", "cached")
+#: same campaign point (timing, cache provenance, engine telemetry —
+#: which embeds wall-clock seconds — and the schema tag itself, since
+#: cached v1 records may mix with freshly executed v2 ones) and are
+#: therefore excluded from determinism fingerprints.
+VOLATILE_FIELDS = ("wall_time", "cached", "metrics_telemetry", "schema")
 
 
 def canonical_json(value: Any) -> str:
@@ -59,9 +68,16 @@ class RunRecord:
     wall_time: float = 0.0
     attempts: int = 1
     cached: bool = False
+    #: v2 (additive): flat engine-health snapshot from
+    #: ``Simulator.metrics_snapshot`` (solver steps, tier escalations,
+    #: TDF activations, per-MoC wall time); None for run=-style
+    #: campaigns and records loaded from v1 files.
+    metrics_telemetry: Optional[Dict[str, Any]] = None
+    schema: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema": self.schema,
             "index": self.index,
             "params": self.params,
             "seed": self.seed,
@@ -72,6 +88,7 @@ class RunRecord:
             "wall_time": self.wall_time,
             "attempts": self.attempts,
             "cached": self.cached,
+            "metrics_telemetry": self.metrics_telemetry,
         }
 
     def deterministic_dict(self) -> Dict[str, Any]:
@@ -94,6 +111,10 @@ class RunRecord:
             wall_time=float(data.get("wall_time", 0.0)),
             attempts=int(data.get("attempts", 1)),
             cached=bool(data.get("cached", False)),
+            metrics_telemetry=(
+                dict(data["metrics_telemetry"])
+                if data.get("metrics_telemetry") is not None else None),
+            schema=int(data.get("schema", 1)),
         )
 
 
@@ -142,6 +163,16 @@ class CampaignResults:
         return np.array([r.metrics[name] for r in self.records
                          if r.status == "ok" and name in r.metrics],
                         dtype=float)
+
+    def telemetry_metric(self, name: str) -> np.ndarray:
+        """Array of engine-telemetry metric ``name`` (e.g.
+        ``"solver.steps"``) over successful runs carrying a v2
+        ``metrics_telemetry`` snapshot."""
+        return np.array(
+            [r.metrics_telemetry[name] for r in self.records
+             if r.status == "ok" and r.metrics_telemetry is not None
+             and name in r.metrics_telemetry],
+            dtype=float)
 
     def mean(self, name: str) -> float:
         return float(np.mean(self.metric(name)))

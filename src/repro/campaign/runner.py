@@ -125,6 +125,7 @@ def _execute_point(target: RunTarget, params: Dict[str, Any],
     failure_kind = None
     diagnostic = None
     checkpoint = None
+    telemetry_snapshot = None
     try:
         with _deadline(timeout):
             if run is not None:
@@ -136,6 +137,9 @@ def _execute_point(target: RunTarget, params: Dict[str, Any],
                                   checkpoint_every=checkpoint_every)
                 else:
                     simulator.run(duration)
+                snapshot = getattr(simulator, "metrics_snapshot", None)
+                if snapshot is not None:
+                    telemetry_snapshot = snapshot()
                 top = simulator.top
                 if metrics_fn is not None:
                     metrics = metrics_fn(top)
@@ -170,6 +174,7 @@ def _execute_point(target: RunTarget, params: Dict[str, Any],
         "failure_kind": failure_kind,
         "diagnostic": diagnostic,
         "checkpoint": checkpoint,
+        "metrics_telemetry": telemetry_snapshot,
         "wall_time": time.perf_counter() - start,
     }
 
@@ -362,6 +367,7 @@ class CampaignRunner:
                 record.error = hit.error
                 record.attempts = hit.attempts
                 record.wall_time = hit.wall_time
+                record.metrics_telemetry = hit.metrics_telemetry
                 record.cached = True
                 cached += 1
                 if self.progress is not None:
@@ -390,6 +396,8 @@ class CampaignRunner:
                 record.metrics = outcome["metrics"]
                 record.error = outcome["error"]
                 record.failure_kind = outcome.get("failure_kind")
+                record.metrics_telemetry = outcome.get(
+                    "metrics_telemetry")
                 record.wall_time += outcome["wall_time"]
                 record.attempts = outcome["attempt"]
                 if (outcome["status"] == "failed"

@@ -20,6 +20,7 @@ processes and events, exactly as the paper requires of SystemC-AMS.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Callable, Optional
 
 from .errors import SimulationError
@@ -68,7 +69,28 @@ class Kernel:
         #: Block-executing TDF clusters read this to clamp how many
         #: periods they may batch without overrunning the run boundary.
         self.run_limit_ticks: Optional[int] = None
+        #: Telemetry hub (see :mod:`repro.observe`); ``None`` keeps the
+        #: scheduler loop on its unguarded path.
+        self.telemetry = None
+        self._h_events_per_delta = None
+        self._fine_tracer = None
         Kernel._current = self
+
+    def install_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.observe.Telemetry` hub.
+
+        Pre-binds the per-delta dispatch histogram so the scheduler
+        loop never resolves metric names; ``"fine"`` detail additionally
+        records one ``kernel.delta`` span per delta cycle.
+        """
+        self.telemetry = telemetry
+        if telemetry is None:
+            self._h_events_per_delta = None
+            self._fine_tracer = None
+            return
+        self._h_events_per_delta = telemetry.metrics.histogram(
+            "kernel.events_per_delta")
+        self._fine_tracer = telemetry.tracer if telemetry.fine else None
 
     # -- global context -----------------------------------------------------
 
@@ -215,13 +237,19 @@ class Kernel:
 
     def _settle_current_time(self) -> None:
         """Run delta cycles until the current time has no more activity."""
+        histogram = self._h_events_per_delta
+        fine = self._fine_tracer
         while True:
             if not (self._runnable or self._update_queue or self._delta_events):
                 return
+            if fine is not None:
+                delta_start = _time.perf_counter()
+            dispatched = 0
             # Evaluation phase.
             while self._runnable:
                 batch, self._runnable = self._runnable, []
                 self._queued_ids.clear()
+                dispatched += len(batch)
                 for process in batch:
                     self.activation_count += 1
                     process._run(self)
@@ -236,3 +264,12 @@ class Kernel:
             for event in deltas:
                 event._fire(self)
             self.delta_count += 1
+            if histogram is not None:
+                histogram.observe(dispatched)
+                if fine is not None:
+                    fine.complete(
+                        "kernel.delta", delta_start,
+                        _time.perf_counter() - delta_start,
+                        track="kernel",
+                        attrs={"t_ticks": self.now_ticks,
+                               "dispatched": dispatched})

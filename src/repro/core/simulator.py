@@ -8,6 +8,8 @@ the AMS elaboration hooks (cluster building, solver setup — see
 
 from __future__ import annotations
 
+import contextlib
+import time as _time
 from typing import Optional
 
 from .errors import ElaborationError, SimulationError
@@ -22,11 +24,23 @@ class Simulator:
 
     def __init__(self, top: Module, trace: Optional[Trace] = None, *,
                  tdf_block: bool = True, tdf_batch: int = 16,
-                 tdf_compact_every: int = 64, verify: str = "off"):
+                 tdf_compact_every: int = 64, verify: str = "off",
+                 observe=None):
         self.top = top
         self.trace = trace
         self.kernel = Kernel()
         self._elaborated = False
+        #: Telemetry hub (:mod:`repro.observe`): ``observe`` accepts
+        #: ``None``/``False`` (off), ``True``/``"on"`` (spans+metrics),
+        #: ``"metrics"`` (registry only), ``"fine"`` (per-delta /
+        #: per-advance spans) or a ready :class:`repro.observe.Telemetry`.
+        if observe is None or observe is False:
+            self.telemetry = None
+        else:
+            from ..observe import Telemetry
+
+            self.telemetry = Telemetry.coerce(observe)
+            self.kernel.install_telemetry(self.telemetry)
         if verify not in ("off", "warn", "error"):
             raise ValueError(
                 f"verify must be 'off', 'warn', or 'error'; got "
@@ -72,9 +86,23 @@ class Simulator:
         """
         self._finalizers.append(callback)
 
+    def _phase_span(self, name: str):
+        """Elaboration-phase span, or a no-op when telemetry is off."""
+        if self.telemetry is None:
+            return contextlib.nullcontext()
+        return self.telemetry.tracer.span(name, track="elaborate")
+
     def elaborate(self, verify: Optional[str] = None) -> None:
         if self._elaborated:
             return
+        if self.telemetry is None:
+            self._elaborate_inner(verify)
+            return
+        with self.telemetry.ambient():
+            with self._phase_span("elaborate"):
+                self._elaborate_inner(verify)
+
+    def _elaborate_inner(self, verify: Optional[str] = None) -> None:
         mode = self.verify_mode if verify is None else verify
         if mode not in ("off", "warn", "error"):
             raise ValueError(
@@ -86,7 +114,8 @@ class Simulator:
             # kernel or solver setup.
             from ..verify import verify_model
 
-            report = verify_model(self.top)
+            with self._phase_span("elaborate.verify"):
+                report = verify_model(self.top)
             self.verification_report = report
             if mode == "error":
                 report.raise_if_errors()
@@ -107,26 +136,31 @@ class Simulator:
             raise ElaborationError("duplicate module names in hierarchy")
         # AMS hook: modules that participate in dataflow clusters or own
         # equation systems expose ``ams_elaborate(simulator)``.
-        for module in modules:
-            hook = getattr(module, "ams_elaborate", None)
-            if callable(hook):
-                hook(self)
-        for module in modules:
-            module.check_bindings()
+        with self._phase_span("elaborate.hierarchy"):
+            for module in modules:
+                hook = getattr(module, "ams_elaborate", None)
+                if callable(hook):
+                    hook(self)
+            for module in modules:
+                module.check_bindings()
         from .module import resolve_sensitivity
 
-        for module in modules:
-            for process in module._processes:
-                resolve_sensitivity(process)
-                self.kernel.register_process(process)
-        for callback in self._finalizers:
-            callback(self)
+        with self._phase_span("elaborate.processes"):
+            for module in modules:
+                for process in module._processes:
+                    resolve_sensitivity(process)
+                    self.kernel.register_process(process)
+        # Cluster building + solver setup (registered by the AMS layers).
+        with self._phase_span("elaborate.finalize"):
+            for callback in self._finalizers:
+                callback(self)
         if self.trace is not None:
             self.trace.attach(self.kernel)
-        for module in modules:
-            module.end_of_elaboration()
-        for module in modules:
-            module.start_of_simulation()
+        with self._phase_span("elaborate.init_hooks"):
+            for module in modules:
+                module.end_of_elaboration()
+            for module in modules:
+                module.start_of_simulation()
         self._elaborated = True
 
     def run(self, duration: Optional[SimTime] = None, *,
@@ -152,6 +186,35 @@ class Simulator:
                 "to explicitly resume the stopped simulation"
             )
         self.elaborate()
+        telemetry = self.telemetry
+        if telemetry is None:
+            return self._run_inner(duration, checkpoint_every,
+                                   checkpoint_manager)
+        # Span the whole run segment; the ambient hub lets free
+        # functions (homotopy ladders) report without a simulator ref.
+        # ``moc.de.seconds`` is the run wall time minus what the TDF
+        # clusters (which include embedded CT/ELN solves) accounted for.
+        metrics = telemetry.metrics
+        tdf_counter = metrics.counter("moc.tdf.seconds")
+        tdf_before = tdf_counter.value
+        attrs = {} if duration is None \
+            else {"duration_ticks": duration.ticks}
+        with telemetry.ambient(), \
+                telemetry.tracer.span("simulate.run", track="kernel",
+                                      **attrs):
+            start = _time.perf_counter()
+            try:
+                return self._run_inner(duration, checkpoint_every,
+                                       checkpoint_manager)
+            finally:
+                elapsed = _time.perf_counter() - start
+                de_seconds = elapsed - (tdf_counter.value - tdf_before)
+                metrics.counter("moc.de.seconds").inc(
+                    max(de_seconds, 0.0))
+                metrics.counter("simulate.run.seconds").inc(elapsed)
+
+    def _run_inner(self, duration, checkpoint_every,
+                   checkpoint_manager) -> SimTime:
         if checkpoint_every is None:
             return self.kernel.run(duration)
         if duration is None:
@@ -253,6 +316,101 @@ class Simulator:
             }
             report["total_seconds"] += total
         return report
+
+    # -- telemetry (see repro.observe) ---------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Flat ``{metric_key: number}`` harvest of the engine's state.
+
+        Works with or without an installed telemetry hub: kernel
+        counters, TDF cluster/module activation counts, embedded-solver
+        step statistics, resilience tier counts (zero-defaulted so the
+        keys are always present) and health-guard totals are read from
+        the live objects; live registry metrics (per-MoC wall time,
+        histograms as ``.count/.sum/.p95``) are merged in when
+        telemetry is enabled.  Campaign runs store this mapping on each
+        :class:`~repro.campaign.records.RunRecord`.
+        """
+        snap: dict = {
+            "kernel.delta_cycles": float(self.kernel.delta_count),
+            "kernel.activations": float(self.kernel.activation_count),
+            "kernel.now_ticks": float(self.kernel.now_ticks),
+        }
+        registry = getattr(self, "_tdf_registry", None)
+        clusters = registry.clusters if registry is not None else []
+        total_periods = 0
+        total_activations = 0
+        for cluster in clusters:
+            total_periods += cluster.period_count
+            for module in cluster.modules:
+                total_activations += module.activation_count
+            profile = cluster._profile
+            if profile:
+                # enable_profiling() shim: fold its per-module wall
+                # clock into the unified dump.
+                for name, seconds in profile["module_seconds"].items():
+                    snap[f"tdf.module_seconds[module={name}]"] = \
+                        float(seconds)
+        snap["tdf.periods"] = float(total_periods)
+        snap["tdf.activations"] = float(total_activations)
+
+        from ..sync.ct_modules import CtTdfModule
+
+        tiers = {"primary": 0.0, "halved": 0.0, "bdf": 0.0}
+        steps = rejected = iterations = 0.0
+        checked = violations = skipped = 0.0
+        for module in self.top.walk():
+            if not isinstance(module, CtTdfModule):
+                continue
+            solver = module._solver
+            if solver is None:
+                continue
+            name = module.full_name()
+            skipped += module.skipped_activations
+            primary = getattr(solver, "primary", solver)
+            count = getattr(primary, "step_count", None)
+            if count is not None:
+                steps += count
+                snap[f"solver.steps[module={name}]"] = float(count)
+            count = getattr(primary, "rejected_count", None)
+            if count is not None:
+                rejected += count
+                snap[f"solver.rejected[module={name}]"] = float(count)
+            count = getattr(primary, "segment_count", None)
+            if count is not None:
+                snap[f"solver.segments[module={name}]"] = float(count)
+            for stepper_name in ("_be", "_trap"):
+                stepper = getattr(primary, stepper_name, None)
+                iterations += getattr(stepper, "newton_iterations", 0)
+            for tier, count in getattr(solver, "tier_counts",
+                                       {}).items():
+                tiers[tier] = tiers.get(tier, 0.0) + count
+            monitor = getattr(solver, "monitor", None)
+            if monitor is not None:
+                checked += monitor.checked_steps
+                violations += monitor.violations
+        snap["solver.steps"] = steps
+        snap["solver.rejected"] = rejected
+        snap["solver.newton_iterations"] = iterations
+        snap["ct.skipped_activations"] = skipped
+        for tier, count in tiers.items():
+            snap[f"resilience.tier.{tier}"] = float(count)
+        snap["health.checked_steps"] = checked
+        snap["health.violations"] = violations
+        if self.telemetry is not None:
+            snap.update(self.telemetry.metrics.scalars())
+        return snap
+
+    def export_telemetry(self, directory) -> dict:
+        """Write ``trace.json`` / ``trace.jsonl`` / ``metrics.json``
+        under ``directory`` (requires ``observe=`` at construction);
+        the metrics dump includes :meth:`metrics_snapshot`."""
+        if self.telemetry is None:
+            raise SimulationError(
+                "export_telemetry requires Simulator(observe=...)"
+            )
+        return self.telemetry.export(
+            directory, extra_metrics=self.metrics_snapshot())
 
     @property
     def now(self) -> SimTime:

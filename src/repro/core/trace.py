@@ -59,6 +59,7 @@ class Trace:
     def __init__(self):
         self.channels: dict[str, TraceChannel] = {}
         self._watched: list[tuple[Signal, TraceChannel]] = []
+        self._watched_signals: dict[str, int] = {}
 
     def channel(self, name: str) -> TraceChannel:
         if name not in self.channels:
@@ -71,8 +72,24 @@ class Trace:
         The caller must invoke :meth:`attach` (done by the Simulator) so
         the recorder sees the kernel; value changes are captured via a
         per-signal method process installed at elaboration.
+
+        Each channel name records exactly one signal: watching a
+        *different* signal under an already-watched name raises
+        ``ValueError`` (two signals silently interleaving into one
+        channel made the merged waveform look like glitches); watching
+        the same signal again returns the existing channel.
         """
-        chan = self.channel(name or signal.name)
+        channel_name = name or signal.name
+        owner = self._watched_signals.get(channel_name)
+        if owner is not None:
+            if owner == id(signal):
+                return self.channels[channel_name]
+            raise ValueError(
+                f"channel {channel_name!r} already watches a different "
+                "signal; pass an explicit name= to disambiguate"
+            )
+        chan = self.channel(channel_name)
+        self._watched_signals[channel_name] = id(signal)
         self._watched.append((signal, chan))
         return chan
 

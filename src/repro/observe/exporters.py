@@ -1,0 +1,261 @@
+"""Telemetry exporters: Chrome trace JSON, structured JSONL, summaries.
+
+Three consumers, three formats:
+
+* :func:`write_chrome_trace` — the Trace Event Format understood by
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: closed
+  spans become complete ``"X"`` events, instants become ``"i"``, and
+  each tracer track becomes one named thread.  Spans still open at
+  export time are emitted as unmatched ``"B"`` events so the validator
+  can flag them.
+* :func:`write_trace_jsonl` / :func:`write_metrics_json` — structured
+  records for ad-hoc scripting (one JSON object per line / one
+  registry dump).
+* :func:`summarize` — the terminal view printed by
+  ``python -m repro.observe summary``.
+
+:func:`validate_chrome_trace` is the structural checker behind
+``python -m repro.observe check`` and the test-suite acceptance
+criteria: every ``"B"`` needs a matching ``"E"`` on the same track,
+``"X"`` events need non-negative durations and per-track monotonic
+timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TextIO
+
+from .metrics import MetricsRegistry, find_non_finite
+from .tracer import INSTANT, SPAN, Tracer
+
+#: trace-event timestamps are microseconds.
+_US = 1e6
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for one tracer (sorted by timestamp)."""
+    track_ids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+
+    def tid(track: str) -> int:
+        if track not in track_ids:
+            track_ids[track] = len(track_ids) + 1
+        return track_ids[track]
+
+    body: List[Dict[str, Any]] = []
+    for kind, name, track, start, duration, attrs in tracer.events:
+        event: Dict[str, Any] = {
+            "name": name,
+            "pid": 1,
+            "tid": tid(track),
+            "ts": start * _US,
+        }
+        if attrs:
+            event["args"] = attrs
+        if kind == SPAN:
+            event["ph"] = "X"
+            event["dur"] = max(duration, 0.0) * _US
+        elif kind == INSTANT:
+            event["ph"] = "i"
+            event["s"] = "t"
+        body.append(event)
+    # Spans never closed: emit begin-only events so the structural
+    # validator (and Perfetto's own UI) makes the bug visible.
+    for span in tracer._open_spans.values():
+        body.append({
+            "name": span.name, "ph": "B", "pid": 1,
+            "tid": tid(span.track),
+            "ts": (span.start - tracer.epoch) * _US,
+        })
+    body.sort(key=lambda e: (e["tid"], e["ts"]))
+    for track, track_id in track_ids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 1,
+            "tid": track_id, "args": {"name": track},
+        })
+    events.extend(body)
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, stream: TextIO) -> None:
+    json.dump({
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.observe",
+                      "dropped_events": tracer.dropped},
+    }, stream)
+    stream.write("\n")
+
+
+def write_trace_jsonl(tracer: Tracer, stream: TextIO) -> None:
+    """One JSON object per event: ``{"kind", "name", "track", "ts",
+    "dur", "attrs"}`` with times in seconds since the tracer epoch."""
+    for kind, name, track, start, duration, attrs in tracer.events:
+        record = {"kind": kind, "name": name, "track": track,
+                  "ts": start, "dur": duration}
+        if attrs:
+            record["attrs"] = attrs
+        stream.write(json.dumps(record, default=str) + "\n")
+
+
+def write_metrics_json(registry: MetricsRegistry, stream: TextIO,
+                       extra: Optional[Dict[str, float]] = None) -> None:
+    """Registry dump plus an optional flat ``extra`` scalar section
+    (the simulator's harvested snapshot)."""
+    dump = registry.to_dict()
+    if extra:
+        scalars = dump.setdefault("gauges", {})
+        for key, value in extra.items():
+            scalars.setdefault(key, value)
+    json.dump(dump, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+# -- validation (CI artifact check + tests) ---------------------------------
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Structural problems in a Chrome trace payload (empty = valid).
+
+    Checks: top-level shape, matching ``B``/``E`` pairs per track,
+    complete ``X`` events with ``dur >= 0``, and monotonically
+    non-decreasing ``ts`` per track.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict) or \
+            not isinstance(payload.get("traceEvents"), list):
+        return ["payload is not a {'traceEvents': [...]} object"]
+    open_depth: Dict[Any, List[str]] = {}
+    last_ts: Dict[Any, float] = {}
+    for position, event in enumerate(payload["traceEvents"]):
+        if not isinstance(event, dict):
+            problems.append(f"event #{position} is not an object")
+            continue
+        phase = event.get("ph")
+        track = (event.get("pid"), event.get("tid"))
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event #{position} has no numeric ts")
+            continue
+        if ts < last_ts.get(track, float("-inf")):
+            problems.append(
+                f"event #{position} ({event.get('name')!r}): ts moves "
+                f"backwards on track {track}"
+            )
+        last_ts[track] = ts
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(
+                    f"event #{position} ({event.get('name')!r}): X "
+                    "event without non-negative dur"
+                )
+        elif phase == "B":
+            open_depth.setdefault(track, []).append(
+                str(event.get("name")))
+        elif phase == "E":
+            stack = open_depth.get(track)
+            if not stack:
+                problems.append(
+                    f"event #{position}: E without matching B on "
+                    f"track {track}"
+                )
+            else:
+                stack.pop()
+        elif phase == "i":
+            pass
+        else:
+            problems.append(
+                f"event #{position}: unknown phase {phase!r}"
+            )
+    for track, stack in open_depth.items():
+        for name in stack:
+            problems.append(
+                f"unclosed span {name!r} on track {track}"
+            )
+    return problems
+
+
+def validate_metrics(metrics_dump: Any) -> List[str]:
+    """Problems in a metrics dump: non-mapping payload or any
+    NaN/Inf value anywhere in it."""
+    if not isinstance(metrics_dump, dict):
+        return ["metrics payload is not an object"]
+    return [f"non-finite metric value at {path}"
+            for path in find_non_finite(metrics_dump)]
+
+
+# -- terminal summary -------------------------------------------------------
+
+
+def summarize(tracer: Optional[Tracer],
+              registry: Optional[MetricsRegistry],
+              extra: Optional[Dict[str, float]] = None,
+              top: int = 12) -> str:
+    """Human-readable digest of one run's telemetry."""
+    lines: List[str] = []
+    if tracer is not None and tracer.events:
+        totals: Dict[str, List[float]] = {}
+        for kind, name, _track, _ts, duration, _attrs in tracer.events:
+            if kind == SPAN:
+                bucket = totals.setdefault(name, [0.0, 0.0])
+                bucket[0] += 1
+                bucket[1] += duration
+        lines.append("spans (by total wall time):")
+        lines.append(f"  {'name':<32} {'count':>9} {'total_ms':>10} "
+                     f"{'mean_us':>9}")
+        ranked = sorted(totals.items(), key=lambda kv: -kv[1][1])
+        for name, (count, total) in ranked[:top]:
+            lines.append(
+                f"  {name:<32} {int(count):>9} {total * 1e3:>10.2f} "
+                f"{total / count * 1e6:>9.1f}"
+            )
+        unclosed = tracer.open_spans()
+        if unclosed:
+            lines.append(f"  UNCLOSED spans: {unclosed}")
+        if tracer.dropped:
+            lines.append(f"  dropped events: {tracer.dropped}")
+    summary_from_dump = summarize_metrics_dump(
+        registry.to_dict() if registry is not None else {}, extra)
+    if summary_from_dump:
+        if lines:
+            lines.append("")
+        lines.append(summary_from_dump)
+    return "\n".join(lines) if lines else "no telemetry recorded"
+
+
+def summarize_metrics_dump(dump: Dict[str, Any],
+                           extra: Optional[Dict[str, float]] = None
+                           ) -> str:
+    lines: List[str] = []
+    counters = dict(dump.get("counters") or {})
+    gauges = dict(dump.get("gauges") or {})
+    if extra:
+        for key, value in extra.items():
+            gauges.setdefault(key, value)
+    histograms = dump.get("histograms") or {}
+    if counters:
+        lines.append("counters:")
+        for key in sorted(counters):
+            lines.append(f"  {key:<48} {counters[key]:>14g}")
+    if gauges:
+        lines.append("gauges:")
+        for key in sorted(gauges):
+            lines.append(f"  {key:<48} {gauges[key]:>14g}")
+    if histograms:
+        lines.append("histograms:")
+        lines.append(f"  {'name':<40} {'count':>8} {'mean':>10} "
+                     f"{'p95':>10} {'max':>10}")
+        for key in sorted(histograms):
+            h = histograms[key]
+            maximum = h.get("max")
+            lines.append(
+                f"  {key:<40} {h.get('count', 0):>8} "
+                f"{h.get('mean', 0.0):>10.3g} "
+                f"{h.get('p95', 0.0):>10.3g} "
+                f"{maximum if maximum is not None else 0:>10.3g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""Span-based tracing: what the kernel actually did, on a timeline.
+
+A :class:`Tracer` records *spans* (named intervals with attributes) and
+*instants* (point events) onto logical **tracks** — one per kernel,
+cluster, or solver — so a heterogeneous simulation (DE delta cycles,
+TDF cluster activations, CT/ELN solver steps, resilience escalations)
+becomes one navigable timeline.  Everything is recorded in memory as
+plain tuples; the exporters (:mod:`repro.observe.exporters`) turn the
+buffer into Chrome trace-event JSON (loadable in Perfetto /
+``chrome://tracing``) or structured JSONL after the run.
+
+Cost model: a closed span is one ``perf_counter()`` pair plus one list
+append.  When the tracer is disabled (``Telemetry(spans=False)``) the
+``span()`` context manager degrades to a shared no-op object, and the
+instrumented layers skip their guards entirely when no telemetry hub is
+installed at all — the disabled path must stay within noise of the
+uninstrumented engine (see ``tests/test_observe.py``).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Hard cap on buffered events; beyond it new events are counted in
+#: ``Tracer.dropped`` instead of recorded, so a pathological run cannot
+#: exhaust memory.  4M spans is ~hours of fully traced simulation.
+DEFAULT_MAX_EVENTS = 4_000_000
+
+#: Event kinds stored in ``Tracer.events``.
+SPAN = "span"
+INSTANT = "instant"
+
+
+class SpanHandle:
+    """An open span; close it via ``with`` or :meth:`close`.
+
+    Attributes set through :meth:`set` are merged into the span's
+    ``args`` on close — use it for results only known at the end
+    (e.g. how many periods a cluster wake actually executed).
+    """
+
+    __slots__ = ("tracer", "name", "track", "start", "attrs", "_open")
+
+    def __init__(self, tracer: "Tracer", name: str, track: str,
+                 attrs: Optional[Dict[str, Any]]):
+        self.tracer = tracer
+        self.name = name
+        self.track = track
+        self.attrs = attrs
+        self.start = _time.perf_counter()
+        self._open = True
+        tracer._open_spans[id(self)] = self
+
+    def set(self, **attrs: Any) -> "SpanHandle":
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def close(self) -> None:
+        if not self._open:
+            return
+        self._open = False
+        tracer = self.tracer
+        tracer._open_spans.pop(id(self), None)
+        tracer.complete(self.name, self.start,
+                        _time.perf_counter() - self.start,
+                        track=self.track, attrs=self.attrs)
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.set(error=exc_type.__name__)
+        self.close()
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned when span recording is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records spans and instants relative to a wall-clock epoch.
+
+    Events are ``(kind, name, track, start_s, dur_s, attrs)`` tuples
+    with times in seconds since :attr:`epoch`; recording is
+    append-only and single-threaded (the simulation kernel is
+    single-threaded by construction), so per-track ordering falls out
+    of the recording order once events are sorted by start time.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 max_events: int = DEFAULT_MAX_EVENTS):
+        self.enabled = enabled
+        self.max_events = int(max_events)
+        self.epoch = _time.perf_counter()
+        self.events: List[Tuple[str, str, str, float, float,
+                                Optional[Dict[str, Any]]]] = []
+        self.dropped = 0
+        self._open_spans: Dict[int, SpanHandle] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, track: str = "main", **attrs: Any):
+        """Open a span; use as a context manager (or close() manually)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return SpanHandle(self, name, track, attrs or None)
+
+    def complete(self, name: str, start: float, duration: float,
+                 track: str = "main",
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Record an already-measured interval (the hot-path form:
+        callers time with ``perf_counter()`` themselves and avoid the
+        context-manager machinery)."""
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append((SPAN, name, track, start - self.epoch,
+                            duration, attrs))
+
+    def instant(self, name: str, track: str = "main",
+                **attrs: Any) -> None:
+        """Record a point event (e.g. a solver tier escalation)."""
+        if not self.enabled:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append((INSTANT, name, track,
+                            _time.perf_counter() - self.epoch, 0.0,
+                            attrs or None))
+
+    # -- inspection ---------------------------------------------------------
+
+    def open_spans(self) -> List[str]:
+        """Names of spans opened but never closed (a bug in the
+        instrumented code — the exporters surface these)."""
+        return [span.name for span in self._open_spans.values()]
+
+    def tracks(self) -> List[str]:
+        seen: List[str] = []
+        for _kind, _name, track, _ts, _dur, _attrs in self.events:
+            if track not in seen:
+                seen.append(track)
+        return seen
+
+    def spans_named(self, name: str) -> List[Tuple[float, float,
+                                                   Optional[dict]]]:
+        """``(start_s, dur_s, attrs)`` of every closed span ``name``."""
+        return [(ts, dur, attrs)
+                for kind, n, _track, ts, dur, attrs in self.events
+                if kind == SPAN and n == name]
+
+    def __len__(self) -> int:
+        return len(self.events)

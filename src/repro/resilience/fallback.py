@@ -64,6 +64,11 @@ class ResilientTransientSolver(TransientSolver):
         guarded, not just interval endpoints.
     """
 
+    #: Telemetry hub (:mod:`repro.observe`), installed by the embedding
+    #: CtTdfModule; ``tier_counts``/``tier_log`` remain the shim API and
+    #: keep working with or without it.
+    telemetry = None
+
     def __init__(self, primary: TransientSolver,
                  fallback: Optional[TransientSolver] = None,
                  max_halvings: int = 2,
@@ -181,6 +186,11 @@ class ResilientTransientSolver(TransientSolver):
         report.tier_counts = dict(self.tier_counts)
         report.error_chain = chain
         report.context["target_time"] = t
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("resilience.failures").inc()
+            self.telemetry.tracer.instant(
+                "solver.failure", track="resilience", t=t,
+                tiers=",".join(tiers_attempted))
         raise attach_diagnostic(error, report)
 
     @property
@@ -240,6 +250,13 @@ class ResilientTransientSolver(TransientSolver):
         self.tier_counts[tier] += 1
         if len(self.tier_log) < TIER_LOG_LIMIT:
             self.tier_log.append((float(t), tier))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.metrics.counter("resilience.tier", tier=tier).inc()
+            if tier != "primary":
+                telemetry.tracer.instant(
+                    "solver.tier_escalation", track="resilience",
+                    tier=tier, t=t)
 
     def _reinit_primary(self, t: float, x: np.ndarray) -> None:
         self.primary.initialize(t, np.asarray(x, dtype=float).copy())

@@ -117,6 +117,11 @@ class HealthMonitor:
     one step later.
     """
 
+    #: Telemetry hub (:mod:`repro.observe`), installed alongside the
+    #: resilient wrapper; ``checked_steps``/``violations`` remain the
+    #: shim API either way.
+    telemetry = None
+
     def __init__(self, overflow_limit: float = 1e100,
                  history: int = 64):
         self.overflow_limit = float(overflow_limit)
@@ -162,6 +167,11 @@ class HealthMonitor:
         if finite and magnitude <= self.overflow_limit:
             return
         self.violations += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("health.violations").inc()
+            self.telemetry.tracer.instant(
+                "health.violation", track="resilience", t=t,
+                context=context)
         kind = "non-finite values (NaN/Inf)" if not finite else (
             f"overflow beyond {self.overflow_limit:.1e} "
             f"(|x| = {magnitude:.3e})"

@@ -32,6 +32,20 @@ import numpy as np
 
 from ..core.errors import ConvergenceError
 from ..ct.nonlinear import NonlinearSystem, newton
+from ..observe import current as _current_telemetry
+
+
+def _observe_rungs(method: str, rungs: int) -> None:
+    """Report a completed ladder through the ambient telemetry hub.
+
+    The ladders are free functions with no path to a simulator, so they
+    use :func:`repro.observe.current` (installed by ``Simulator.run``/
+    ``elaborate``); a missing hub costs one ``is None`` test per solve.
+    """
+    telemetry = _current_telemetry()
+    if telemetry is not None:
+        telemetry.metrics.histogram(
+            "homotopy.rungs", method=method).observe(rungs)
 
 
 def gmin_stepping(
@@ -84,6 +98,7 @@ def gmin_stepping(
             raise ConvergenceError(
                 f"gmin stepping exceeded {max_rungs} rungs at g={g:.3e}"
             )
+    _observe_rungs("gmin", rungs)
     return solve_at(0.0, x)
 
 
@@ -138,6 +153,7 @@ def embedding_solve(
                 f"residual embedding exceeded {max_rungs} rungs at "
                 f"alpha={alpha:.3e}"
             )
+    _observe_rungs("embedding", rungs)
     return solve_at(1.0, x)
 
 
@@ -202,6 +218,7 @@ def source_stepping(
                 f"source stepping exceeded {max_rungs} rungs at "
                 f"alpha={alpha:.3e}"
             )
+    _observe_rungs("source", rungs)
     return solve_at(1.0, x)
 
 
@@ -222,20 +239,32 @@ def continuation_solve(
     guess = np.asarray(system.initial_guess() if x0 is None else x0,
                        dtype=float)
     failures = []
+
+    def converged(x: np.ndarray, method: str):
+        telemetry = _current_telemetry()
+        if telemetry is not None:
+            telemetry.metrics.counter(
+                "homotopy.solves", method=method).inc()
+            if method != "newton":
+                telemetry.tracer.instant(
+                    "homotopy.recovered", track="resilience",
+                    method=method, t=t)
+        return x, method
+
     try:
         x, _ = newton(lambda v: system.static(v, t),
                       lambda v: system.static_jacobian(v, t), guess)
-        return x, "newton"
+        return converged(x, "newton")
     except ConvergenceError as exc:
         failures.append(("newton", exc))
     if use_gmin:
         try:
-            return gmin_stepping(system, t, guess), "gmin"
+            return converged(gmin_stepping(system, t, guess), "gmin")
         except ConvergenceError as exc:
             failures.append(("gmin", exc))
     if use_source:
         try:
-            return source_stepping(system, t, guess), "source"
+            return converged(source_stepping(system, t, guess), "source")
         except ConvergenceError as exc:
             failures.append(("source", exc))
     chain = "; ".join(f"{name}: {exc}" for name, exc in failures)

@@ -72,6 +72,12 @@ class CrossingToDe(TdfModule):
             )
             if t_cross is not None:
                 self.crossings.append(t_cross)
+                telemetry = self._telemetry
+                if telemetry is not None:
+                    telemetry.metrics.counter("sync.crossings").inc()
+                    telemetry.tracer.instant(
+                        "sync.crossing", track="sync", t=t_cross,
+                        module=self.name)
                 if self.direction == EITHER:
                     level = v_prev < value
                 else:

@@ -22,6 +22,7 @@ a DC solve.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -51,6 +52,10 @@ class CtTdfModule(TdfModule):
     (port, extractor) and implement :meth:`_make_solver`.
     """
 
+    #: MoC label used for telemetry (``moc.<moc>.seconds`` wall-time
+    #: counters and solver span attributes).
+    moc = "ct"
+
     def __init__(self, name: str, parent: Optional[Module] = None,
                  interpolate_inputs: bool = True,
                  resilient: bool = False,
@@ -69,6 +74,8 @@ class CtTdfModule(TdfModule):
         self.gating_tolerance = 0.0
         self._last_inputs: Optional[tuple] = None
         self._last_delta = np.inf
+        #: pre-bound ``moc.<moc>.seconds`` counter (None = telemetry off).
+        self._m_solver_seconds = None
 
     # -- public wiring ----------------------------------------------------------
 
@@ -94,6 +101,13 @@ class CtTdfModule(TdfModule):
             solver = ResilientTransientSolver(
                 solver, **self.resilient_options
             )
+        telemetry = self._telemetry
+        if telemetry is not None:
+            self._m_solver_seconds = telemetry.metrics.counter(
+                f"moc.{self.moc}.seconds")
+            if hasattr(solver, "tier_counts"):
+                solver.telemetry = telemetry
+                solver.monitor.telemetry = telemetry
         self._solver = solver
         self._solver.initialize(0.0)
 
@@ -166,7 +180,20 @@ class CtTdfModule(TdfModule):
                 solver._t_good = t_now
             return solver.state
         before = np.array(solver.state, copy=True)
-        state = solver.advance_to(t_now)
+        seconds = self._m_solver_seconds
+        if seconds is None:
+            state = solver.advance_to(t_now)
+        else:
+            advance_start = _time.perf_counter()
+            state = solver.advance_to(t_now)
+            advance_elapsed = _time.perf_counter() - advance_start
+            seconds.inc(advance_elapsed)
+            telemetry = self._telemetry
+            if telemetry.fine:
+                telemetry.tracer.complete(
+                    "solver.advance", advance_start, advance_elapsed,
+                    track=f"solver.{self.name}",
+                    attrs={"moc": self.moc, "t": t_now})
         self._last_delta = float(np.max(np.abs(state - before))) \
             if state.size else 0.0
         self._last_inputs = samples
@@ -248,6 +275,8 @@ class ElnTdfModule(CtTdfModule):
     toggle re-assembles the network (a new iteration matrix) while the
     state vector carries over, since the unknown set is unchanged.
     """
+
+    moc = "eln"
 
     def __init__(self, name: str, network: Network,
                  parent: Optional[Module] = None,
@@ -454,6 +483,8 @@ class LsfTdfModule(CtTdfModule):
     Declared LSF input signals are overridden by TDF samples; declared
     LSF output signals are sampled onto TDF ports.
     """
+
+    moc = "lsf"
 
     def __init__(self, name: str, network: LsfNetwork,
                  parent: Optional[Module] = None,

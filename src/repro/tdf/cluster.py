@@ -70,6 +70,7 @@ class TdfRegistry:
                 block_mode=getattr(simulator, "tdf_block", True),
                 batch=getattr(simulator, "tdf_batch", 16),
                 compact_every=getattr(simulator, "tdf_compact_every", 64),
+                telemetry=getattr(simulator, "telemetry", None),
             )
             cluster.elaborate()
             cluster.install(simulator.kernel)
@@ -113,9 +114,25 @@ class TdfCluster:
 
     def __init__(self, name: str, modules: list[TdfModule],
                  block_mode: bool = True, batch: int = 16,
-                 compact_every: int = 64):
+                 compact_every: int = 64, telemetry=None):
         self.name = name
         self.modules = modules
+        #: Telemetry hub (:mod:`repro.observe`); metrics are pre-bound
+        #: here so the wake-up hot path never resolves names.  ``None``
+        #: keeps ``execute_periods`` on a single ``is None`` test.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            self._m_seconds = metrics.counter("moc.tdf.seconds")
+            self._m_periods = metrics.counter("tdf.periods", cluster=name)
+            self._m_activations = metrics.counter(
+                "tdf.activations", cluster=name)
+            self._m_batch = metrics.histogram(
+                "tdf.batch_periods", cluster=name)
+            self._m_occupancy = metrics.histogram(
+                "tdf.buffer_occupancy", cluster=name)
+            self._m_sync_in = metrics.counter("sync.de_to_tdf.samples")
+            self._m_sync_out = metrics.counter("sync.tdf_to_de.samples")
         self.period: Optional[SimTime] = None
         self.repetitions: dict[int, int] = {}
         self.schedule: list[TdfModule] = []
@@ -161,6 +178,7 @@ class TdfCluster:
             signal.prime()
         for module in self.modules:
             module._cluster = self
+            module._telemetry = self.telemetry
         for module in self.modules:
             module.initialize()
 
@@ -432,6 +450,9 @@ class TdfCluster:
 
     def execute_periods(self, n: int) -> None:
         """Run ``n`` cluster periods through the compiled schedule."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            start = _time.perf_counter()
         for converter in self._de_inputs:
             converter.sample()
         base = self.period_count * self.period.ticks
@@ -445,9 +466,27 @@ class TdfCluster:
                         module._activate()
         else:
             self._execute_profiled(n)
+        if telemetry is not None and self._de_outputs:
+            self._m_sync_out.inc(
+                sum(len(c._queue) for c in self._de_outputs))
         for converter in self._de_outputs:
             converter.flush(base)
         self.period_count += n
+        if telemetry is not None:
+            elapsed = _time.perf_counter() - start
+            self._m_seconds.inc(elapsed)
+            self._m_periods.inc(n)
+            self._m_activations.inc(n * len(self.schedule))
+            self._m_batch.observe(n)
+            if self._de_inputs:
+                self._m_sync_in.inc(len(self._de_inputs))
+            tracer = telemetry.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    "cluster.activate", start, elapsed,
+                    track=f"tdf.{self.name}",
+                    attrs={"moc": "tdf", "periods": n,
+                           "t_ticks": base})
         # Amortized housekeeping: dropping consumed samples every period
         # would dominate the per-sample cost; compacting every
         # ``compact_every`` periods keeps the buffers bounded at
@@ -493,6 +532,10 @@ class TdfCluster:
         return self._profile
 
     def _compact(self) -> None:
+        if self.telemetry is not None:
+            for signal in self._signals:
+                self._m_occupancy.observe(
+                    signal.write_head - signal._offset)
         for signal in self._signals:
             if signal.readers:
                 needed = min(r.next_needed() for r in signal.readers)

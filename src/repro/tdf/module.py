@@ -41,6 +41,10 @@ class TdfModule(Module):
     #: whole cluster; block fusion within one period is unaffected.
     batch_unsafe = False
 
+    #: Telemetry hub shared by the owning cluster (set during cluster
+    #: elaboration; ``None`` = observability off).
+    _telemetry = None
+
     def __init__(self, name: str, parent: Optional[Module] = None):
         super().__init__(name, parent)
         self._activation_index = 0
