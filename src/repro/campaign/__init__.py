@@ -28,8 +28,9 @@ Command line: ``python -m repro.campaign spec.py --workers 4``.
 """
 
 from .cache import ResultCache, cache_key
-from .records import CampaignResults, RunRecord, canonical_json
-from .runner import CampaignRunner, RunTimeout, run_campaign
+from .loader import SpecError, load_spec, resolve_spec_ref, select_campaign
+from .records import CampaignResults, JsonlAppender, RunRecord, canonical_json
+from .runner import CampaignRunner, RunTimeout, plan_records, run_campaign
 from .spec import (
     Campaign,
     Concat,
@@ -49,15 +50,21 @@ __all__ = [
     "Concat",
     "Corners",
     "FixedPoints",
+    "JsonlAppender",
     "MonteCarlo",
     "ParamSpace",
     "Product",
     "ResultCache",
     "RunRecord",
     "RunTimeout",
+    "SpecError",
     "Sweep",
     "cache_key",
     "canonical_json",
     "code_version_for",
+    "load_spec",
+    "plan_records",
+    "resolve_spec_ref",
     "run_campaign",
+    "select_campaign",
 ]

@@ -17,60 +17,12 @@ writes ``records.jsonl`` (plus the result cache) under ``--out``.
 from __future__ import annotations
 
 import argparse
-import importlib.util
-import sys
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import List
 
+from .loader import SpecError, load_spec, select_campaign  # noqa: F401
 from .runner import CampaignRunner
-from .spec import Campaign
-
-
-def load_spec(path: Path) -> Dict[str, Campaign]:
-    """Import ``path`` and collect its module-level campaigns."""
-    if not path.exists():
-        raise SystemExit(f"spec file not found: {path}")
-    module_name = f"repro_campaign_spec_{path.stem}"
-    spec = importlib.util.spec_from_file_location(module_name,
-                                                 str(path))
-    if spec is None or spec.loader is None:
-        raise SystemExit(f"cannot import spec file: {path}")
-    module = importlib.util.module_from_spec(spec)
-    # Register before exec so the module's functions pickle by
-    # reference into fork()ed workers.
-    sys.modules[module_name] = module
-    spec.loader.exec_module(module)
-    campaigns: Dict[str, Campaign] = {}
-    for attr, value in vars(module).items():
-        if isinstance(value, Campaign):
-            campaigns[attr] = value
-    if not campaigns:
-        raise SystemExit(
-            f"{path} defines no Campaign objects "
-            "(expected e.g. a module-level CAMPAIGN)")
-    return campaigns
-
-
-def select_campaign(campaigns: Dict[str, Campaign],
-                    requested: str) -> Campaign:
-    if requested:
-        for value in campaigns.values():
-            if value.name == requested:
-                return value
-        if requested in campaigns:
-            return campaigns[requested]
-        known = ", ".join(sorted(c.name for c in campaigns.values()))
-        raise SystemExit(
-            f"no campaign named {requested!r} (known: {known})")
-    if "CAMPAIGN" in campaigns:
-        return campaigns["CAMPAIGN"]
-    if len(campaigns) == 1:
-        return next(iter(campaigns.values()))
-    known = ", ".join(sorted(c.name for c in campaigns.values()))
-    raise SystemExit(
-        f"spec defines several campaigns ({known}); pick one with "
-        "--campaign")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,16 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
-    campaigns = load_spec(args.spec)
+    try:
+        campaigns = load_spec(args.spec)
 
-    if args.list:
-        for campaign in campaigns.values():
-            print(f"{campaign.name}: {len(campaign.points())} points"
-                  + (f" — {campaign.description}"
-                     if campaign.description else ""))
-        return 0
+        if args.list:
+            for campaign in campaigns.values():
+                print(f"{campaign.name}: {len(campaign.points())} "
+                      "points"
+                      + (f" — {campaign.description}"
+                         if campaign.description else ""))
+            return 0
 
-    campaign = select_campaign(campaigns, args.campaign)
+        campaign = select_campaign(campaigns, args.campaign)
+    except SpecError as exc:
+        raise SystemExit(str(exc))
     if args.root_seed is not None:
         campaign.root_seed = args.root_seed
     if args.limit is not None:

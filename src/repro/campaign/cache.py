@@ -8,9 +8,18 @@ campaign therefore only executes points whose parameters or code have
 changed.  Failed runs are *not* cached, so transient failures retry on
 the next invocation.
 
-The store is safe for concurrent writers (worker fan-out, parallel
-campaign invocations sharing a cache directory): records are written to
-a unique temp file and ``os.replace``-d into place atomically.
+The store is safe for concurrent writers *and* readers sharing one
+directory (worker fan-out, parallel campaign invocations, the campaign
+service's fleet-wide shared store):
+
+* records are staged in a ``tempfile.mkstemp`` file — unique per
+  writer, even across threads of one process — and ``os.replace``-d
+  into place, so a reader never opens a half-written entry;
+* readers tolerate every partial-visibility artifact of that protocol
+  (entry missing, entry appearing mid-scan, malformed bytes from a
+  foreign writer) by treating it as a cache miss;
+* an optional ``fsync`` knob makes publication durable before the
+  rename, for stores that must survive power loss.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -46,9 +56,10 @@ def cache_key(campaign_name: str, params: Dict[str, Any],
 class ResultCache:
     """Directory of ``<key>.json`` run records."""
 
-    def __init__(self, directory):
+    def __init__(self, directory, fsync: bool = False):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
         self.hits = 0
         self.misses = 0
 
@@ -56,24 +67,52 @@ class ResultCache:
         return self.directory / f"{key}.json"
 
     def get(self, key: str) -> Optional[RunRecord]:
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                data = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError):
+        record = self._read(self._path(key))
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
-        return RunRecord.from_dict(data)
+        return record
+
+    @staticmethod
+    def _read(path: Path) -> Optional[RunRecord]:
+        """Load one entry, treating every concurrent-visibility artifact
+        (missing file, truncated/garbled JSON, wrong shape) as absent."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return RunRecord.from_dict(data)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
 
     def put(self, key: str, record: RunRecord) -> None:
         if record.status != "ok":
             return
-        path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(canonical_json(record.to_dict()))
-        os.replace(tmp, path)
+        self._write(self._path(key), canonical_json(record.to_dict()))
+
+    def _write(self, path: Path, payload: str) -> None:
+        """Atomically publish ``payload`` at ``path`` via a unique temp
+        file + ``os.replace`` — last writer wins, readers see either
+        the old entry, the new entry, or (for first publication)
+        nothing, never a torn file."""
+        fd, tmp = tempfile.mkstemp(dir=str(self.directory),
+                                   prefix=f".{path.stem[:24]}.",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

@@ -1,0 +1,84 @@
+"""Spec-file loading: ``file.py`` / ``file.py::name`` → :class:`Campaign`.
+
+One spec file conventionally defines a module-level ``CAMPAIGN`` (or
+several named campaigns).  Both the CLI (``python -m repro.campaign``)
+and the campaign service — server-side at submit time, worker-side
+when executing leased chunks — resolve campaigns through this module,
+so a spec reference submitted over HTTP means the same thing on every
+host that can see the file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from ..core.resolve import (
+    ResolutionError,
+    load_module_from_path,
+    split_reference,
+)
+from .spec import Campaign
+
+
+class SpecError(Exception):
+    """A campaign spec file could not be loaded or is ambiguous."""
+
+
+def load_spec(path) -> Dict[str, Campaign]:
+    """Import ``path`` and collect its module-level campaigns."""
+    path = Path(path)
+    try:
+        module = load_module_from_path(
+            path, module_name=f"repro_campaign_spec_{path.stem}")
+    except ResolutionError as exc:
+        raise SpecError(str(exc)) from exc
+    campaigns: Dict[str, Campaign] = {}
+    for attr, value in vars(module).items():
+        if isinstance(value, Campaign):
+            campaigns[attr] = value
+    if not campaigns:
+        raise SpecError(
+            f"{path} defines no Campaign objects "
+            "(expected e.g. a module-level CAMPAIGN)")
+    return campaigns
+
+
+def select_campaign(campaigns: Dict[str, Campaign],
+                    requested: str) -> Campaign:
+    """Pick one campaign by ``Campaign.name`` (or attribute name)."""
+    if requested:
+        for value in campaigns.values():
+            if value.name == requested:
+                return value
+        if requested in campaigns:
+            return campaigns[requested]
+        known = ", ".join(sorted(c.name for c in campaigns.values()))
+        raise SpecError(
+            f"no campaign named {requested!r} (known: {known})")
+    if "CAMPAIGN" in campaigns:
+        return campaigns["CAMPAIGN"]
+    if len(campaigns) == 1:
+        return next(iter(campaigns.values()))
+    known = ", ".join(sorted(c.name for c in campaigns.values()))
+    raise SpecError(
+        f"spec defines several campaigns ({known}); pick one with "
+        "--campaign (CLI) or a spec reference like "
+        "'spec.py::name' (service)")
+
+
+def split_spec_ref(ref: str) -> Tuple[Path, Optional[str]]:
+    """``"spec.py::name"`` → ``(Path("spec.py"), "name")``."""
+    target, attr = split_reference(str(ref))
+    return Path(target), attr
+
+
+def resolve_spec_ref(ref: str) -> Campaign:
+    """Resolve a spec reference to a single :class:`Campaign`.
+
+    ``ref`` is ``"path/to/spec.py"`` (the file must then define exactly
+    one campaign, or one named ``CAMPAIGN``) or
+    ``"path/to/spec.py::campaign-name"``.
+    """
+    path, name = split_spec_ref(ref)
+    return select_campaign(load_spec(path), name or "")

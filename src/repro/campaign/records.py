@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -278,9 +279,9 @@ class CampaignResults:
         return digest.hexdigest()
 
     def write_jsonl(self, path) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
+        with JsonlAppender(path, truncate=True) as appender:
             for record in self.records:
-                handle.write(canonical_json(record.to_dict()) + "\n")
+                appender.append(record.to_dict())
 
     @classmethod
     def read_jsonl(cls, path) -> "CampaignResults":
@@ -301,3 +302,52 @@ class CampaignResults:
             "cached": sum(1 for r in self.records if r.cached),
             "wall_time": float(sum(r.wall_time for r in self.records)),
         }
+
+
+class JsonlAppender:
+    """Torn-line-free JSONL writer for live-streamed records.
+
+    A streamed campaign (the service's ``/stream`` endpoint, a ``tail
+    -f`` on a records file) reads the file *while* it grows, so every
+    record must become visible as one complete line.  Each append
+    serializes the record and hands the entire ``line + "\\n"`` to a
+    single ``os.write`` on an ``O_APPEND`` descriptor — on POSIX the
+    kernel applies the append atomically, so concurrent appenders
+    interleave whole lines and a reader never observes a prefix of one.
+
+    ``fsync=True`` additionally flushes each line to stable storage
+    before returning (durability knob; off by default — atomicity does
+    not require it).
+    """
+
+    def __init__(self, path, truncate: bool = False,
+                 fsync: bool = False):
+        self.path = path
+        self.fsync = fsync
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        if truncate:
+            flags |= os.O_TRUNC
+        self._fd: Optional[int] = os.open(str(path), flags, 0o644)
+
+    def append(self, record: Any) -> None:
+        """Append one record (a :class:`RunRecord` or a JSON-ready
+        dict) as a single atomic line."""
+        if self._fd is None:
+            raise ValueError("appender is closed")
+        if isinstance(record, RunRecord):
+            record = record.to_dict()
+        line = (canonical_json(record) + "\n").encode("utf-8")
+        os.write(self._fd, line)
+        if self.fsync:
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

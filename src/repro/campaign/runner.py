@@ -197,6 +197,47 @@ def _chunked(tasks: List[RunTask], chunk_size: int
             for i in range(0, len(tasks), chunk_size)]
 
 
+def plan_records(campaign: Campaign) -> List[RunRecord]:
+    """Seeded skeleton records for every campaign point, in index order.
+
+    Run ``k`` receives the ``k``-th child of
+    ``SeedSequence(root_seed)`` injected under ``seed_key``, so any
+    executor — the in-process runner, the campaign service's sharded
+    workers, a remote host — derives identical parameters for the same
+    point.  Shared by :class:`CampaignRunner` and
+    :mod:`repro.service`.
+    """
+    points = campaign.points()
+    if campaign.seed_key is not None:
+        children = spawn_seed_sequences(campaign.root_seed, len(points))
+        seeds = [seed_to_int(child) for child in children]
+    else:
+        seeds = [None] * len(points)
+    records = []
+    for index, (point, seed) in enumerate(zip(points, seeds)):
+        params = dict(point)
+        if campaign.seed_key is not None:
+            params.setdefault(campaign.seed_key, seed)
+        records.append(RunRecord(index=index, params=params,
+                                 seed=seed, status="pending"))
+    return records
+
+
+#: Outcome keys that survive HTTP transport between the service and
+#: its remote workers.  ``checkpoint`` (raw pickle bytes) is local-only:
+#: it is neither JSON-representable nor meaningful off-host.
+TRANSPORTABLE_OUTCOME_KEYS = (
+    "index", "attempt", "status", "metrics", "error", "failure_kind",
+    "diagnostic", "metrics_telemetry", "wall_time",
+)
+
+
+def outcome_to_json(outcome: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip a :func:`_execute_point` outcome down to its JSON-safe,
+    transportable fields (see :data:`TRANSPORTABLE_OUTCOME_KEYS`)."""
+    return {key: outcome.get(key) for key in TRANSPORTABLE_OUTCOME_KEYS}
+
+
 class CampaignRunner:
     """Executes a :class:`Campaign`; see the module docstring.
 
@@ -264,22 +305,7 @@ class CampaignRunner:
 
     def _plan(self) -> List[RunRecord]:
         """Seeded skeleton records for every point, in index order."""
-        campaign = self.campaign
-        points = campaign.points()
-        if campaign.seed_key is not None:
-            children = spawn_seed_sequences(campaign.root_seed,
-                                            len(points))
-            seeds = [seed_to_int(child) for child in children]
-        else:
-            seeds = [None] * len(points)
-        records = []
-        for index, (point, seed) in enumerate(zip(points, seeds)):
-            params = dict(point)
-            if campaign.seed_key is not None:
-                params.setdefault(campaign.seed_key, seed)
-            records.append(RunRecord(index=index, params=params,
-                                     seed=seed, status="pending"))
-        return records
+        return plan_records(self.campaign)
 
     def _cache_key(self, record: RunRecord) -> str:
         return cache_key(self.campaign.name, record.params,

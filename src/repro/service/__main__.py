@@ -1,0 +1,236 @@
+"""Campaign service command line.
+
+Usage::
+
+    python -m repro.service serve  [--host H] [--port P] [--workers N]
+                                   [--out DIR] [--store DIR]
+                                   [--max-pending N] [--lease-timeout S]
+                                   [--tenant-weight NAME=W ...]
+    python -m repro.service submit SPEC[::NAME] [--url U] [--tenant T]
+                                   [--priority P] [--root-seed N]
+                                   [--limit N] [--timeout S]
+                                   [--chunk-size N] [--watch]
+    python -m repro.service status [JOB] [--url U] [--tenant T]
+    python -m repro.service watch  JOB [--url U]
+    python -m repro.service worker [--url U] [--id ID] [--poll S]
+                                   [--max-idle S] [--max-chunks N]
+    python -m repro.service metrics [--url U]
+
+``serve`` runs the scheduler + local worker pool in the foreground;
+``worker`` attaches any additional host to the same service; the rest
+are thin wrappers over :class:`~repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import os
+import sys
+from typing import Dict, List, Optional
+
+from .client import ServiceClient, ServiceError
+
+DEFAULT_URL = os.environ.get("REPRO_SERVICE_URL",
+                             "http://127.0.0.1:8321")
+
+
+def _parse_weights(pairs: List[str]) -> Dict[str, float]:
+    weights: Dict[str, float] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit(
+                f"--tenant-weight expects NAME=WEIGHT; got {pair!r}")
+        try:
+            weights[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"bad weight in {pair!r}")
+    return weights
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Async campaign service: submit, monitor and "
+                    "shard simulation sweeps over HTTP.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="local pool size (0: remote workers only)")
+    serve.add_argument("--out", default=None,
+                       help="directory for per-job records.jsonl")
+    serve.add_argument("--store", default=None,
+                       help="shared result store directory")
+    serve.add_argument("--max-pending", type=int, default=100_000,
+                       help="queued-point bound (backpressure)")
+    serve.add_argument("--lease-timeout", type=float, default=60.0,
+                       help="seconds before a leased chunk is "
+                            "re-queued")
+    serve.add_argument("--tenant-weight", action="append", default=[],
+                       metavar="NAME=W",
+                       help="fair-share weight override (repeatable)")
+    serve.add_argument("--verify", default="auto",
+                       choices=("auto", "on", "off"),
+                       help="submit-time static pre-flight")
+
+    submit = sub.add_parser("submit", help="submit a campaign")
+    submit.add_argument("spec",
+                        help="spec file, optionally ::campaign-name")
+    submit.add_argument("--url", default=DEFAULT_URL)
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", default="normal",
+                        choices=("high", "normal", "low"))
+    submit.add_argument("--root-seed", type=int, default=None)
+    submit.add_argument("--limit", type=int, default=None)
+    submit.add_argument("--timeout", type=float, default=None)
+    submit.add_argument("--chunk-size", type=int, default=None)
+    submit.add_argument("--retries", type=int, default=None)
+    submit.add_argument("--watch", action="store_true",
+                        help="stream points until the job finishes")
+
+    status = sub.add_parser("status", help="job status / job list")
+    status.add_argument("job", nargs="?", default=None)
+    status.add_argument("--url", default=DEFAULT_URL)
+    status.add_argument("--tenant", default=None)
+
+    watch = sub.add_parser("watch", help="stream a job's points")
+    watch.add_argument("job")
+    watch.add_argument("--url", default=DEFAULT_URL)
+
+    cancel = sub.add_parser("cancel", help="cancel a job")
+    cancel.add_argument("job")
+    cancel.add_argument("--url", default=DEFAULT_URL)
+
+    results = sub.add_parser("results", help="aggregated results")
+    results.add_argument("job")
+    results.add_argument("--url", default=DEFAULT_URL)
+
+    worker = sub.add_parser("worker",
+                            help="attach this host as a worker")
+    worker.add_argument("--url", default=DEFAULT_URL)
+    worker.add_argument("--id", default=None)
+    worker.add_argument("--poll", type=float, default=0.25)
+    worker.add_argument("--max-idle", type=float, default=None,
+                        help="exit after this many idle seconds")
+    worker.add_argument("--max-chunks", type=int, default=None)
+
+    metrics = sub.add_parser("metrics", help="service metrics dump")
+    metrics.add_argument("--url", default=DEFAULT_URL)
+
+    return parser
+
+
+def _spec_ref(spec: str) -> str:
+    """Absolutize the file part so server and workers resolve the same
+    path regardless of their working directories."""
+    if "::" in spec:
+        path, _, name = spec.partition("::")
+        return f"{os.path.abspath(path)}::{name}"
+    return os.path.abspath(spec)
+
+
+def _watch(client: ServiceClient, job_id: str) -> None:
+    for record in client.stream(job_id):
+        metrics = " ".join(
+            f"{key}={value:.6g}" if isinstance(value, float)
+            else f"{key}={value}"
+            for key, value in sorted(record["metrics"].items()))
+        line = (f"[{record['seq'] + 1}] run {record['index']:>5} "
+                f"{record['status']:<6} ({record['source']}) "
+                f"{metrics}")
+        if record["status"] != "ok" and record.get("error"):
+            line += f"  error={record['error']}"
+        print(line, flush=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+
+    if args.command == "serve":
+        from .server import CampaignService
+
+        service = CampaignService(
+            host=args.host, port=args.port, workers=args.workers,
+            out_dir=args.out, store_dir=args.store,
+            max_pending_points=args.max_pending,
+            lease_timeout=args.lease_timeout,
+            tenant_weights=_parse_weights(args.tenant_weight),
+            verify=args.verify)
+        print(f"campaign service on http://{args.host}:{args.port} "
+              f"({args.workers} local worker(s))", flush=True)
+        try:
+            service.run()
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    if args.command == "worker":
+        from .worker import run_worker
+
+        try:
+            run_worker(args.url, worker_id=args.id, poll=args.poll,
+                       max_idle=args.max_idle,
+                       max_chunks=args.max_chunks)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    client = ServiceClient(args.url)
+    try:
+        if args.command == "submit":
+            job = client.submit(
+                _spec_ref(args.spec), tenant=args.tenant,
+                priority=args.priority, root_seed=args.root_seed,
+                limit=args.limit, timeout=args.timeout,
+                retries=args.retries, chunk_size=args.chunk_size)
+            print(json.dumps(job, indent=2, sort_keys=True))
+            if args.watch:
+                _watch(client, job["id"])
+                status = client.status(job["id"])
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return 1 if status["failed"] else 0
+            return 0
+        if args.command == "status":
+            if args.job:
+                payload = client.status(args.job)
+            else:
+                payload = {"jobs": client.jobs(tenant=args.tenant)}
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        if args.command == "watch":
+            _watch(client, args.job)
+            return 0
+        if args.command == "cancel":
+            print(json.dumps(client.cancel(args.job), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.command == "results":
+            print(json.dumps(client.results(args.job), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.command == "metrics":
+            print(json.dumps(client.metrics(), indent=2,
+                             sort_keys=True))
+            return 0
+    except ServiceError as exc:
+        print(json.dumps({"status": exc.status,
+                          "response": exc.payload},
+                         indent=2, sort_keys=True), file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach service at {args.url}: {exc}",
+              file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

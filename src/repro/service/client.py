@@ -1,0 +1,178 @@
+"""Pure-python synchronous client for the campaign service.
+
+Built on ``http.client`` only — usable from any script, test, or
+remote worker host with no dependencies beyond the standard library.
+One HTTP connection per call (the service closes connections after
+each response), so a :class:`ServiceClient` is cheap, stateless and
+thread-safe by construction.
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    job = client.submit("examples/campaign_adc_yield.py", tenant="ana")
+    for record in client.stream(job["id"]):
+        print(record["index"], record["metrics"])
+    print(client.results(job["id"])["fingerprint"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+from urllib.parse import urlsplit
+
+
+class ServiceError(Exception):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, payload: Any):
+        message = payload.get("error") if isinstance(payload, dict) \
+            else str(payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Synchronous client; see the module docstring."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8321",
+                 timeout: float = 30.0):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// is supported; got {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8321
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self, timeout: Optional[float]
+                 ) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = -1.0) -> Any:
+        if timeout == -1.0:
+            timeout = self.timeout
+        connection = self._connect(timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body,
+                               headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status == 204:
+                return None
+            data = json.loads(raw.decode()) if raw else {}
+            if response.status >= 400:
+                raise ServiceError(response.status, data)
+            return data
+        finally:
+            connection.close()
+
+    # -- control plane -------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def submit(self, spec: str, tenant: str = "default",
+               priority: str = "normal",
+               root_seed: Optional[int] = None,
+               limit: Optional[int] = None,
+               timeout: Optional[float] = None,
+               retries: Optional[int] = None,
+               chunk_size: Optional[int] = None,
+               description: str = "") -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"spec": spec, "tenant": tenant,
+                                   "priority": priority}
+        for name, value in (("root_seed", root_seed),
+                            ("limit", limit), ("timeout", timeout),
+                            ("retries", retries),
+                            ("chunk_size", chunk_size)):
+            if value is not None:
+                payload[name] = value
+        if description:
+            payload["description"] = description
+        return self._request("POST", "/v1/jobs", payload)
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self._request("GET", path)["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/results")
+
+    def telemetry(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/telemetry")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/metrics")
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)
+
+    def stream(self, job_id: str,
+               timeout: Optional[float] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Yield per-point record dicts as the job computes them,
+        ending when the job reaches a terminal state."""
+        connection = self._connect(timeout)
+        try:
+            connection.request("GET", f"/v1/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                data = json.loads(raw.decode()) if raw else {}
+                raise ServiceError(response.status, data)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            connection.close()
+
+    # -- worker plane --------------------------------------------------------
+
+    def lease(self, worker: str,
+              timeout: Optional[float] = -1.0
+              ) -> Optional[Dict[str, Any]]:
+        """Pull one chunk of work; ``None`` when the queue is idle."""
+        return self._request("POST", "/v1/workers/lease",
+                             {"worker": worker}, timeout=timeout)
+
+    def complete(self, worker: str, job_id: str, chunk_id: str,
+                 outcomes: List[Dict[str, Any]],
+                 timeout: Optional[float] = -1.0) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/v1/workers/complete",
+            {"worker": worker, "job_id": job_id,
+             "chunk_id": chunk_id, "outcomes": outcomes},
+            timeout=timeout)

@@ -1,0 +1,265 @@
+"""Minimal asyncio HTTP/1.1 framing for the campaign service.
+
+The service deliberately depends on nothing beyond the standard
+library, so this module implements just enough of HTTP/1.1 to carry a
+JSON control plane plus long-lived streaming responses:
+
+* request parsing — request line, headers, ``Content-Length`` bodies
+  (the only body framing the service accepts);
+* :class:`Response` — fixed JSON/plain responses with
+  ``Content-Length``;
+* :class:`StreamingResponse` — an async iterator of byte chunks
+  written with ``Connection: close`` delimiting (no chunked coding:
+  every stdlib and curl client understands read-to-EOF), used for the
+  JSONL/SSE point streams;
+* a regex route table dispatching ``(method, path)`` to handlers.
+
+Every response closes the connection — the service's clients open one
+connection per call, which keeps the framing trivial and stateless.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import re
+import socket
+from typing import (
+    Any,
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+logger = logging.getLogger(__name__)
+
+#: Hard limits keeping one malformed client from exhausting the server.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    409: "Conflict", 413: "Payload Too Large",
+    422: "Unprocessable Entity", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Raised by handlers to produce a structured JSON error response."""
+
+    def __init__(self, status: int, message: str,
+                 **details: Any):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message, **details}
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    def __init__(self, method: str, target: str,
+                 headers: Dict[str, str], body: bytes):
+        self.method = method
+        parts = urlsplit(target)
+        self.path = unquote(parts.path)
+        self.query: Dict[str, str] = dict(parse_qsl(parts.query))
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}")
+
+
+class Response:
+    """A complete (non-streaming) response."""
+
+    def __init__(self, status: int = 200, body: bytes = b"",
+                 content_type: str = "application/json",
+                 headers: Optional[Dict[str, str]] = None):
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = headers or {}
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        return cls(status=status, body=body)
+
+    @classmethod
+    def no_content(cls) -> "Response":
+        return cls(status=204)
+
+    def header_block(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}",
+                 f"Content-Type: {self.content_type}",
+                 f"Content-Length: {len(self.body)}",
+                 "Connection: close"]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode()
+
+
+class StreamingResponse:
+    """A response whose body is produced incrementally.
+
+    ``chunks`` is an async iterator of ``bytes``; the connection close
+    marks the end of the stream.  Used for the per-point JSONL and SSE
+    streams, where each chunk is one complete line/event.
+    """
+
+    def __init__(self, chunks: AsyncIterator[bytes],
+                 content_type: str = "application/x-ndjson",
+                 status: int = 200):
+        self.chunks = chunks
+        self.content_type = content_type
+        self.status = status
+
+    def header_block(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        return (f"HTTP/1.1 {self.status} {reason}\r\n"
+                f"Content-Type: {self.content_type}\r\n"
+                "Cache-Control: no-store\r\n"
+                "Connection: close\r\n\r\n").encode()
+
+
+Handler = Callable[..., Awaitable[Union[Response, StreamingResponse]]]
+
+
+class Router:
+    """Regex route table: ``(method, pattern) -> handler``.
+
+    Patterns use named groups (``/v1/jobs/(?P<job_id>[^/]+)``) passed
+    to the handler as keyword arguments after the request.
+    """
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, re.Pattern, Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(
+            (method.upper(), re.compile(f"^{pattern}$"), handler))
+
+    def dispatch(self, request: Request
+                 ) -> Tuple[Handler, Dict[str, str]]:
+        allowed: List[str] = []
+        for method, pattern, handler in self._routes:
+            match = pattern.match(request.path)
+            if match is None:
+                continue
+            if method != request.method:
+                allowed.append(method)
+                continue
+            return handler, match.groupdict()
+        if allowed:
+            raise HttpError(405, "method not allowed",
+                            allowed=sorted(set(allowed)))
+        raise HttpError(404, f"no such resource: {request.path}")
+
+
+async def read_request(reader: asyncio.StreamReader
+                       ) -> Optional[Request]:
+    """Parse one request off ``reader``; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, "request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method.upper(), target, headers, body)
+
+
+async def write_response(writer: asyncio.StreamWriter,
+                         response: Union[Response, StreamingResponse]
+                         ) -> None:
+    writer.write(response.header_block())
+    if isinstance(response, Response):
+        if response.body:
+            writer.write(response.body)
+        await writer.drain()
+        return
+    await writer.drain()
+    async for chunk in response.chunks:
+        writer.write(chunk)
+        await writer.drain()
+
+
+async def handle_connection(router: Router,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    """Serve exactly one request on a fresh connection."""
+    try:
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            handler, groups = router.dispatch(request)
+            response = await handler(request, **groups)
+        except HttpError as exc:
+            response = Response.json(exc.payload, status=exc.status)
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception:
+            logger.exception("unhandled error serving request")
+            response = Response.json({"error": "internal error"},
+                                     status=500)
+        await write_response(writer, response)
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass  # client went away mid-exchange; nothing to salvage
+    finally:
+        try:
+            # shutdown() acts on the socket, not the fd — the FIN goes
+            # out even when a forked pool worker inherited a duplicate
+            # of this fd, so EOF-delimited streams always terminate
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                try:
+                    sock.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_http_server(router: Router, host: str, port: int):
+    """Bind and return an ``asyncio.Server`` dispatching to ``router``."""
+
+    async def _client(reader, writer):
+        await handle_connection(router, reader, writer)
+
+    return await asyncio.start_server(_client, host=host, port=port,
+                                      limit=MAX_HEADER_BYTES)

@@ -1,0 +1,133 @@
+"""Fleet-wide shared result store with single-flight dedup.
+
+:class:`SharedResultStore` promotes the campaign layer's
+content-addressed :class:`~repro.campaign.cache.ResultCache` to a
+multi-reader / multi-writer store shared by every tenant, job and host
+of one service fleet:
+
+* **atomic publication** — inherited from the hardened cache: entries
+  appear via unique-temp-file + ``os.replace``, so a concurrent reader
+  sees the entry fully or not at all;
+* **single-flight claims** — before computing a point, an executor
+  *claims* its key by exclusively creating ``<key>.claim``
+  (``O_CREAT | O_EXCL`` — the filesystem arbitrates exactly one
+  winner).  Losers either subscribe to the winner's forthcoming result
+  (the service's in-process follower table) or poll :meth:`get` until
+  publication.  Claims carry an owner and an expiry so a crashed
+  claimant never wedges a key: :meth:`try_claim` breaks stale claims
+  atomically via ``os.replace`` of a fresh claim file.
+
+The store's identity function is :func:`~repro.campaign.cache.cache_key`
+— campaign name + full params (seed included) + code version + verifier
+ruleset — so "identical point" means *bit-identical result*, and
+cross-tenant dedup cannot change any job's aggregate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..campaign.cache import ResultCache
+
+#: Claims older than this are considered abandoned (crashed claimant)
+#: and may be broken by the next claimant.
+DEFAULT_CLAIM_TTL = 300.0
+
+
+class SharedResultStore(ResultCache):
+    """Multi-writer result store with single-flight claim files."""
+
+    def __init__(self, directory, fsync: bool = False,
+                 claim_ttl: float = DEFAULT_CLAIM_TTL):
+        super().__init__(directory, fsync=fsync)
+        self.claim_ttl = float(claim_ttl)
+
+    # ``publish`` is the store-flavored name for atomic ``put``; it
+    # also releases the publisher's claim so pollers converge fast.
+    def publish(self, key: str, record, owner: str = "") -> None:
+        self.put(key, record)
+        self.release(key, owner=owner)
+
+    # -- single-flight claims ------------------------------------------------
+
+    def _claim_path(self, key: str) -> Path:
+        return self.directory / f"{key}.claim"
+
+    def try_claim(self, key: str, owner: str,
+                  now: Optional[float] = None) -> bool:
+        """Attempt to become the single executor for ``key``.
+
+        Returns ``True`` when this caller holds the claim (fresh, or
+        re-asserted over a stale one).  A live claim by another owner,
+        or an already-published result, returns ``False``.
+        """
+        if key in self:
+            return False
+        now = time.time() if now is None else now
+        payload = json.dumps({"owner": owner, "claimed_at": now,
+                              "expires_at": now + self.claim_ttl})
+        path = self._claim_path(key)
+        try:
+            fd = os.open(str(path),
+                         os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            holder = self.claim_info(key)
+            if holder is None:
+                # claim vanished between exists-check and read: the
+                # holder just published or released; treat as lost
+                return False
+            if holder.get("owner") == owner:
+                return True
+            if float(holder.get("expires_at", 0.0)) > now:
+                return False
+            # stale claim: atomically replace it with ours
+            fd, tmp = tempfile.mkstemp(dir=str(self.directory),
+                                       suffix=".claimtmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+            return True
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        return True
+
+    def claim_info(self, key: str) -> Optional[Dict[str, Any]]:
+        """The live claim's ``{owner, claimed_at, expires_at}``, or
+        ``None`` when the key is unclaimed."""
+        try:
+            text = self._claim_path(key).read_text(encoding="utf-8")
+            info = json.loads(text)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        return info if isinstance(info, dict) else None
+
+    def claimed_elsewhere(self, key: str, owner: str) -> bool:
+        """Is ``key`` under a live claim by a *different* owner?"""
+        info = self.claim_info(key)
+        if info is None or info.get("owner") == owner:
+            return False
+        return float(info.get("expires_at", 0.0)) > time.time()
+
+    def release(self, key: str, owner: str = "") -> None:
+        """Drop a claim.  With ``owner`` given, only that owner's claim
+        is removed (a stale-claim breaker keeps its own claim)."""
+        path = self._claim_path(key)
+        if owner:
+            info = self.claim_info(key)
+            if info is not None and info.get("owner") != owner:
+                return
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def clear(self) -> int:
+        removed = super().clear()
+        for path in self.directory.glob("*.claim"):
+            path.unlink(missing_ok=True)
+        return removed
