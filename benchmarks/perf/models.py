@@ -10,6 +10,10 @@ Two representative workloads:
   continuous-time solver (``ElnTdfModule``).  The per-activation solver
   lockstep bounds the achievable speedup; this model tracks how much
   the surrounding dataflow overhead still shrinks.
+* :func:`build_eln_ladder` — an ELN-heavy workload: a long RC ladder
+  whose MNA system (>= :data:`LADDER_NODES` unknowns) auto-selects the
+  sparse solver variant.  This model exercises the sparse assembly /
+  factorization-reuse path rather than the dataflow engine.
 
 Both builders return a top-level module exposing ``.sink`` (a
 :class:`repro.lib.TdfSink`); :func:`sink_streams` extracts the recorded
@@ -121,6 +125,48 @@ class MixedChainTop(Module):
         self.sink.inp(self.s_mix)
 
 
+#: RC-ladder node count of the ELN-heavy model (257 MNA unknowns:
+#: 256 node voltages + the source branch current — large enough that
+#: the "auto" variant selects the sparse path).
+LADDER_NODES = 256
+
+
+def ladder_network(name: str, nodes: int, r: float = 10.0,
+                   c: float = 1e-10) -> Network:
+    """An ``nodes``-section RC ladder driven at ``n1``.
+
+    ``Vin`` drives node ``n1``; section ``k`` is a series resistor from
+    ``n<k>`` to ``n<k+1>`` with a shunt capacitor to ground.
+    """
+    net = Network(name)
+    net.add(Vsource("Vin", "n1", "0"))
+    for k in range(1, nodes):
+        net.add(Resistor(f"R{k}", f"n{k}", f"n{k + 1}", r))
+        net.add(Capacitor(f"C{k}", f"n{k + 1}", "0", c))
+    return net
+
+
+class ElnLadderTop(Module):
+    """sine -> 256-section RC ladder (sparse MNA solver) -> sink."""
+
+    def __init__(self):
+        super().__init__("eln_ladder")
+        net = ladder_network("ladder", LADDER_NODES)
+
+        self.s_src = TdfSignal("s_src")
+        self.s_out = TdfSignal("s_out")
+
+        self.src = SineSource("src", 5e3, amplitude=1.0,
+                              parent=self, timestep=_us(1))
+        self.line = ElnTdfModule("line", net, parent=self)
+        self.sink = TdfSink("sink", parent=self)
+
+        self.src.out(self.s_src)
+        self.line.drive_voltage("Vin")(self.s_src)
+        self.line.sample_voltage(f"n{LADDER_NODES}")(self.s_out)
+        self.sink.inp(self.s_out)
+
+
 def build_adc_chain() -> Module:
     return AdcChainTop()
 
@@ -129,10 +175,15 @@ def build_mixed_chain() -> Module:
     return MixedChainTop()
 
 
+def build_eln_ladder() -> Module:
+    return ElnLadderTop()
+
+
 #: name -> (builder, full-run duration in us, quick duration in us)
 MODELS = {
     "adc_chain": (build_adc_chain, 200_000.0, 20_000.0),
     "mixed_chain": (build_mixed_chain, 30_000.0, 5_000.0),
+    "eln_ladder": (build_eln_ladder, 20_000.0, 2_500.0),
 }
 
 

@@ -36,8 +36,10 @@ for path in (os.path.join(ROOT, "src"), HERE):
 
 import numpy as np  # noqa: E402
 
-from models import MODELS, sink_streams  # noqa: E402
+from models import MODELS, ladder_network, sink_streams  # noqa: E402
 from repro.core import SimTime, Simulator  # noqa: E402
+from repro.ct.linear import make_stepper  # noqa: E402
+from repro.eln import Capacitor, Isource, Network, Resistor  # noqa: E402
 
 #: batching configuration for the block runs: large batches amortize
 #: the numpy dispatch, and the compaction interval must not fragment
@@ -115,9 +117,146 @@ def profile_model(builder, duration_us: float, top_n: int = 8) -> dict:
     return {module: round(secs, 6) for module, secs in ranked}
 
 
+#: ladder sizes for the dense-vs-sparse stepper microbenchmark (MNA
+#: unknowns are nodes + 1 for the source branch current).
+LADDER_SIZES_QUICK = [32, 96, 192, 384]
+LADDER_SIZES_FULL = [32, 96, 192, 384, 768]
+
+
+def _ladder_dae(nodes: int, sparse: bool):
+    net = ladder_network("ladder", nodes)
+    # Drive the source so the equivalence check sees nonzero data.
+    net.components[0].waveform = lambda t: np.sin(2e4 * np.pi * t)
+    return net.assemble(sparse=sparse)[0]
+
+
+def _ode_ladder_dae(nodes: int):
+    """An RC ladder driven by a current source, with a capacitor on
+    every node: an invertible-``C`` pure ODE the expm stepper accepts."""
+    net = Network("ode_ladder")
+    net.add(Isource("Iin", "n1", "0",
+                    current=lambda t: 1e-3 * np.sin(2e4 * np.pi * t)))
+    net.add(Capacitor("C0", "n1", "0", 1e-9))
+    net.add(Resistor("R0", "n1", "0", 1e3))
+    for k in range(1, nodes):
+        net.add(Resistor(f"R{k}", f"n{k}", f"n{k + 1}", 1e3))
+        net.add(Capacitor(f"C{k}", f"n{k + 1}", "0", 1e-9))
+    return net.assemble()[0]
+
+
+def _source_blocks(dae, times: np.ndarray, h: float):
+    steps = len(times)
+    b_next = np.empty((steps, dae.n))
+    b_now = np.empty((steps, dae.n))
+    for k, t in enumerate(times):
+        b_next[k] = dae.source(t)
+        b_now[k] = dae.source(t - h)
+    return b_next, b_now
+
+
+def _time_window(stepper, x0, times, h_values, b_next, b_now,
+                 repeats: int = 3):
+    """Best-of-N CPU seconds for one ``step_window`` call (the factor
+    cache is warmed by the first repeat)."""
+    best = np.inf
+    states = None
+    for _ in range(repeats):
+        cpu0 = time.process_time()
+        states = stepper.step_window(x0, h_values, b_next, b_now, times)
+        best = min(best, time.process_time() - cpu0)
+    return best, states
+
+
+def solver_suite(quick: bool) -> dict:
+    """Stepper-level microbenchmarks for the solver variants.
+
+    * dense vs sparse trapezoidal stepping across ladder sizes —
+      per-step CPU time, bit-level agreement, and the size where the
+      sparse path starts winning;
+    * the exact-expm LTI stepper vs dense trapezoidal on a pure ODE
+      ladder — per-step CPU time plus an accuracy flag against an
+      oversampled trapezoidal reference.
+    """
+    steps = 1024 if quick else 4096
+    h = 1e-6
+    times = (1.0 + np.arange(steps)) * h
+    h_values = np.full(steps, h)
+
+    ladder = []
+    crossover = None
+    for nodes in (LADDER_SIZES_QUICK if quick else LADDER_SIZES_FULL):
+        entry = {"nodes": nodes}
+        states = {}
+        for variant in ("dense", "sparse"):
+            dae = _ladder_dae(nodes, sparse=(variant == "sparse"))
+            b_next, b_now = _source_blocks(dae, times, h)
+            x0 = np.zeros(dae.n)
+            stepper = make_stepper(dae, h, "trapezoidal", variant)
+            cpu, states[variant] = _time_window(
+                stepper, x0, times, h_values, b_next, b_now)
+            entry[f"{variant}_per_step_us"] = cpu / steps * 1e6
+        diff = float(np.max(np.abs(states["dense"] - states["sparse"])))
+        entry["max_abs_diff"] = diff
+        entry["equivalent"] = bool(diff < 1e-8)
+        entry["sparse_faster"] = bool(entry["sparse_per_step_us"]
+                                      < entry["dense_per_step_us"])
+        if crossover is None and entry["sparse_faster"]:
+            crossover = nodes
+        ladder.append(entry)
+        print(f"[perf]   ladder n={nodes}: dense "
+              f"{entry['dense_per_step_us']:.2f} us/step, sparse "
+              f"{entry['sparse_per_step_us']:.2f} us/step, "
+              f"equivalent={entry['equivalent']}", flush=True)
+
+    expm_nodes = 64
+    dae = _ode_ladder_dae(expm_nodes)
+    b_next, b_now = _source_blocks(dae, times, h)
+    x0 = np.zeros(dae.n)
+    expm_cpu, expm_states = _time_window(
+        make_stepper(dae, h, variant="expm"),
+        x0, times, h_values, b_next, b_now)
+    trap_cpu, _ = _time_window(
+        make_stepper(dae, h, variant="dense"),
+        x0, times, h_values, b_next, b_now)
+    # Accuracy reference: 32x-oversampled trapezoidal driven by the
+    # SAME first-order-hold input the expm stepper integrates (expm is
+    # exact for piecewise-linear sources, so any gap beyond the
+    # reference's own truncation error is a stepper bug).
+    over = 32
+    h_ref = h / over
+    t_ref = (1.0 + np.arange(steps * over)) * h_ref
+    ramp_next = (np.arange(over) + 1.0) / over
+    ramp_now = np.arange(over) / over
+    b_next_ref = np.empty((steps * over, dae.n))
+    b_now_ref = np.empty_like(b_next_ref)
+    for k in range(steps):
+        delta = b_next[k] - b_now[k]
+        b_next_ref[k * over:(k + 1) * over] = \
+            b_now[k] + np.outer(ramp_next, delta)
+        b_now_ref[k * over:(k + 1) * over] = \
+            b_now[k] + np.outer(ramp_now, delta)
+    ref_states = make_stepper(dae, h_ref, variant="dense").step_window(
+        x0, np.full(steps * over, h_ref), b_next_ref, b_now_ref, t_ref)
+    err = float(np.max(np.abs(expm_states[-1] - ref_states[-1])))
+    scale = float(np.max(np.abs(ref_states[-1]))) or 1.0
+    expm = {
+        "nodes": expm_nodes,
+        "expm_per_step_us": expm_cpu / steps * 1e6,
+        "dense_per_step_us": trap_cpu / steps * 1e6,
+        "max_rel_err": err / scale,
+        "accurate": bool(err / scale < 1e-6),
+    }
+    print(f"[perf]   expm n={expm_nodes}: expm "
+          f"{expm['expm_per_step_us']:.2f} us/step, dense "
+          f"{expm['dense_per_step_us']:.2f} us/step, "
+          f"accurate={expm['accurate']}", flush=True)
+    return {"ladder": ladder, "crossover_nodes": crossover,
+            "expm": expm}
+
+
 def run_suite(quick: bool) -> dict:
     report = {
-        "schema": "repro-perf/1",
+        "schema": "repro-perf/2",
         "mode": "quick" if quick else "full",
         "tdf_batch": BLOCK_BATCH,
         "benchmarks": {},
@@ -136,7 +275,31 @@ def run_suite(quick: bool) -> dict:
         report["profile"][name] = profile_model(
             builder, min(duration, quick_us)
         )
+    print("[perf] solver variants: dense / sparse / expm ...",
+          flush=True)
+    report["solver"] = solver_suite(quick)
     return report
+
+
+def solver_failures(report: dict) -> list[str]:
+    """Correctness failures in the solver-variant section (these are
+    deterministic flags, gated even without a baseline)."""
+    failures = []
+    solver = report.get("solver", {})
+    for entry in solver.get("ladder", []):
+        if not entry["equivalent"]:
+            failures.append(
+                f"solver ladder n={entry['nodes']}: sparse states "
+                f"diverge from dense (max abs diff "
+                f"{entry['max_abs_diff']:.3e})"
+            )
+    expm = solver.get("expm")
+    if expm is not None and not expm["accurate"]:
+        failures.append(
+            f"solver expm: relative error {expm['max_rel_err']:.3e} "
+            "against the oversampled trapezoidal reference"
+        )
+    return failures
 
 
 def check_regression(report: dict, baseline_path: str,
@@ -154,6 +317,7 @@ def check_regression(report: dict, baseline_path: str,
             failures.append(
                 f"{name}: block output diverges from scalar reference"
             )
+    failures.extend(solver_failures(report))
     try:
         with open(baseline_path) as fh:
             baseline = json.load(fh)
@@ -205,7 +369,7 @@ def main(argv=None) -> int:
         if not args.output:
             parser.error("--baseline requires --output")
         payload = {
-            "schema": "repro-perf/1",
+            "schema": "repro-perf/2",
             "tdf_batch": BLOCK_BATCH,
             "runs": {
                 "full": run_suite(False),
@@ -236,6 +400,9 @@ def main(argv=None) -> int:
                 print(f"[perf] FAIL: {name}: block output diverges "
                       "from scalar reference", file=sys.stderr)
                 status = 1
+        for message in solver_failures(report):
+            print(f"[perf] FAIL: {message}", file=sys.stderr)
+            status = 1
     print(json.dumps(
         {name: round(r["speedup"], 2)
          for name, r in report["benchmarks"].items()},

@@ -11,6 +11,7 @@ from typing import Callable, Optional
 
 import numpy as np
 from scipy.integrate import solve_ivp
+from scipy.linalg import lu_factor, lu_solve
 
 
 def rc_step_response(R: float, C: float, v_in: float,
@@ -55,12 +56,18 @@ def linear_dae_reference(C: np.ndarray, G: np.ndarray,
                          source: Callable[[float], np.ndarray],
                          x0: np.ndarray,
                          times: np.ndarray) -> np.ndarray:
-    """Reference trajectory of ``C x' + G x = b(t)`` with invertible C."""
-    c_inverse = np.linalg.inv(np.asarray(C, dtype=float))
+    """Reference trajectory of ``C x' + G x = b(t)`` with invertible C.
+
+    ``C`` is LU-factorized once and every right-hand-side evaluation is a
+    triangular solve — explicitly inverting ``C`` is both slower and
+    numerically worse, and fails outright for the singular ``C`` of a
+    proper DAE (where this reference is inapplicable anyway).
+    """
+    c_factors = lu_factor(np.asarray(C, dtype=float))
     G = np.asarray(G, dtype=float)
 
     def rhs(t, x):
-        return c_inverse @ (np.asarray(source(t)) - G @ x)
+        return lu_solve(c_factors, np.asarray(source(t)) - G @ x)
 
     return ode_reference(rhs, x0, times)
 

@@ -359,6 +359,7 @@ class Simulator:
         tiers = {"primary": 0.0, "halved": 0.0, "bdf": 0.0}
         steps = rejected = iterations = 0.0
         checked = violations = skipped = 0.0
+        factorizations = refactorizations = expm_hits = 0.0
         for module in self.top.walk():
             if not isinstance(module, CtTdfModule):
                 continue
@@ -382,6 +383,20 @@ class Simulator:
             for stepper_name in ("_be", "_trap"):
                 stepper = getattr(primary, stepper_name, None)
                 iterations += getattr(stepper, "newton_iterations", 0)
+            stepper = getattr(primary, "_stepper", None)
+            count = getattr(stepper, "factorizations", None)
+            if count is not None:
+                factorizations += count
+                snap[f"solver.factorizations[module={name}]"] = \
+                    float(count)
+                refactorizations += stepper.refactorizations
+                snap[f"solver.refactorizations[module={name}]"] = \
+                    float(stepper.refactorizations)
+            count = getattr(stepper, "expm_cache_hits", None)
+            if count is not None:
+                expm_hits += count
+                snap[f"solver.expm_cache_hits[module={name}]"] = \
+                    float(count)
             for tier, count in getattr(solver, "tier_counts",
                                        {}).items():
                 tiers[tier] = tiers.get(tier, 0.0) + count
@@ -392,6 +407,9 @@ class Simulator:
         snap["solver.steps"] = steps
         snap["solver.rejected"] = rejected
         snap["solver.newton_iterations"] = iterations
+        snap["solver.factorizations"] = factorizations
+        snap["solver.refactorizations"] = refactorizations
+        snap["solver.expm_cache_hits"] = expm_hits
         snap["ct.skipped_activations"] = skipped
         for tier, count in tiers.items():
             snap[f"resilience.tier.{tier}"] = float(count)

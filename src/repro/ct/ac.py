@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
 
 from ..core.errors import SolverError
 from .nonlinear import NonlinearSystem
@@ -25,22 +27,55 @@ def ac_sweep(
 ) -> np.ndarray:
     """Solve ``(G + j*2*pi*f*C) X = b_ac`` for each frequency.
 
-    Returns a complex array of shape ``(len(frequencies), n)``.
+    ``b_ac`` may be one excitation vector (shape ``(n,)``) or a matrix of
+    RHS columns (shape ``(n, m)``, e.g. one column per source): each
+    system matrix is factorized once and solved against every column in
+    a single batched call.  Dense matrices are solved as one stacked
+    LAPACK call over all frequencies; sparse matrices use SuperLU per
+    frequency (multi-RHS).  Returns a complex array of shape
+    ``(len(frequencies), n)`` or ``(len(frequencies), n, m)``.
     """
+    b = np.asarray(b_ac, dtype=complex)
+    single = b.ndim == 1
+    freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    if sp.issparse(C) or sp.issparse(G):
+        C = C if sp.issparse(C) else sp.csr_matrix(np.asarray(C, float))
+        G = G if sp.issparse(G) else sp.csr_matrix(np.asarray(G, float))
+        n = G.shape[0]
+        cols = b.reshape(n, -1)
+        out = np.empty((len(freqs), n, cols.shape[1]), dtype=complex)
+        for k, f in enumerate(freqs):
+            A = (G + 2j * np.pi * f * C).tocsc()
+            try:
+                out[k] = splu(A).solve(cols)
+            except RuntimeError as exc:
+                raise SolverError(
+                    f"singular system matrix in AC sweep at f={f}"
+                ) from exc
+        return out[:, :, 0] if single else out
     C = np.asarray(C, dtype=float)
     G = np.asarray(G, dtype=float)
-    b = np.asarray(b_ac, dtype=complex)
-    freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
-    out = np.empty((len(freqs), G.shape[0]), dtype=complex)
-    for k, f in enumerate(freqs):
-        A = G + 2j * np.pi * f * C
-        try:
-            out[k] = np.linalg.solve(A, b)
-        except np.linalg.LinAlgError as exc:
-            raise SolverError(
-                f"singular system matrix in AC sweep at f={f}"
-            ) from exc
-    return out
+    n = G.shape[0]
+    cols = b.reshape(n, -1)
+    # One factorization per frequency, all frequencies and RHS columns
+    # in a single stacked LAPACK call instead of a Python loop.
+    A = (G[None, :, :]
+         + 2j * np.pi * freqs[:, None, None] * C[None, :, :])
+    rhs = np.broadcast_to(cols[None, :, :], (len(freqs), n, cols.shape[1]))
+    try:
+        out = np.linalg.solve(A, rhs)
+    except np.linalg.LinAlgError:
+        # The stacked solve reports failure for the whole batch; redo
+        # frequency by frequency to name the singular one.
+        for f, A_f in zip(freqs, A):
+            try:
+                np.linalg.solve(A_f, cols)
+            except np.linalg.LinAlgError as exc:
+                raise SolverError(
+                    f"singular system matrix in AC sweep at f={f}"
+                ) from exc
+        raise SolverError("singular system matrix in AC sweep")
+    return out[:, :, 0] if single else out
 
 
 def linearize(

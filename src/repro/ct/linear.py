@@ -11,34 +11,75 @@ Analysis of an electrical network) and ``b`` collects the independent
 sources.  Because the system is linear, each timestep is one solve with a
 constant matrix — "the resulting system of equations can be solved without
 iterations" — and the matrix is LU-factorized once per timestep value.
+
+Three interchangeable stepper variants share that contract:
+
+* ``dense`` — LAPACK ``lu_factor`` / ``getrs``, best below the sparsity
+  crossover;
+* ``sparse`` — SuperLU (``splu``) on ``scipy.sparse`` matrices, for the
+  large ELN networks where dense solves become quadratic waste;
+* ``expm`` — an exact matrix-exponential propagator for LTI sections with
+  invertible ``C`` (first-order-hold sources integrated in closed form).
+
+Factorizations are cached per timestep value (an LRU keyed on ``h``) and
+invalidated only by :meth:`~LinearStepper.invalidate` /
+:meth:`~LinearStepper.rebind` on topology or switch events — never per
+step.
 """
 
 from __future__ import annotations
 
 import warnings
+from collections import OrderedDict
 from typing import Callable, Optional, Sequence
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
+import scipy.sparse as sp
+from scipy.linalg import expm, get_lapack_funcs, lu_factor, lu_solve
+from scipy.sparse.linalg import splu
 
 from ..core.errors import SolverError
 
 #: Supported fixed-step integration methods and their theoretical orders.
 METHOD_ORDERS = {"backward_euler": 1, "trapezoidal": 2}
 
+#: Solver-variant names accepted by :func:`make_stepper` and the
+#: higher-level ``solver_variant=`` APIs.
+STEPPER_VARIANTS = ("auto", "dense", "sparse", "expm")
+
+#: System size (unknown count) above which ``variant="auto"`` picks the
+#: sparse path.  Measured crossover on RC ladders is ~150-200 unknowns.
+SPARSE_AUTO_THRESHOLD = 150
+
+#: Per-stepper LRU capacity of the ``h``-keyed factorization cache.
+#: Synchronization intervals vary at ULP level, producing a handful of
+#: distinct ``h`` values per run; 8 slots cover them with room to spare.
+FACTOR_CACHE_SIZE = 8
+
 
 class LinearDae:
-    """A linear differential-algebraic system ``C x' + G x = b(t)``."""
+    """A linear differential-algebraic system ``C x' + G x = b(t)``.
+
+    ``C`` and ``G`` may be dense ``ndarray``s (the historical form) or
+    ``scipy.sparse`` matrices; :attr:`is_sparse` records which.  All
+    analyses work on either representation.
+    """
 
     def __init__(
         self,
-        C: np.ndarray,
-        G: np.ndarray,
+        C,
+        G,
         source: Optional[Callable[[float], np.ndarray]] = None,
         names: Optional[Sequence[str]] = None,
     ):
-        self.C = np.asarray(C, dtype=float)
-        self.G = np.asarray(G, dtype=float)
+        if sp.issparse(C) or sp.issparse(G):
+            self.C = self._as_csr(C)
+            self.G = self._as_csr(G)
+            self.is_sparse = True
+        else:
+            self.C = np.asarray(C, dtype=float)
+            self.G = np.asarray(G, dtype=float)
+            self.is_sparse = False
         n = self.G.shape[0]
         if self.C.shape != (n, n) or self.G.shape != (n, n):
             raise SolverError(
@@ -48,11 +89,41 @@ class LinearDae:
         self.source = source or (lambda t: np.zeros(n))
         self.names = list(names) if names else [f"x{i}" for i in range(n)]
 
+    @staticmethod
+    def _as_csr(matrix):
+        csr = matrix.tocsr() if sp.issparse(matrix) \
+            else sp.csr_matrix(np.asarray(matrix, dtype=float))
+        if csr.dtype != np.float64:
+            csr = csr.astype(float)
+        return csr
+
+    def dense_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(C, G)`` as dense ndarrays regardless of representation."""
+        if self.is_sparse:
+            return self.C.toarray(), self.G.toarray()
+        return self.C, self.G
+
     # -- static analyses --------------------------------------------------------
 
     def dc(self) -> np.ndarray:
         """DC operating point: solve ``G x = b(0)`` (derivatives zero)."""
         b = np.asarray(self.source(0.0), dtype=float)
+        if self.is_sparse:
+            try:
+                x = splu(self.G.tocsc()).solve(b)
+            except RuntimeError as exc:
+                raise SolverError(
+                    "singular conductance matrix in DC analysis; the "
+                    "network likely has a floating node or an inductor "
+                    "loop"
+                ) from exc
+            if not np.all(np.isfinite(x)):
+                raise SolverError(
+                    "singular conductance matrix in DC analysis; the "
+                    "network likely has a floating node or an inductor "
+                    "loop"
+                )
+            return x
         try:
             return np.linalg.solve(self.G, b)
         except np.linalg.LinAlgError as exc:
@@ -73,6 +144,18 @@ class LinearDae:
         freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
         if b_ac is None:
             b_ac = np.asarray(self.source(0.0), dtype=float).copy()
+        if self.is_sparse:
+            b = np.asarray(b_ac, dtype=complex)
+            out = np.empty((len(freqs), self.n), dtype=complex)
+            for k, f in enumerate(freqs):
+                A_f = (self.G + 2j * np.pi * f * self.C).tocsc()
+                try:
+                    out[k] = splu(A_f).solve(b)
+                except RuntimeError as exc:
+                    raise SolverError(
+                        f"singular system matrix in AC analysis at f={f}"
+                    ) from exc
+            return out
         # Stack (G + j*2*pi*f*C) for all frequencies and solve the whole
         # batch in one LAPACK call instead of a Python loop.
         A = (self.G[None, :, :]
@@ -118,6 +201,7 @@ class LinearDae:
         x0: Optional[np.ndarray] = None,
         t0: float = 0.0,
         method: str = "trapezoidal",
+        variant: str = "auto",
     ) -> tuple[np.ndarray, np.ndarray]:
         """Fixed-step time-domain simulation.
 
@@ -125,7 +209,7 @@ class LinearDae:
         ``times[k]``; ``times[0] == t0`` holds the initial condition
         (default: the DC operating point).
         """
-        stepper = LinearStepper(self, h, method)
+        stepper = make_stepper(self, h, method, variant)
         x = self.dc() if x0 is None else np.asarray(x0, dtype=float)
         steps = int(round((t_end - t0) / h))
         times = t0 + h * np.arange(steps + 1)
@@ -136,16 +220,92 @@ class LinearDae:
         return times, states
 
 
-class LinearStepper:
+class _Factors:
+    """Factorization products for one timestep value."""
+
+    __slots__ = ("solve", "M")
+
+    def __init__(self, solve, M):
+        self.solve = solve
+        self.M = M
+
+
+class _ExpmFactors:
+    """Exact propagators for one timestep value."""
+
+    __slots__ = ("phi", "P_now", "P_next")
+
+    def __init__(self, phi, P_now, P_next):
+        self.phi = phi
+        self.P_now = P_now
+        self.P_next = P_next
+
+
+class _FactorCacheMixin:
+    """Shared ``h``-keyed LRU factorization cache with reuse counters.
+
+    Subclasses provide ``_build(h)``.  ``factorizations`` counts every
+    factorization performed, ``cache_hits`` every reuse of a cached one,
+    and ``refactorizations`` the factorizations forced by
+    :meth:`invalidate` (topology/switch events) rather than by a new
+    timestep value.
+    """
+
+    def _init_cache(self) -> None:
+        self._cache: OrderedDict = OrderedDict()
+        self._pending_refactor = False
+        self.factorizations = 0
+        self.refactorizations = 0
+        self.cache_hits = 0
+
+    def _factors(self, h: float):
+        cache = self._cache
+        fac = cache.get(h)
+        if fac is not None:
+            self.cache_hits += 1
+            cache.move_to_end(h)
+            return fac
+        fac = self._build(h)
+        self.factorizations += 1
+        if self._pending_refactor:
+            self.refactorizations += 1
+            self._pending_refactor = False
+        cache[h] = fac
+        while len(cache) > FACTOR_CACHE_SIZE:
+            cache.popitem(last=False)
+        return fac
+
+    def set_timestep(self, h: float) -> None:
+        if h != self.h:
+            if h <= 0:
+                raise SolverError(f"timestep must be positive, got {h}")
+            self.h = h
+            self._fac = self._factors(h)
+
+    def invalidate(self) -> None:
+        """Drop every cached factorization and refactorize the current
+        timestep (called on topology/switch events)."""
+        self._cache.clear()
+        self._pending_refactor = True
+        self._fac = self._factors(self.h)
+
+
+class LinearStepper(_FactorCacheMixin):
     """Reusable one-step integrator for a :class:`LinearDae`.
 
-    Factorizes the iteration matrix once; re-factorizes only when the
-    timestep changes.  This is the object the synchronization layer drives
-    timestep by timestep in lockstep with a TDF cluster.
+    Factorizes the iteration matrix once per timestep value and caches
+    the factors (LRU over recent ``h`` values), so alternating or
+    ULP-jittered synchronization intervals reuse factorizations instead
+    of recomputing them.  This is the object the synchronization layer
+    drives timestep by timestep in lockstep with a TDF cluster.
+
+    ``variant`` selects the backend: ``"dense"`` (LAPACK), ``"sparse"``
+    (SuperLU) or ``"auto"`` (sparse for sparse systems and above
+    :data:`SPARSE_AUTO_THRESHOLD` unknowns).
     """
 
     def __init__(self, system: LinearDae, h: float,
-                 method: str = "trapezoidal"):
+                 method: str = "trapezoidal", variant: str = "auto"):
         if method not in METHOD_ORDERS:
             raise SolverError(
                 f"unknown integration method {method!r}; "
@@ -153,18 +313,61 @@ class LinearStepper:
             )
         if h <= 0:
             raise SolverError(f"timestep must be positive, got {h}")
+        if variant not in ("auto", "dense", "sparse"):
+            raise SolverError(
+                f"unknown LinearStepper variant {variant!r}; "
+                "expected 'auto', 'dense' or 'sparse'"
+            )
+        if variant == "auto":
+            variant = "sparse" if (
+                system.is_sparse or system.n >= SPARSE_AUTO_THRESHOLD
+            ) else "dense"
         self.system = system
         self.method = method
+        self.variant = variant
         self.h = h
-        self._factorization = None
-        self._prepare()
+        self._bind_matrices()
+        self._init_cache()
+        self._fac = self._factors(h)
 
-    def _prepare(self) -> None:
-        C, G, h = self.system.C, self.system.G, self.h
+    def _bind_matrices(self) -> None:
+        system = self.system
+        if self.variant == "sparse":
+            if system.is_sparse:
+                self._C, self._G = system.C, system.G
+            else:
+                self._C = sp.csr_matrix(system.C)
+                self._G = sp.csr_matrix(system.G)
+        else:
+            if system.is_sparse:
+                self._C, self._G = system.C.toarray(), system.G.toarray()
+            else:
+                self._C, self._G = system.C, system.G
+
+    def rebind(self, system: LinearDae) -> None:
+        """Adopt a re-assembled system (same unknowns, new matrices) and
+        refactorize — the topology/switch-event invalidation hook."""
+        self.system = system
+        self._bind_matrices()
+        self.invalidate()
+
+    def _build(self, h: float) -> _Factors:
+        C, G = self._C, self._G
         if self.method == "backward_euler":
             A = C / h + G
+            M = None
         else:  # trapezoidal
-            A = 2.0 * C / h + G
+            scaled = 2.0 * C / h
+            A = scaled + G
+            M = scaled - G
+        if self.variant == "sparse":
+            try:
+                factor = splu(sp.csc_matrix(A))
+            except RuntimeError as exc:
+                raise SolverError(
+                    f"iteration matrix is singular for h={h:.3e}"
+                ) from exc
+            return _Factors(factor.solve, M)
         try:
             with warnings.catch_warnings():
                 # lu_factor reports exact singularity through a
@@ -172,34 +375,39 @@ class LinearStepper:
                 # promote it to a deterministic SolverError so fallback
                 # tiers see the failure at factorization time.
                 warnings.simplefilter("error")
-                self._factorization = lu_factor(A)
+                lu, piv = lu_factor(A)
         except ValueError as exc:
             raise SolverError("cannot factorize iteration matrix") from exc
         except Warning as exc:
             raise SolverError(
                 f"iteration matrix is singular for h={h:.3e}"
             ) from exc
-        if not np.all(np.isfinite(self._factorization[0])):
+        if not np.all(np.isfinite(lu)):
             raise SolverError(
                 f"iteration matrix is singular for h={h:.3e}"
             )
+        getrs, = get_lapack_funcs(("getrs",), (lu,))
 
-    def set_timestep(self, h: float) -> None:
-        if h != self.h:
-            if h <= 0:
-                raise SolverError(f"timestep must be positive, got {h}")
-            self.h = h
-            self._prepare()
+        def solve(rhs, lu=lu, piv=piv, getrs=getrs):
+            # Same LAPACK routine lu_solve dispatches to, minus the
+            # wrapper overhead; bit-identical results.
+            x, _info = getrs(lu, piv, rhs)
+            return x
+
+        return _Factors(solve, M)
 
     def step(self, x: np.ndarray, t: float) -> np.ndarray:
         """Advance from time ``t`` to ``t + h``."""
-        C, h = self.system.C, self.h
+        h = self.h
+        fac = self._fac
         b_next = np.asarray(self.system.source(t + h), dtype=float)
-        if self.method == "backward_euler":
-            rhs = C @ x / h + b_next
+        if fac.M is None:  # backward_euler
+            rhs = self._C @ x / h + b_next
         else:
             b_now = np.asarray(self.system.source(t), dtype=float)
-            rhs = (2.0 * C / h - self.system.G) @ x + b_next + b_now
+            rhs = fac.M @ x
+            rhs += b_next
+            rhs += b_now
         if not np.all(np.isfinite(rhs)):
             error = SolverError(
                 f"non-finite right-hand side at t={t:.6e} "
@@ -207,7 +415,68 @@ class LinearStepper:
             )
             error.time_point = t
             raise error
-        return lu_solve(self._factorization, rhs)
+        return fac.solve(rhs)
+
+    def step_window(self, x: np.ndarray, h_values: np.ndarray,
+                    b_next: np.ndarray,
+                    b_now: Optional[np.ndarray] = None,
+                    times: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance through a window of pre-evaluated source vectors.
+
+        ``h_values[k]`` is the step size of step ``k``; ``b_next[k]`` /
+        ``b_now[k]`` are the source vectors at the step's end / start
+        (``b_now`` is unused for backward Euler).  Replays the scalar
+        :meth:`step` arithmetic bit-for-bit — operand order and the
+        cached factorization are identical — while hoisting source
+        evaluation and attribute lookups out of the loop.  Returns the
+        states after each step, shape ``(len(h_values), n)``.
+        """
+        steps = len(h_values)
+        states = np.empty((steps, self.system.n))
+        x = np.asarray(x, dtype=float)
+        h_list = h_values.tolist() if isinstance(h_values, np.ndarray) \
+            else list(h_values)
+        h_cur = self.h
+        fac = self._fac
+        C = self._C
+        if fac.M is None:  # backward_euler
+            for k in range(steps):
+                hk = h_list[k]
+                if hk != h_cur:
+                    self.set_timestep(hk)
+                    h_cur = hk
+                    fac = self._fac
+                rhs = C @ x / hk + b_next[k]
+                x = fac.solve(rhs)
+                states[k] = x
+        else:
+            solve = fac.solve
+            M = fac.M
+            for k in range(steps):
+                hk = h_list[k]
+                if hk != h_cur:
+                    self.set_timestep(hk)
+                    h_cur = hk
+                    fac = self._fac
+                    solve = fac.solve
+                    M = fac.M
+                rhs = M @ x
+                rhs += b_next[k]
+                rhs += b_now[k]
+                x = solve(rhs)
+                states[k] = x
+        if not np.all(np.isfinite(states)):
+            bad = int(np.argwhere(
+                ~np.isfinite(states).all(axis=1)
+            )[0][0])
+            t_bad = float(times[bad]) if times is not None else float("nan")
+            error = SolverError(
+                f"non-finite right-hand side at t={t_bad:.6e} "
+                "(NaN/Inf source or state)"
+            )
+            error.time_point = t_bad
+            raise error
+        return states
 
     def step_block(self, x: np.ndarray, times: np.ndarray,
                    mode: str = "exact") -> np.ndarray:
@@ -223,8 +492,8 @@ class LinearStepper:
           arithmetic per step and is bit-identical to a Python loop of
           ``step`` calls, while amortizing source evaluation and
           attribute lookups over the whole block.
-        * ``"fused"`` — performs a single multi-RHS ``lu_solve`` for
-          all source terms plus one for the state-propagation matrix,
+        * ``"fused"`` — performs a single multi-RHS solve for all
+          source terms plus one for the state-propagation matrix,
           reducing the loop to one mat-vec per step.  Algebraically
           identical but associates the solves differently, so results
           may differ from scalar stepping at round-off (ULP) level.
@@ -236,22 +505,22 @@ class LinearStepper:
             )
         times = np.atleast_1d(np.asarray(times, dtype=float))
         steps = len(times)
-        system, h, fact = self.system, self.h, self._factorization
-        C = system.C
+        system, h, fac = self.system, self.h, self._fac
+        C = self._C
         states = np.empty((steps, system.n))
         x = np.asarray(x, dtype=float)
         b_next = system.eval_source_block(times + h)
         if self.method == "backward_euler":
             b_total = b_next
+            b_now = None
         else:
-            M = 2.0 * C / h - system.G
             b_now = system.eval_source_block(times)
         if mode == "exact":
             for k in range(steps):
                 if self.method == "backward_euler":
                     rhs = C @ x / h + b_next[k]
                 else:
-                    rhs = M @ x + b_next[k] + b_now[k]
+                    rhs = fac.M @ x + b_next[k] + b_now[k]
                 if not np.all(np.isfinite(rhs)):
                     error = SolverError(
                         f"non-finite right-hand side at "
@@ -259,16 +528,19 @@ class LinearStepper:
                     )
                     error.time_point = float(times[k])
                     raise error
-                x = lu_solve(fact, rhs)
+                x = fac.solve(rhs)
                 states[k] = x
             return states
         # fused: q_k = A^-1 b_k for every step in one multi-RHS solve,
         # P = A^-1 M once, then x_{k+1} = P x_k + q_k.
         if self.method == "backward_euler":
-            P = lu_solve(fact, C / h)
+            P_rhs = C / h
         else:
-            P = lu_solve(fact, M)
+            P_rhs = fac.M
             b_total = b_next + b_now
+        if sp.issparse(P_rhs):
+            P_rhs = P_rhs.toarray()
+        P = fac.solve(P_rhs)
         if not np.all(np.isfinite(b_total)):
             bad = int(np.argwhere(
                 ~np.isfinite(b_total).all(axis=1)
@@ -279,13 +551,194 @@ class LinearStepper:
             )
             error.time_point = float(times[bad])
             raise error
-        Q = lu_solve(fact, b_total.T).T
+        Q = fac.solve(np.ascontiguousarray(b_total.T)).T
         for k in range(steps):
             x = P @ x + Q[k]
             states[k] = x
         if not np.all(np.isfinite(states)):
             raise SolverError("non-finite state in fused block step")
         return states
+
+
+class ExpmStepper(_FactorCacheMixin):
+    """Exact fixed-step propagator for LTI systems with invertible C.
+
+    Rewrites ``C x' + G x = b(t)`` as ``x' = A x + C^-1 b(t)`` with
+    ``A = -C^-1 G`` and advances with the closed-form variation-of-
+    constants solution under a first-order hold on the sources:
+
+        x(t+h) = phi x(t) + P_now b(t) + P_next b(t+h)
+
+    where ``phi = expm(A h)`` and the source propagators come from one
+    Van Loan augmented-matrix exponential
+
+        expm([[A, I, 0], [0, 0, I], [0, 0, 0]] * h)
+          = [[phi, F1, F2], ...],
+        F1 = int_0^h expm(A (h-s)) ds,
+        F2 = int_0^h expm(A (h-s)) s ds,
+        P_now  = (F1 - F2/h) C^-1,   P_next = (F2/h) C^-1.
+
+    Each step is then a handful of mat-vecs with *no* per-step solve;
+    the propagators are cached per ``h`` like LU factors.  Exact for
+    piecewise-linear inputs (and for any input at the sample instants up
+    to the hold), so fixed-step LTI sections lose the time-discretization
+    error entirely.
+    """
+
+    method = "expm"
+    variant = "expm"
+
+    def __init__(self, system: LinearDae, h: float):
+        if h <= 0:
+            raise SolverError(f"timestep must be positive, got {h}")
+        self.system = system
+        self.h = h
+        self._derive()
+        self._init_cache()
+        self._fac = self._factors(h)
+
+    def _derive(self) -> None:
+        C, G = self.system.dense_matrices()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                self._lu_c = lu_factor(C)
+        except (ValueError, Warning) as exc:
+            raise SolverError(
+                "ExpmStepper requires an invertible C matrix (a pure ODE "
+                "system); use the dense or sparse variants for DAE "
+                "networks"
+            ) from exc
+        if not np.all(np.isfinite(self._lu_c[0])):
+            raise SolverError(
+                "ExpmStepper requires an invertible C matrix (a pure ODE "
+                "system); use the dense or sparse variants for DAE "
+                "networks"
+            )
+        self._A = -lu_solve(self._lu_c, G)
+
+    def rebind(self, system: LinearDae) -> None:
+        """Adopt a re-assembled system and rebuild every propagator."""
+        self.system = system
+        self._derive()
+        self.invalidate()
+
+    def _build(self, h: float) -> _ExpmFactors:
+        n = self.system.n
+        eye = np.eye(n)
+        aug = np.zeros((3 * n, 3 * n))
+        aug[:n, :n] = self._A
+        aug[:n, n:2 * n] = eye
+        aug[n:2 * n, 2 * n:] = eye
+        P = expm(aug * h)
+        if not np.all(np.isfinite(P)):
+            raise SolverError(
+                f"matrix exponential overflow for h={h:.3e} "
+                "(unstable or badly scaled LTI section)"
+            )
+        phi = np.ascontiguousarray(P[:n, :n])
+        F1 = P[:n, n:2 * n]
+        F2 = P[:n, 2 * n:]
+        # Fold C^-1 into the source propagators: X C^-1 = solve(C^T, X^T)^T.
+        P_now = lu_solve(self._lu_c, (F1 - F2 / h).T, trans=1).T
+        P_next = lu_solve(self._lu_c, (F2 / h).T, trans=1).T
+        return _ExpmFactors(phi, np.ascontiguousarray(P_now),
+                            np.ascontiguousarray(P_next))
+
+    @property
+    def expm_cache_hits(self) -> int:
+        """Alias for :attr:`cache_hits` (metrics naming)."""
+        return self.cache_hits
+
+    def step(self, x: np.ndarray, t: float) -> np.ndarray:
+        """Advance from time ``t`` to ``t + h``."""
+        fac = self._fac
+        b_now = np.asarray(self.system.source(t), dtype=float)
+        b_next = np.asarray(self.system.source(t + self.h), dtype=float)
+        y = fac.phi @ x
+        y += fac.P_now @ b_now
+        y += fac.P_next @ b_next
+        if not np.all(np.isfinite(y)):
+            error = SolverError(
+                f"non-finite right-hand side at t={t:.6e} "
+                "(NaN/Inf source or state)"
+            )
+            error.time_point = t
+            raise error
+        return y
+
+    def step_window(self, x: np.ndarray, h_values: np.ndarray,
+                    b_next: np.ndarray,
+                    b_now: Optional[np.ndarray] = None,
+                    times: Optional[np.ndarray] = None) -> np.ndarray:
+        """Window counterpart of :meth:`step` (see
+        :meth:`LinearStepper.step_window`); ``b_now`` is required."""
+        steps = len(h_values)
+        states = np.empty((steps, self.system.n))
+        x = np.asarray(x, dtype=float)
+        h_list = h_values.tolist() if isinstance(h_values, np.ndarray) \
+            else list(h_values)
+        h_cur = self.h
+        fac = self._fac
+        for k in range(steps):
+            hk = h_list[k]
+            if hk != h_cur:
+                self.set_timestep(hk)
+                h_cur = hk
+                fac = self._fac
+            y = fac.phi @ x
+            y += fac.P_now @ b_now[k]
+            y += fac.P_next @ b_next[k]
+            x = y
+            states[k] = x
+        if not np.all(np.isfinite(states)):
+            bad = int(np.argwhere(
+                ~np.isfinite(states).all(axis=1)
+            )[0][0])
+            t_bad = float(times[bad]) if times is not None else float("nan")
+            error = SolverError(
+                f"non-finite right-hand side at t={t_bad:.6e} "
+                "(NaN/Inf source or state)"
+            )
+            error.time_point = t_bad
+            raise error
+        return states
+
+    def step_block(self, x: np.ndarray, times: np.ndarray,
+                   mode: str = "exact") -> np.ndarray:
+        """Advance through ``len(times)`` consecutive fixed-size steps
+        (``times[k]`` is the start of step ``k``).  ``mode`` is accepted
+        for interface compatibility; both modes are identical here."""
+        if mode not in ("exact", "fused"):
+            raise SolverError(
+                f"unknown step_block mode {mode!r}; "
+                "expected 'exact' or 'fused'"
+            )
+        times = np.atleast_1d(np.asarray(times, dtype=float))
+        h = self.h
+        b_now = self.system.eval_source_block(times)
+        b_next = self.system.eval_source_block(times + h)
+        h_values = np.full(len(times), h)
+        return self.step_window(x, h_values, b_next, b_now, times)
+
+
+def make_stepper(system: LinearDae, h: float,
+                 method: str = "trapezoidal",
+                 variant: str = "auto"):
+    """Construct the stepper for ``variant`` (the solver-variant API).
+
+    ``"auto"`` picks dense vs sparse from the system representation and
+    size; ``"expm"`` selects the exact LTI propagator (which requires an
+    invertible ``C``).
+    """
+    if variant not in STEPPER_VARIANTS:
+        raise SolverError(
+            f"unknown solver variant {variant!r}; "
+            f"expected one of {sorted(STEPPER_VARIANTS)}"
+        )
+    if variant == "expm":
+        return ExpmStepper(system, h)
+    return LinearStepper(system, h, method, variant)
 
 
 def state_space_to_dae(

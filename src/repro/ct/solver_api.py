@@ -16,13 +16,15 @@ the synchronization layer drives *any* implementation purely through
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import Callable, Optional
 
 import numpy as np
 from scipy.integrate import solve_ivp
+from scipy.linalg import lu_factor, lu_solve
 
 from ..core.errors import SolverError
-from .linear import LinearDae, LinearStepper
+from .linear import LinearDae, LinearStepper, make_stepper
 from .nonlinear import (
     NonlinearStepper,
     NonlinearSystem,
@@ -81,14 +83,24 @@ class LinearTransientSolver(TransientSolver):
 
     def __init__(self, system: LinearDae,
                  h_internal: Optional[float] = None,
-                 method: str = "trapezoidal"):
+                 method: str = "trapezoidal",
+                 variant: str = "auto"):
         self.system = system
         self.method = method
+        self.variant = variant
         self.h_internal = h_internal
-        self._stepper: Optional[LinearStepper] = None
+        self._stepper = None
         self._t = 0.0
         self._x = np.zeros(system.n)
         self.step_count = 0
+
+    def rebind(self, system: LinearDae) -> None:
+        """Adopt a re-assembled system (same unknown layout, new matrix
+        values) without losing solver time/state — the cheap path for
+        switch/topology events.  The stepper refactorizes once."""
+        self.system = system
+        if self._stepper is not None:
+            self._stepper.rebind(system)
 
     def initialize(self, t0: float = 0.0, x0=None) -> np.ndarray:
         self._t = t0
@@ -120,7 +132,8 @@ class LinearTransientSolver(TransientSolver):
         substeps = max(1, int(np.ceil(interval / budget - 1e-12)))
         h = interval / substeps
         if self._stepper is None:
-            self._stepper = LinearStepper(self.system, h, self.method)
+            self._stepper = make_stepper(self.system, h, self.method,
+                                         self.variant)
         else:
             self._stepper.set_timestep(h)
         x = self._x
@@ -132,6 +145,28 @@ class LinearTransientSolver(TransientSolver):
         self._t = t
         self._x = x
         return x
+
+    def advance_window(self, times: np.ndarray, h_values: np.ndarray,
+                       b_next: np.ndarray,
+                       b_now: Optional[np.ndarray] = None) -> np.ndarray:
+        """Advance through a whole window of synchronization points with
+        pre-evaluated source vectors (the TDF block fast path).
+
+        ``times[k]`` is the target time of step ``k``; ``h_values[k]``
+        its step size (``times[k] - previous time``, one step per sync
+        point — callers must only use this when ``h_internal`` imposes
+        no substepping).  Bit-identical to ``advance_to(times[k])`` per
+        point.  Returns the per-step states, shape ``(len(times), n)``.
+        """
+        if self._stepper is None:
+            self._stepper = make_stepper(self.system, float(h_values[0]),
+                                         self.method, self.variant)
+        states = self._stepper.step_window(self._x, h_values,
+                                           b_next, b_now, times)
+        self.step_count += len(times)
+        self._t = float(times[-1])
+        self._x = states[-1].copy()
+        return states
 
     @property
     def time(self) -> float:
@@ -303,17 +338,31 @@ class ScipyIvpSolver(TransientSolver):
                 "or nonlinear_system="
             )
         if linear_system is not None:
+            C_mat = linear_system.C.toarray() if linear_system.is_sparse \
+                else linear_system.C
             try:
-                c_inverse = np.linalg.inv(linear_system.C)
-            except np.linalg.LinAlgError as exc:
+                with warnings.catch_warnings():
+                    # factor-and-solve instead of an explicit inverse:
+                    # promote lu_factor's singularity warning so a
+                    # singular C is rejected here, exactly like the old
+                    # np.linalg.inv path.
+                    warnings.simplefilter("error")
+                    c_factors = lu_factor(C_mat)
+            except (ValueError, Warning) as exc:
                 raise SolverError(
                     "ScipyIvpSolver requires an invertible C matrix "
                     "(a pure ODE system); use the built-in DAE solver "
                     "for singular C"
                 ) from exc
+            if not np.all(np.isfinite(c_factors[0])):
+                raise SolverError(
+                    "ScipyIvpSolver requires an invertible C matrix "
+                    "(a pure ODE system); use the built-in DAE solver "
+                    "for singular C"
+                )
 
-            def rhs(t, x, _ci=c_inverse, _sys=linear_system):
-                return _ci @ (_sys.source(t) - _sys.G @ x)
+            def rhs(t, x, _cf=c_factors, _sys=linear_system):
+                return lu_solve(_cf, _sys.source(t) - _sys.G @ x)
 
             n = linear_system.n
         elif nonlinear_system is not None:

@@ -131,8 +131,7 @@ class Isource(Component):
     def stamp(self, stamper: Stamper) -> None:
         p, n = stamper.node(self.nodes[0]), stamper.node(self.nodes[1])
         stamper.source_entry(p, self.waveform)
-        negated = self.waveform
-        stamper.source_entry(n, lambda t, w=negated: -w(t))
+        stamper.source_entry(n, self.waveform, scale=-1.0)
 
 
 class Vcvs(Component):
@@ -311,6 +310,20 @@ class Switch(Component):
     @property
     def resistance(self) -> float:
         return self.r_on if self.closed else self.r_off
+
+    def set_closed(self, closed: bool) -> bool:
+        """Set the switch state; returns True when it actually changed.
+
+        A toggle is a *value-only* event: the stamp pattern (which
+        matrix entries exist) is unchanged, so the owning layer only
+        needs to re-stamp and refactorize — ``LinearStepper.rebind`` /
+        ``LinearTransientSolver.rebind`` — not rebuild the solver, and a
+        cached sparse symbolic pattern stays valid.
+        """
+        closed = bool(closed)
+        changed = closed != self.closed
+        self.closed = closed
+        return changed
 
     def stamp(self, stamper: Stamper) -> None:
         a, b = stamper.node(self.nodes[0]), stamper.node(self.nodes[1])

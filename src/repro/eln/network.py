@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..core.errors import ElaborationError, SolverError
 from ..ct.linear import LinearDae
@@ -52,17 +53,31 @@ class Component:
 
 
 class Stamper:
-    """Index bookkeeping plus stamping surface handed to components."""
+    """Index bookkeeping plus stamping surface handed to components.
+
+    Stamps accumulate as COO triplet lists; :attr:`G` / :attr:`C`
+    materialize them densely on access (accumulating in stamp order, so
+    the result is bit-identical to in-place ``+=`` stamping), while
+    :meth:`sparse_matrices` folds them into ``scipy.sparse`` CSR
+    matrices, optionally reusing a cached symbolic pattern.
+    """
 
     def __init__(self, node_index: dict[str, int],
                  current_index: dict[str, int], size: int):
         self._node_index = node_index
         self._current_index = current_index
         self.size = size
-        self.G = np.zeros((size, size))
-        self.C = np.zeros((size, size))
-        #: time-dependent source contributions: (row, waveform) pairs.
-        self.sources: list[tuple[int, Callable[[float], float]]] = []
+        self._g_rows: list[int] = []
+        self._g_cols: list[int] = []
+        self._g_vals: list[float] = []
+        self._c_rows: list[int] = []
+        self._c_cols: list[int] = []
+        self._c_vals: list[float] = []
+        #: time-dependent source contributions: (row, waveform, scale)
+        #: triples — the row accumulates ``scale * waveform(t)``.
+        self.sources: list[
+            tuple[int, Callable[[float], float], float]
+        ] = []
 
     # -- index resolution ---------------------------------------------------
 
@@ -81,34 +96,117 @@ class Stamper:
     def conductance(self, a: int, b: int, g: float) -> None:
         """Stamp a conductance ``g`` between unknowns ``a`` and ``b``."""
         if a >= 0:
-            self.G[a, a] += g
+            self.g_entry(a, a, g)
         if b >= 0:
-            self.G[b, b] += g
+            self.g_entry(b, b, g)
         if a >= 0 and b >= 0:
-            self.G[a, b] -= g
-            self.G[b, a] -= g
+            self.g_entry(a, b, -g)
+            self.g_entry(b, a, -g)
 
     def capacitance(self, a: int, b: int, c: float) -> None:
         if a >= 0:
-            self.C[a, a] += c
+            self.c_entry(a, a, c)
         if b >= 0:
-            self.C[b, b] += c
+            self.c_entry(b, b, c)
         if a >= 0 and b >= 0:
-            self.C[a, b] -= c
-            self.C[b, a] -= c
+            self.c_entry(a, b, -c)
+            self.c_entry(b, a, -c)
 
     def g_entry(self, row: int, col: int, value: float) -> None:
         if row >= 0 and col >= 0:
-            self.G[row, col] += value
+            self._g_rows.append(row)
+            self._g_cols.append(col)
+            self._g_vals.append(value)
 
     def c_entry(self, row: int, col: int, value: float) -> None:
         if row >= 0 and col >= 0:
-            self.C[row, col] += value
+            self._c_rows.append(row)
+            self._c_cols.append(col)
+            self._c_vals.append(value)
 
     def source_entry(self, row: int,
-                     waveform: Callable[[float], float]) -> None:
+                     waveform: Callable[[float], float],
+                     scale: float = 1.0) -> None:
         if row >= 0:
-            self.sources.append((row, waveform))
+            self.sources.append((row, waveform, scale))
+
+    # -- matrix materialization ------------------------------------------------
+
+    def _dense(self, rows, cols, vals) -> np.ndarray:
+        out = np.zeros((self.size, self.size))
+        if rows:
+            # np.add.at applies contributions in index order — the same
+            # accumulation order (and therefore the same rounding) as
+            # sequential += stamping.
+            np.add.at(out, (np.asarray(rows), np.asarray(cols)),
+                      np.asarray(vals))
+        return out
+
+    @property
+    def G(self) -> np.ndarray:
+        """Dense conductance matrix (materialized from the triplets)."""
+        return self._dense(self._g_rows, self._g_cols, self._g_vals)
+
+    @property
+    def C(self) -> np.ndarray:
+        """Dense capacitance matrix (materialized from the triplets)."""
+        return self._dense(self._c_rows, self._c_cols, self._c_vals)
+
+    @staticmethod
+    def _fold_pattern(rows: np.ndarray, cols: np.ndarray) -> dict:
+        """Symbolic analysis of a triplet pattern: which unique (row,
+        col) slot every triplet lands in, in stamp order."""
+        order = np.lexsort((cols, rows))
+        sr, sc = rows[order], cols[order]
+        if len(order):
+            keep = np.concatenate(
+                ([True], (sr[1:] != sr[:-1]) | (sc[1:] != sc[:-1]))
+            )
+            slot_sorted = np.cumsum(keep) - 1
+        else:
+            keep = np.zeros(0, dtype=bool)
+            slot_sorted = np.zeros(0, dtype=np.intp)
+        slot = np.empty(len(order), dtype=np.intp)
+        slot[order] = slot_sorted
+        return {
+            "rows": rows, "cols": cols, "slot": slot,
+            "urows": sr[keep], "ucols": sc[keep],
+            "nnz": int(keep.sum()),
+        }
+
+    def _fold(self, rows, cols, vals, pattern: Optional[dict]):
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        vals = np.asarray(vals, dtype=float)
+        if (pattern is None
+                or not np.array_equal(pattern["rows"], rows)
+                or not np.array_equal(pattern["cols"], cols)):
+            pattern = self._fold_pattern(rows, cols)
+        data = np.zeros(pattern["nnz"])
+        # add.at over the slot map accumulates duplicates in stamp
+        # order, exactly like dense += stamping.
+        np.add.at(data, pattern["slot"], vals)
+        matrix = sp.coo_matrix(
+            (data, (pattern["urows"], pattern["ucols"])),
+            shape=(self.size, self.size),
+        ).tocsr()
+        return matrix, pattern
+
+    def sparse_matrices(
+        self, cache: Optional[dict] = None
+    ) -> tuple["sp.csr_matrix", "sp.csr_matrix", dict]:
+        """``(C, G)`` as CSR matrices plus the symbolic-pattern cache.
+
+        Pass the returned cache back on re-assembly (switch events) to
+        skip the sort-and-unique symbolic analysis when the stamp
+        pattern is unchanged.
+        """
+        cache = cache or {}
+        C_mat, c_pat = self._fold(self._c_rows, self._c_cols,
+                                  self._c_vals, cache.get("c"))
+        G_mat, g_pat = self._fold(self._g_rows, self._g_cols,
+                                  self._g_vals, cache.get("g"))
+        return C_mat, G_mat, {"c": c_pat, "g": g_pat}
 
 
 class Network:
@@ -118,6 +216,9 @@ class Network:
         self.name = name
         self.components: list[Component] = []
         self._names: set[str] = set()
+        #: symbolic-pattern cache for sparse re-assembly, keyed on the
+        #: component identity tuple (switch toggles keep the pattern).
+        self._assembly_cache: Optional[tuple] = None
 
     def add(self, component: Component) -> Component:
         if component.name in self._names:
@@ -138,8 +239,22 @@ class Network:
                     seen.append(node)
         return seen
 
-    def assemble(self) -> tuple[LinearDae, "NetworkIndex"]:
-        """Build the MNA system.  Returns (dae, index)."""
+    def system_size(self) -> int:
+        """Unknown count of the assembled MNA system (nodes + branch
+        currents) — available without assembling."""
+        return len(self.node_names()) + sum(
+            1 for c in self.components if c.needs_current
+        )
+
+    def assemble(
+        self, sparse: bool = False
+    ) -> tuple[LinearDae, "NetworkIndex"]:
+        """Build the MNA system.  Returns (dae, index).
+
+        With ``sparse=True`` the matrices are ``scipy.sparse`` CSR; the
+        symbolic pattern is cached on the network, so re-assembly after
+        a switch/parameter event skips the pattern analysis.
+        """
         if not self.components:
             raise ElaborationError(f"network {self.name!r} is empty")
         nodes = self.node_names()
@@ -167,14 +282,31 @@ class Network:
             b = pool[0]
             pool[0], pool[1] = pool[1], pool[0]
             b[:] = 0.0
-            for row, waveform in source_rows:
-                b[row] += waveform(t)
+            for row, waveform, scale in source_rows:
+                if scale == 1.0:
+                    b[row] += waveform(t)
+                else:
+                    b[row] += scale * waveform(t)
             return b
+
+        #: stamp-order source layout, consumed by the TDF window path
+        #: to batch-evaluate b(t) without calling the closure per step.
+        source.rows = tuple(source_rows)
 
         names = [f"v({n})" for n in nodes] + [
             f"i({c})" for c in current_index
         ]
-        dae = LinearDae(stamper.C, stamper.G, source, names=names)
+        if sparse:
+            key = tuple(id(c) for c in self.components)
+            pattern = None
+            if self._assembly_cache is not None \
+                    and self._assembly_cache[0] == key:
+                pattern = self._assembly_cache[1]
+            C_mat, G_mat, pattern = stamper.sparse_matrices(pattern)
+            self._assembly_cache = (key, pattern)
+            dae = LinearDae(C_mat, G_mat, source, names=names)
+        else:
+            dae = LinearDae(stamper.C, stamper.G, source, names=names)
         index = NetworkIndex(node_index, current_index, self, stamper)
         return dae, index
 

@@ -165,6 +165,12 @@ class LsfNetwork:
                 b[row] += waveform(t) if callable(waveform) else waveform
             return b
 
+        # Stamp-order source layout for the TDF window fast path
+        # (normalized to the ELN (row, waveform, scale) form).
+        source.rows = tuple(
+            (row, waveform, 1.0) for row, waveform in source_rows
+        )
+
         names = [s.name for s in self.signals] + [
             f"{bname}.x{k}"
             for bname, base in state_index.items()

@@ -212,6 +212,20 @@ class ResilientTransientSolver(TransientSolver):
         self._t_good = float(primary.time)
         self._x_good = np.asarray(primary.state, dtype=float).copy()
 
+    def note_system_change(self) -> None:
+        """Tell the wrapper the primary's system was re-stamped in place
+        (e.g. ``LinearTransientSolver.rebind`` after a switch event).
+
+        The derived fallback solver caches matrices from the old system,
+        so it is dropped and lazily rebuilt; the last-good state is
+        refreshed from the primary (the pre-event trajectory is no
+        longer a valid restart point for the new topology).
+        """
+        self._fallback = self._user_fallback
+        self._fallback_built = self._user_fallback is not None
+        self._t_good = float(self.primary.time)
+        self._x_good = np.asarray(self.primary.state, dtype=float).copy()
+
     # -- observability ------------------------------------------------------
 
     def metrics(self) -> dict:

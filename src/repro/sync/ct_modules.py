@@ -30,7 +30,11 @@ import numpy as np
 from ..core.errors import ElaborationError, SynchronizationError
 from ..core.module import Module
 from ..core.port import InPort
-from ..ct.linear import LinearDae
+from ..ct.linear import (
+    LinearDae,
+    SPARSE_AUTO_THRESHOLD,
+    STEPPER_VARIANTS,
+)
 from ..ct.nonlinear import NonlinearSystem
 from ..ct.solver_api import (
     LinearTransientSolver,
@@ -55,6 +59,12 @@ class CtTdfModule(TdfModule):
     #: MoC label used for telemetry (``moc.<moc>.seconds`` wall-time
     #: counters and solver span attributes).
     moc = "ct"
+
+    #: Allow the vectorized window fast path in ``processing_block``
+    #: (source vectors pre-evaluated for the whole block, one
+    #: ``advance_window`` call).  Bit-identical to scalar lockstep; set
+    #: False on subclasses to force the per-activation loop.
+    window_enabled = True
 
     def __init__(self, name: str, parent: Optional[Module] = None,
                  interpolate_inputs: bool = True,
@@ -146,12 +156,37 @@ class CtTdfModule(TdfModule):
         columns = [port.read_block(n) for port, _h in self._inputs]
         outs = np.empty((len(self._outputs), n))
         base = self._activation_index
-        for a in range(n):
-            samples = tuple(float(col[a]) for col in columns)
-            state = self._advance_one(float(times[a]), samples,
-                                      first=base + a == 0)
+        start = 0
+        if base == 0 and n > 0:
+            # The consistent-initialization special case stays scalar.
+            samples = tuple(float(col[0]) for col in columns)
+            state = self._advance_one(float(times[0]), samples,
+                                      first=True)
             for slot, (_port, extract) in enumerate(self._outputs):
-                outs[slot, a] = extract(state)
+                outs[slot, 0] = extract(state)
+            start = 1
+        if start < n:
+            states = None
+            rows = self._window_rows()
+            if rows is not None:
+                states = self._advance_window(
+                    times[start:], [col[start:] for col in columns], rows
+                )
+            if states is not None:
+                for slot, (_port, extract) in enumerate(self._outputs):
+                    column = self._extract_column(extract, states)
+                    if column is None:
+                        for a in range(n - start):
+                            outs[slot, start + a] = extract(states[a])
+                    else:
+                        outs[slot, start:] = column
+            else:
+                for a in range(start, n):
+                    samples = tuple(float(col[a]) for col in columns)
+                    state = self._advance_one(float(times[a]), samples,
+                                              first=False)
+                    for slot, (_port, extract) in enumerate(self._outputs):
+                        outs[slot, a] = extract(state)
         for slot, (port, _extract) in enumerate(self._outputs):
             port.write_block(outs[slot])
 
@@ -198,6 +233,129 @@ class CtTdfModule(TdfModule):
             if state.size else 0.0
         self._last_inputs = samples
         return state
+
+    # -- window fast path --------------------------------------------------------
+
+    def _window_rows(self):
+        """The source-row layout if the window fast path applies.
+
+        The path requires the plain built-in linear solver with no
+        per-step observers: exactly one internal step per sync point
+        (``h_internal`` unset), no health monitor, no gating, and no
+        fine-grained telemetry (which traces each ``advance_to``).  The
+        returned value is the stamp-order ``(row, waveform, scale)``
+        layout attached by the network assemblers, or None.
+        """
+        if not self.window_enabled or self.gating_enabled:
+            return None
+        solver = self._solver
+        if not isinstance(solver, LinearTransientSolver):
+            return None
+        if solver.monitor is not None or solver.h_internal is not None:
+            return None
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.fine:
+            return None
+        source = getattr(solver.system, "source", None)
+        return getattr(source, "rows", None)
+
+    def _advance_window(self, times, columns, rows):
+        """Advance one step per activation over a whole block at once.
+
+        Pre-evaluates every source row for all activations (replaying
+        the ``InputHolder`` hold/interpolation arithmetic vectorized,
+        bit-for-bit) and hands the solver one ``advance_window`` call.
+        Returns the per-activation states, or None when the window
+        cannot be formed (non-monotonic times).
+        """
+        solver = self._solver
+        steps = len(times)
+        t_prev = np.empty(steps)
+        t_prev[0] = solver.time
+        t_prev[1:] = times[:-1]
+        h_values = times - t_prev
+        if not np.all(h_values > 0.0):
+            return None
+        # The scalar step evaluates sources at t_prev + h, which may
+        # differ from times[k] by one ULP; replicate literally.
+        te_next = t_prev + h_values
+        need_now = (solver.variant == "expm"
+                    or solver.method == "trapezoidal")
+        # Per-holder sample columns at the step end/start instants,
+        # matched to source rows by holder identity.
+        holder_columns: dict[int, tuple] = {}
+        for (_port, holder), col in zip(self._inputs, columns):
+            prev = np.empty(steps)
+            prev[0] = holder.value
+            prev[1:] = col[:-1]
+            if holder.interpolate:
+                fraction = (te_next - t_prev) / (times - t_prev)
+                interp = prev + fraction * (col - prev)
+                next_col = np.where(
+                    te_next >= times, col,
+                    np.where(te_next <= t_prev, prev, interp),
+                )
+                now_col = prev
+            else:
+                next_col = col
+                now_col = col
+            holder_columns[id(holder)] = (next_col, now_col)
+        n = solver.system.n
+        b_next = np.zeros((steps, n))
+        b_now = np.zeros((steps, n)) if need_now else None
+        for row, waveform, scale in rows:
+            pair = holder_columns.get(id(waveform))
+            if pair is not None:
+                nxt, now = pair
+            elif callable(waveform):
+                # Arbitrary Python waveform: evaluate per step at the
+                # exact scalar instants.
+                nxt = np.empty(steps)
+                for j in range(steps):
+                    nxt[j] = waveform(float(te_next[j]))
+                now = None
+                if need_now:
+                    now = np.empty(steps)
+                    for j in range(steps):
+                        now[j] = waveform(float(t_prev[j]))
+            else:
+                nxt = now = np.full(steps, float(waveform))
+            if scale == 1.0:
+                b_next[:, row] += nxt
+                if need_now:
+                    b_now[:, row] += now
+            else:
+                b_next[:, row] += scale * nxt
+                if need_now:
+                    b_now[:, row] += scale * now
+        x_before = np.array(solver.state, copy=True)
+        seconds = self._m_solver_seconds
+        if seconds is None:
+            states = solver.advance_window(times, h_values,
+                                           b_next, b_now)
+        else:
+            advance_start = _time.perf_counter()
+            states = solver.advance_window(times, h_values,
+                                           b_next, b_now)
+            seconds.inc(_time.perf_counter() - advance_start)
+        # Leave holders, gating memory and delta exactly as the last
+        # scalar activation would have (checkpoint parity).
+        for (_port, holder), col in zip(self._inputs, columns):
+            holder._previous = float(col[-2]) if steps >= 2 \
+                else holder.value
+            holder.value = float(col[-1])
+            holder._t0 = float(t_prev[-1])
+            holder._t1 = float(times[-1])
+        self._last_inputs = tuple(float(col[-1]) for col in columns)
+        before = states[-2] if steps >= 2 else x_before
+        self._last_delta = float(np.max(np.abs(states[-1] - before))) \
+            if states[-1].size else 0.0
+        return states
+
+    def _extract_column(self, extract, states):
+        """Vectorized counterpart of ``extract(state)`` over a window of
+        states, or None when only the scalar extractor exists."""
+        return None
 
     # -- internals -----------------------------------------------------------------
 
@@ -284,11 +442,18 @@ class ElnTdfModule(CtTdfModule):
                  oversample: int = 1,
                  interpolate_inputs: bool = True,
                  resilient: bool = False,
-                 resilient_options: Optional[dict] = None):
+                 resilient_options: Optional[dict] = None,
+                 solver_variant: str = "auto"):
         super().__init__(name, parent, interpolate_inputs,
                          resilient, resilient_options)
+        if solver_variant not in STEPPER_VARIANTS:
+            raise ElaborationError(
+                f"{name!r}: unknown solver_variant {solver_variant!r}; "
+                f"expected one of {sorted(STEPPER_VARIANTS)}"
+            )
         self.network = network
         self.method = method
+        self.solver_variant = solver_variant
         if oversample < 1:
             raise ElaborationError(
                 f"{name!r}: oversample must be >= 1"
@@ -372,34 +537,63 @@ class ElnTdfModule(CtTdfModule):
 
     # -- solver management -------------------------------------------------------------
 
+    def _assemble(self):
+        """Assemble the network, sparse when the variant asks for it
+        (or auto-selects it from the system size)."""
+        sparse = self.solver_variant == "sparse" or (
+            self.solver_variant == "auto"
+            and self.network.system_size() >= SPARSE_AUTO_THRESHOLD
+        )
+        return self.network.assemble(sparse=sparse)
+
     def _make_solver(self) -> TransientSolver:
         self._apply_switches()
-        dae, self._index = self.network.assemble()
+        dae, self._index = self._assemble()
         h_internal = None
         if self.timestep is not None and self.oversample > 1:
             h_internal = self.timestep.to_seconds() / self.oversample
         return LinearTransientSolver(dae, h_internal=h_internal,
-                                     method=self.method)
+                                     method=self.method,
+                                     variant=self.solver_variant)
 
     def _apply_switches(self) -> bool:
         changed = False
         states = []
         for switch, port in self._switch_bindings:
             value = bool(port.read())
-            if value != switch.closed:
-                switch.closed = value
+            if switch.set_closed(value):
                 changed = True
             states.append(value)
         self._switch_states = states
         return changed
 
-    def processing(self) -> None:
-        if self._switch_bindings and self._apply_switches():
-            # Topology-preserving rebuild: carry the state vector over.
+    def _restamp(self) -> None:
+        """Re-assemble after a switch toggle and refactorize in place.
+
+        A toggle is value-only (the unknown layout and stamp pattern
+        are unchanged), so the built-in linear solver keeps its time
+        and state and only the matrices/factorization are replaced —
+        one refactorization, not a solver rebuild.  Non-linear or
+        plug-in primaries fall back to the full rebuild.
+        """
+        primary = getattr(self._solver, "primary", self._solver)
+        if isinstance(primary, LinearTransientSolver):
+            dae, self._index = self._assemble()
+            primary.rebind(dae)
+            if primary is not self._solver:
+                note = getattr(self._solver, "note_system_change", None)
+                if note is not None:
+                    note()
+        else:
             old_state = np.array(self._solver.state, copy=True)
             old_time = self._solver.time
             self._install_solver(self._make_solver())
             self._solver.initialize(old_time, x0=old_state)
+
+    def processing(self) -> None:
+        if self._switch_bindings and self._apply_switches():
+            # Topology-preserving re-stamp: carry the state vector over.
+            self._restamp()
             # The new topology changes the algebraic solution: snap it
             # while the differential states carry over continuously.
             self._snap()
@@ -444,12 +638,26 @@ class ElnTdfModule(CtTdfModule):
                 switch.closed = closed
                 changed = True
         if changed:
-            # Rebuild the iteration matrices for the checkpointed
+            # Re-stamp the iteration matrices for the checkpointed
             # topology before the solver state is loaded below.
-            self._install_solver(self._make_solver())
+            self._restamp()
         self._switch_states = list(data["switch_states"])
         self.rebuild_count = int(data["rebuild_count"])
         super().restore_state(data)
+
+    def _extract_column(self, extract, states):
+        index = self._index
+        if index is None:
+            return None
+        if isinstance(extract, _DeferredVoltage):
+            column = index.voltage_series(states, extract.node)
+            if extract.reference != "0":
+                column = column - index.voltage_series(
+                    states, extract.reference)
+            return column
+        if isinstance(extract, _DeferredCurrent):
+            return index.current_series(states, extract.component)
+        return None
 
 
 class _DeferredVoltage:
@@ -492,11 +700,18 @@ class LsfTdfModule(CtTdfModule):
                  oversample: int = 1,
                  interpolate_inputs: bool = True,
                  resilient: bool = False,
-                 resilient_options: Optional[dict] = None):
+                 resilient_options: Optional[dict] = None,
+                 solver_variant: str = "auto"):
         super().__init__(name, parent, interpolate_inputs,
                          resilient, resilient_options)
+        if solver_variant not in STEPPER_VARIANTS:
+            raise ElaborationError(
+                f"{name!r}: unknown solver_variant {solver_variant!r}; "
+                f"expected one of {sorted(STEPPER_VARIANTS)}"
+            )
         self.network = network
         self.method = method
+        self.solver_variant = solver_variant
         self.oversample = max(1, oversample)
         self._lsf_inputs: list[tuple[LsfSignal, InputHolder]] = []
         self._lsf_index = None
@@ -539,7 +754,8 @@ class LsfTdfModule(CtTdfModule):
         if self.timestep is not None and self.oversample > 1:
             h_internal = self.timestep.to_seconds() / self.oversample
         solver = LinearTransientSolver(dae, h_internal=h_internal,
-                                       method=self.method)
+                                       method=self.method,
+                                       variant=self.solver_variant)
         solver.initialize(0.0, x0=x0)
         # Re-initialization in CtTdfModule.initialize would discard x0;
         # wrap initialize to preserve the consistent initial state.
@@ -553,6 +769,12 @@ class LsfTdfModule(CtTdfModule):
                 f"{self.full_name()!r}: LSF index not built yet"
             )
         return self._lsf_index
+
+    def _extract_column(self, extract, states):
+        index = self._lsf_index
+        if index is None or not isinstance(extract, _DeferredLsfSignal):
+            return None
+        return states[:, index.signal_index(extract.signal)]
 
 
 def _reinit(solver: LinearTransientSolver, t0: float, x0):

@@ -42,12 +42,12 @@ class _UnionFind:
         self._parent: Dict[str, str] = {}
 
     def find(self, x: str) -> str:
-        parent = self._parent.setdefault(x, x)
-        while parent != x:
-            self._parent[x] = parent = self._parent.setdefault(
-                parent, parent)
-            x = parent
-        return x
+        root = self._parent.setdefault(x, x)
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
 
     def union(self, a: str, b: str) -> bool:
         """Merge; returns False when a and b were already connected

@@ -21,7 +21,7 @@ TINY_US = 400.0
 
 
 def test_models_registry_shape():
-    assert set(MODELS) == {"adc_chain", "mixed_chain"}
+    assert set(MODELS) == {"adc_chain", "mixed_chain", "eln_ladder"}
     for builder, full_us, quick_us in MODELS.values():
         assert callable(builder)
         assert full_us > quick_us > 0
