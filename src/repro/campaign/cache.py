@@ -29,7 +29,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from .records import RunRecord, canonical_json
 
@@ -56,7 +56,8 @@ def cache_key(campaign_name: str, params: Dict[str, Any],
 class ResultCache:
     """Directory of ``<key>.json`` run records."""
 
-    def __init__(self, directory, fsync: bool = False):
+    def __init__(self, directory: Union[str, Path],
+                 fsync: bool = False):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync = fsync

@@ -345,10 +345,16 @@ class CampaignRunner:
 
         runnable: List[RunTask] = []
         rejected = 0
+        extra_code = [(f"{self.campaign.name}.build",
+                       self.campaign.build)]
+        if self.campaign.metrics is not None:
+            extra_code.append((f"{self.campaign.name}.metrics",
+                               self.campaign.metrics))
         for index, params, attempt in tasks:
             try:
                 simulator = self.campaign.build(dict(params))
-                report = verify_model(simulator.top)
+                report = verify_model(simulator.top,
+                                      extra_code=extra_code)
             except Exception:
                 runnable.append((index, params, attempt))
                 continue

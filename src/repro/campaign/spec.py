@@ -23,13 +23,12 @@ run's independent random stream is spawned.
 from __future__ import annotations
 
 import hashlib
-import inspect
 import itertools
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from .. import __version__ as _REPRO_VERSION
+from ..verify.code.fingerprint import code_fingerprint
 
 
 class ParamSpace:
@@ -145,24 +144,25 @@ class Concat(ParamSpace):
         return self.left.points() + self.right.points()
 
 
-def code_version_for(fn: Callable) -> str:
+def code_version_for(fn: Callable,
+                     *extra: Optional[Callable]) -> str:
     """Content hash identifying the code behind a run function.
 
-    Combines the framework version with a digest of the source file
-    defining ``fn`` — editing the model (or bumping the framework)
-    invalidates cached results, while re-running unchanged code hits
-    the cache.  Falls back to the framework version alone when the
-    source is unavailable (e.g. functions defined in a REPL).
+    Combines the framework version with
+    :func:`~repro.verify.code.code_fingerprint` of ``fn`` (and of any
+    ``extra`` callables, e.g. a campaign's ``metrics`` probe): the
+    normalized AST of the *executed* function bodies, one helper level
+    deep.  Editing the model invalidates cached results; editing
+    comments, docstrings, or unrelated functions in the same file does
+    not — unlike the whole-file digest this used before.
     """
     digest = hashlib.sha256()
     digest.update(_REPRO_VERSION.encode())
-    try:
-        source_file = inspect.getsourcefile(fn)
-    except TypeError:
-        source_file = None
-    if source_file and os.path.exists(source_file):
-        with open(source_file, "rb") as handle:
-            digest.update(handle.read())
+    digest.update(code_fingerprint(fn).encode())
+    for other in extra:
+        if other is not None:
+            digest.update(b";")
+            digest.update(code_fingerprint(other).encode())
     return digest.hexdigest()[:16]
 
 
@@ -222,4 +222,4 @@ class Campaign:
     def resolved_code_version(self) -> str:
         if self.code_version is not None:
             return self.code_version
-        return code_version_for(self.target())
+        return code_version_for(self.target(), self.metrics)

@@ -53,6 +53,15 @@ class LmsFilter(TdfModule):
         self.out.write(error)
         self.estimate.write(estimate)
 
+    def checkpoint_state(self):
+        return {"weights": self.weights.tolist(),
+                "history": self._history.tolist()}
+
+    def restore_state(self, data):
+        if data is not None:
+            self.weights = np.asarray(data["weights"], dtype=float)
+            self._history = np.asarray(data["history"], dtype=float)
+
 
 def lms_cancel(reference: np.ndarray, desired: np.ndarray,
                taps: int, mu: float = 0.5,

@@ -49,6 +49,15 @@ class TdfSink(TdfModule):
     def as_arrays(self):
         return np.asarray(self.times), np.asarray(self.samples)
 
+    def checkpoint_state(self):
+        return {"samples": list(self.samples),
+                "times": list(self.times)}
+
+    def restore_state(self, data):
+        if data is not None:
+            self.samples = list(data["samples"])
+            self.times = list(data["times"])
+
 
 class LinearAmp(TdfModule):
     """``out = gain * in + offset``."""

@@ -66,3 +66,14 @@ class BehavioralPll(TdfModule):
         self.out.write(nco)
         self.freq.write(frequency)
         self.phase_error.write(error)
+
+    def checkpoint_state(self):
+        return {"phase": self._phase,
+                "integrator": self._integrator,
+                "pd_state": self._pd_state}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._phase = float(data["phase"])
+            self._integrator = float(data["integrator"])
+            self._pd_state = float(data["pd_state"])

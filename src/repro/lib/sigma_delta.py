@@ -41,6 +41,15 @@ class SigmaDelta1(TdfModule):
         self._feedback = bit
         self.out.write(bit)
 
+    def checkpoint_state(self):
+        return {"integrator": self._integrator,
+                "feedback": self._feedback}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._integrator = float(data["integrator"])
+            self._feedback = float(data["feedback"])
+
 
 class SigmaDelta2(TdfModule):
     """Second-order single-bit ΣΔ modulator (CIFB structure).
@@ -66,6 +75,16 @@ class SigmaDelta2(TdfModule):
         bit = self.full_scale if self._i2 >= 0.0 else -self.full_scale
         self._feedback = bit
         self.out.write(bit)
+
+    def checkpoint_state(self):
+        return {"i1": self._i1, "i2": self._i2,
+                "feedback": self._feedback}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._i1 = float(data["i1"])
+            self._i2 = float(data["i2"])
+            self._feedback = float(data["feedback"])
 
 
 class CicDecimator(TdfModule):
@@ -105,6 +124,16 @@ class CicDecimator(TdfModule):
             self._combs[i] = value
             value = value - delayed
         self.out.write(value / self._gain)
+
+    def checkpoint_state(self):
+        return {"integrators": self._integrators.tolist(),
+                "combs": self._combs.tolist()}
+
+    def restore_state(self, data):
+        if data is not None:
+            self._integrators = np.asarray(data["integrators"],
+                                           dtype=float)
+            self._combs = np.asarray(data["combs"], dtype=float)
 
 
 # -- behavioural (array) models: the top abstraction level of E12 -------------

@@ -363,15 +363,36 @@ class CampaignService:
         verifier rejects is refused with a structured 422 before any
         queue slot or worker is spent.  (Per-point pre-flight remains
         the in-process runner's job; the service checks the first
-        planned point as the spec's representative.)"""
-        if self.verify == "off" or campaign.build is None \
-                or not records:
+        planned point as the spec's representative.)  ``run``-style
+        campaigns expose no model, but their callable still gets the
+        behavioral CODE lint (determinism, pickle safety)."""
+        if self.verify == "off" or not records:
             return
-        from ..verify import verify_model
+        from ..verify import verify_callables, verify_model
 
+        if campaign.build is None:
+            if campaign.run is None:
+                return
+            report = verify_callables(
+                [(f"{campaign.name}.run", campaign.run)],
+                target=campaign.name)
+            if not report.ok:
+                self.metrics.counter("service.jobs.rejected").inc()
+                raise HttpError(
+                    422, "static verification failed",
+                    campaign=campaign.name,
+                    diagnostics=report.to_dict(),
+                )
+            return
+
+        extra_code = [(f"{campaign.name}.build", campaign.build)]
+        if campaign.metrics is not None:
+            extra_code.append(
+                (f"{campaign.name}.metrics", campaign.metrics))
         try:
             simulator = campaign.build(dict(records[0].params))
-            report = verify_model(simulator.top)
+            report = verify_model(simulator.top,
+                                  extra_code=extra_code)
         except Exception:
             # a crashing build is an *execution* failure — dispatch it
             # so the worker classifies it, exactly like CampaignRunner

@@ -20,12 +20,19 @@ report, and the campaign runner uses the same machinery to classify
 structurally-broken sweep points without forking workers.
 """
 
+from .code import code_fingerprint
 from .diagnostics import (
     Diagnostic,
     StaticVerificationError,
     VerificationReport,
 )
-from .engine import verify, verify_model, verify_network, verify_sdf
+from .engine import (
+    verify,
+    verify_callables,
+    verify_model,
+    verify_network,
+    verify_sdf,
+)
 from .registry import Rule, all_rules, rule, ruleset_version
 
 __all__ = [
@@ -34,9 +41,11 @@ __all__ = [
     "StaticVerificationError",
     "VerificationReport",
     "all_rules",
+    "code_fingerprint",
     "rule",
     "ruleset_version",
     "verify",
+    "verify_callables",
     "verify_model",
     "verify_network",
     "verify_sdf",

@@ -1,0 +1,14 @@
+"""Behavioral code lint: AST analysis of the Python code models run.
+
+Public surface:
+
+* :func:`code_fingerprint` — content hash of the code a callable
+  executes (used by the campaign cache key);
+* :mod:`.rules_code` — the CODE### rules, registered via the shared
+  ``@rule`` registry when the verifier loads builtin rules;
+* :mod:`.scan` — the AST scanning infrastructure the rules build on.
+"""
+
+from .fingerprint import code_fingerprint
+
+__all__ = ["code_fingerprint"]

@@ -1,0 +1,104 @@
+"""Per-function content hashing (``code_fingerprint``).
+
+The campaign cache (PR 1) keyed results on a digest of the *whole
+source file* defining the model factory — editing a docstring three
+functions away invalidated every cached point.  ``code_fingerprint``
+narrows the identity to the code that actually executes: the
+normalized AST of the function itself plus (one level deep, matching
+the lint's interprocedural bound) every same-module helper function it
+calls by name.  Formatting, comments, docstrings, and unrelated
+top-level edits no longer churn cache keys; changing the executed body
+always does.
+
+The hash is stable across processes and hosts: it is derived from
+``ast.dump`` of a location-stripped parse, never from ``id()``,
+``hash()``, or dict iteration over runtime state.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import hashlib
+import inspect
+import textwrap
+from typing import Callable, Optional
+
+
+def _normalized_dump(fn: Callable) -> Optional[str]:
+    """Location-free, docstring-free AST dump of ``fn``; None when the
+    source cannot be recovered (C extensions, REPL definitions)."""
+    try:
+        source = textwrap.dedent(inspect.getsource(inspect.unwrap(fn)))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return None
+    if not tree.body or not isinstance(
+            tree.body[0], (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    node = tree.body[0]
+    body = node.body
+    if (body and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)):
+        node.body = body[1:] or [ast.Pass()]
+    return ast.dump(node, include_attributes=False)
+
+
+def _helper_names(fn: Callable) -> list:
+    """Same-module functions ``fn`` calls by bare name, sorted."""
+    try:
+        source = textwrap.dedent(inspect.getsource(inspect.unwrap(fn)))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return []
+    namespace = getattr(fn, "__globals__", {})
+    module_name = getattr(fn, "__module__", None)
+    helpers = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            obj = namespace.get(node.func.id)
+            if (inspect.isfunction(obj)
+                    and obj.__module__ == module_name
+                    and obj is not inspect.unwrap(fn)):
+                helpers[node.func.id] = obj
+    return sorted(helpers.items())
+
+
+def _opaque_identity(fn: Callable) -> bytes:
+    """Source-less fallback: hash the compiled code object (stable for
+    a given interpreter/bytecode, better than nothing)."""
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return repr(fn).encode()
+    return code.co_code + repr(code.co_consts).encode() \
+        + repr(code.co_names).encode()
+
+
+def code_fingerprint(fn: Callable) -> str:
+    """Content hash of the code a callable executes.
+
+    Covers the function's own normalized AST plus one level of
+    same-module helper functions called by name (deeper call chains —
+    like the verifier's interprocedural analysis — are deliberately
+    out of scope: fingerprint what you lint).  ``functools.partial``
+    objects hash their inner function together with the canonical repr
+    of the frozen arguments.
+    """
+    digest = hashlib.sha256(b"code-fingerprint-v1:")
+    if isinstance(fn, functools.partial):
+        digest.update(code_fingerprint(fn.func).encode())
+        digest.update(repr(fn.args).encode())
+        digest.update(repr(sorted(fn.keywords.items())).encode())
+        return digest.hexdigest()[:16]
+    dump = _normalized_dump(fn)
+    if dump is None:
+        digest.update(_opaque_identity(fn))
+        return digest.hexdigest()[:16]
+    digest.update(dump.encode())
+    for name, helper in _helper_names(fn):
+        helper_dump = _normalized_dump(helper)
+        if helper_dump is not None:
+            digest.update(f";{name}=".encode())
+            digest.update(helper_dump.encode())
+    return digest.hexdigest()[:16]

@@ -1,0 +1,682 @@
+"""AST scanning infrastructure for the behavioral code lint (CODE###).
+
+The graph rules (TDF/SDF/ELN/SYNC/CORE) check the *structure* a model
+declares; the CODE rules check the *Python code* the model executes.
+This module turns live objects back into analyzable ASTs:
+
+* :class:`ScannedFunction` — one function/method: its AST, absolute
+  line numbers, defining file, and the globals it resolves names in;
+* :class:`ModuleScan` — one :class:`~repro.tdf.module.TdfModule`
+  *class* (instances sharing a class share one scan) with its analyzed
+  lifecycle methods plus one level of helper-call inlining;
+* name resolution (:meth:`ScannedFunction.resolve_call`) that maps a
+  call expression back to the canonical dotted name of what it calls
+  (``np.random.normal`` → ``numpy.random.normal``), so rules match on
+  semantics, not on spelling;
+* dataflow helpers: per-attribute ``self.X`` write sites and
+  statically bounded port-I/O counts per activation.
+
+Everything here is best-effort and *silent* on failure: code whose
+source is unavailable (C extensions, REPL definitions) simply yields
+no scan, never a crash — the graph rules still run.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ...tdf.module import TdfModule
+
+#: Lifecycle methods analyzed on every TDF module class, in the order
+#: they run.  ``build``-style campaign callables are scanned separately
+#: (see :func:`scan_callable`).
+LIFECYCLE_METHODS = (
+    "__init__",
+    "set_attributes",
+    "initialize",
+    "processing",
+    "processing_block",
+)
+
+#: Methods whose body runs once per activation (the paper's
+#: "side-effect-free processing between cluster activations").
+ACTIVATION_METHODS = ("processing", "processing_block")
+
+#: Container-mutating method names: ``self.X.append(...)`` and friends
+#: count as writes to ``self.X``.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort",
+    "reverse", "appendleft", "extendleft", "fill", "itemset",
+})
+
+
+def _source_node(fn: Callable) -> Optional[Tuple[ast.FunctionDef, str, int]]:
+    """(FunctionDef with *absolute* line numbers, file, first line)."""
+    try:
+        fn = inspect.unwrap(fn)
+        lines, start = inspect.getsourcelines(fn)
+        path = inspect.getsourcefile(fn)
+    except (OSError, TypeError):
+        return None
+    if path is None:
+        return None
+    try:
+        tree = ast.parse(textwrap.dedent("".join(lines)))
+    except SyntaxError:
+        return None
+    if not tree.body or not isinstance(
+            tree.body[0], (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    node = tree.body[0]
+    ast.increment_lineno(node, start - 1)
+    return node, path, start
+
+
+@dataclass
+class ScannedFunction:
+    """One analyzable function or method."""
+
+    #: Method name (``"processing"``) or callable label
+    #: (``"campaign.build"``).
+    name: str
+    #: The live function object (unbound for methods).
+    fn: Callable
+    #: Its ``FunctionDef`` node, line numbers absolute in :attr:`file`.
+    node: ast.FunctionDef
+    file: str
+    first_line: int
+    #: ``"method"`` or ``"callable"``.
+    kind: str = "method"
+    #: Set on helper scans: the lifecycle method that calls this one.
+    inlined_from: Optional[str] = None
+    _resolve_cache: Dict[int, Optional[str]] = field(
+        default_factory=dict, repr=False)
+
+    # -- name resolution ----------------------------------------------------
+
+    def _dotted(self, expr: ast.expr) -> Optional[List[str]]:
+        """``a.b.c`` / ``self.x.y`` → ``["a", "b", "c"]``."""
+        parts: List[str] = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            parts.append(expr.id)
+            return parts[::-1]
+        return None
+
+    def _canonical_root(self, name: str) -> Optional[str]:
+        """Map the first identifier of a dotted path to its canonical
+        module-qualified name via the function's globals."""
+        namespace = getattr(self.fn, "__globals__", {})
+        obj = namespace.get(name, getattr(builtins, name, None))
+        if obj is None:
+            return None
+        if inspect.ismodule(obj):
+            return obj.__name__
+        if inspect.isclass(obj):
+            return f"{obj.__module__}.{obj.__qualname__}"
+        if callable(obj):
+            module = getattr(obj, "__module__", None)
+            qualname = getattr(obj, "__qualname__",
+                               getattr(obj, "__name__", name))
+            return f"{module}.{qualname}" if module else qualname
+        return None
+
+    def resolve_call(self, node: ast.Call) -> Optional[str]:
+        """Canonical dotted name of what ``node`` calls.
+
+        ``self.<...>`` paths are returned verbatim (``"self.inp.read"``);
+        everything else is resolved through the function's globals so
+        import aliases (``import numpy as np``) cannot hide a match.
+        Unresolvable targets (results of calls, subscripts) are None.
+        """
+        key = id(node)
+        if key not in self._resolve_cache:
+            self._resolve_cache[key] = self._resolve_uncached(node)
+        return self._resolve_cache[key]
+
+    def _resolve_uncached(self, node: ast.Call) -> Optional[str]:
+        parts = self._dotted(node.func)
+        if parts is None:
+            return None
+        if parts[0] == "self":
+            return ".".join(parts)
+        root = self._canonical_root(parts[0])
+        if root is None:
+            # unknown name: keep the literal spelling so rules can
+            # still match explicit "module.attr" patterns
+            return ".".join(parts)
+        return ".".join([root, *parts[1:]])
+
+    def resolve_attribute(self, node: ast.Attribute) -> Optional[str]:
+        """Canonical dotted name of a (non-call) attribute access."""
+        parts = self._dotted(node)
+        if parts is None or parts[0] == "self":
+            return None
+        root = self._canonical_root(parts[0])
+        if root is None:
+            return ".".join(parts)
+        return ".".join([root, *parts[1:]])
+
+    # -- traversal ----------------------------------------------------------
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.node)
+
+    def calls(self) -> Iterator[ast.Call]:
+        for node in self.walk():
+            if isinstance(node, ast.Call):
+                yield node
+
+    def global_statements(self) -> Iterator[ast.Global]:
+        for node in self.walk():
+            if isinstance(node, ast.Global):
+                yield node
+
+    # -- self.<attr> dataflow ------------------------------------------------
+
+    def self_writes(self) -> Dict[str, int]:
+        """``{attr: first write line}`` for every ``self.<attr>`` the
+        body assigns, augments, subscript-stores, or mutates in place
+        through a container method."""
+        writes: Dict[str, int] = {}
+
+        def note(attr: str, line: int) -> None:
+            writes.setdefault(attr, line)
+
+        def self_attr(expr: ast.expr) -> Optional[str]:
+            if (isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"):
+                return expr.attr
+            return None
+
+        for node in self.walk():
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    base = target
+                    # self.x[i] = ... mutates self.x
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    attr = self_attr(base)
+                    if attr is not None:
+                        note(attr, target.lineno)
+            elif isinstance(node, ast.Call):
+                # self.x.append(...) and friends
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATOR_METHODS):
+                    attr = self_attr(func.value)
+                    if attr is not None:
+                        note(attr, node.lineno)
+        return writes
+
+    def self_attr_events(self) -> Dict[str, Dict[str, List[int]]]:
+        """Per-attribute access-site lines, classified for the
+        carried-state analysis:
+
+        * ``"assign"`` — plain ``self.x = ...`` (all of them);
+        * ``"toplevel"`` — the subset of plain assigns at the top level
+          of the body (unconditional on every activation);
+        * ``"augmented"`` — accesses that *require* a prior value:
+          ``self.x += ...``, ``self.x[i] = ...``, ``self.x.append()``;
+        * ``"read"`` — Load-context ``self.x`` uses.
+        """
+        events: Dict[str, Dict[str, List[int]]] = {}
+
+        def ev(attr: str) -> Dict[str, List[int]]:
+            return events.setdefault(attr, {
+                "assign": [], "toplevel": [], "augmented": [],
+                "read": []})
+
+        def self_attr(expr: ast.expr) -> Optional[str]:
+            if (isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"):
+                return expr.attr
+            return None
+
+        toplevel_ids = {id(stmt) for stmt in self.node.body}
+        for node in self.walk():
+            if isinstance(node, ast.Assign) or (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    attr = self_attr(target)
+                    if attr is not None:
+                        ev(attr)["assign"].append(target.lineno)
+                        if id(node) in toplevel_ids:
+                            ev(attr)["toplevel"].append(target.lineno)
+                        continue
+                    base = target
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    attr = self_attr(base)
+                    if attr is not None:  # self.x[i] = ... needs self.x
+                        ev(attr)["augmented"].append(target.lineno)
+            elif isinstance(node, ast.AugAssign):
+                base: ast.expr = node.target
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                attr = self_attr(base)
+                if attr is not None:
+                    ev(attr)["augmented"].append(node.lineno)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATOR_METHODS):
+                    attr = self_attr(func.value)
+                    if attr is not None:
+                        ev(attr)["augmented"].append(node.lineno)
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.ctx, ast.Load):
+                    attr = self_attr(node)
+                    if attr is not None:
+                        ev(attr)["read"].append(node.lineno)
+        return events
+
+    def self_reads(self) -> set:
+        """Attr names the body reads via ``self.<attr>``."""
+        reads = set()
+        for node in self.walk():
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                reads.add(node.attr)
+        return reads
+
+    # -- helper discovery ----------------------------------------------------
+
+    def helper_targets(self) -> List[Tuple[str, Callable]]:
+        """Callables this function invokes that are worth one level of
+        inlining: ``self.<method>()`` for methods defined on the owning
+        class, and bare-name calls to functions of the same module."""
+        namespace = getattr(self.fn, "__globals__", {})
+        module_name = getattr(self.fn, "__module__", None)
+        found: Dict[str, Callable] = {}
+        for call in self.calls():
+            func = call.func
+            if isinstance(func, ast.Name):
+                obj = namespace.get(func.id)
+                if (inspect.isfunction(obj)
+                        and obj.__module__ == module_name):
+                    found.setdefault(func.id, obj)
+        return list(found.items())
+
+
+def scan_function(fn: Callable, name: str, *, kind: str = "method",
+                  inlined_from: Optional[str] = None,
+                  ) -> Optional[ScannedFunction]:
+    """Best-effort scan of one function; None when source is missing."""
+    located = _source_node(fn)
+    if located is None:
+        return None
+    node, path, start = located
+    return ScannedFunction(name=name, fn=fn, node=node, file=path,
+                           first_line=start, kind=kind,
+                           inlined_from=inlined_from)
+
+
+def scan_callable(fn: Callable, label: str) -> Optional[ScannedFunction]:
+    """Scan a campaign-style callable (``build``/``run``)."""
+    inner = fn
+    # functools.partial: analyze the wrapped function
+    inner = getattr(inner, "func", inner)
+    return scan_function(inner, label, kind="callable")
+
+
+class ModuleScan:
+    """The analyzed code of one TdfModule subclass.
+
+    ``instances`` lists every live module of that class in the verified
+    hierarchy (diagnostics anchor to the first one); ``methods`` maps
+    lifecycle-method names to scans of the *defining* function, wherever
+    in the MRO it lives — but framework base implementations
+    (:class:`~repro.tdf.module.TdfModule` itself) are never analyzed.
+    """
+
+    def __init__(self, cls: type, instances: List[TdfModule]):
+        self.cls = cls
+        self.instances = instances
+        self.methods: Dict[str, ScannedFunction] = {}
+        #: one level of helper inlining: ``{method: [helper scans]}``.
+        self.helpers: Dict[str, List[ScannedFunction]] = {}
+        for name in LIFECYCLE_METHODS:
+            fn = getattr(cls, name, None)
+            base = getattr(TdfModule, name, None)
+            if fn is None or getattr(fn, "__func__", fn) is \
+                    getattr(base, "__func__", base):
+                continue  # not overridden: framework code, skip
+            scan = scan_function(fn, name)
+            if scan is None:
+                continue
+            self.methods[name] = scan
+            self.helpers[name] = self._inline_helpers(scan)
+        self.checkpoint = self._hook_scan("checkpoint_state")
+        self.restore = self._hook_scan("restore_state")
+
+    def _hook_scan(self, name: str) -> Optional[ScannedFunction]:
+        fn = getattr(self.cls, name, None)
+        base = getattr(TdfModule, name, None)
+        if fn is None or getattr(fn, "__func__", fn) is \
+                getattr(base, "__func__", base):
+            return None
+        return scan_function(fn, name)
+
+    def _inline_helpers(self, scan: ScannedFunction,
+                        ) -> List[ScannedFunction]:
+        """One level only: helpers of helpers are not followed."""
+        inlined: List[ScannedFunction] = []
+        seen = set()
+        # module-level functions called by bare name
+        for name, fn in scan.helper_targets():
+            if name not in seen:
+                seen.add(name)
+                helper = scan_function(fn, name,
+                                       inlined_from=scan.name)
+                if helper is not None:
+                    inlined.append(helper)
+        # self.<method>() calls resolving to methods of this class
+        for call in scan.calls():
+            target = scan.resolve_call(call)
+            if (target is None or not target.startswith("self.")
+                    or target.count(".") != 1):
+                continue
+            attr = target.split(".", 1)[1]
+            if attr in seen or attr in LIFECYCLE_METHODS:
+                continue
+            fn = getattr(self.cls, attr, None)
+            if not (inspect.isfunction(fn)
+                    and getattr(TdfModule, attr, None) is None):
+                continue  # framework API / not a plain def
+            seen.add(attr)
+            helper = scan_function(fn, attr, inlined_from=scan.name)
+            if helper is not None:
+                inlined.append(helper)
+        return inlined
+
+    # -- rule-facing views ---------------------------------------------------
+
+    def anchor(self) -> str:
+        """Hierarchical location of the scan's representative instance."""
+        return self.instances[0].full_name()
+
+    def scans(self, *names: str,
+              include_helpers: bool = True,
+              ) -> Iterator[Tuple[str, ScannedFunction]]:
+        """(owning lifecycle method, scan) pairs for ``names`` (all
+        lifecycle methods when empty), helpers included by default."""
+        chosen = names or LIFECYCLE_METHODS
+        for name in chosen:
+            scan = self.methods.get(name)
+            if scan is None:
+                continue
+            yield name, scan
+            if include_helpers:
+                for helper in self.helpers.get(name, ()):
+                    yield name, helper
+
+    def activation_writes(self) -> Dict[str, Tuple[int, str, str]]:
+        """``{attr: (line, file, method)}`` for every ``self`` attribute
+        the per-activation methods (or their helpers) mutate."""
+        writes: Dict[str, Tuple[int, str, str]] = {}
+        for method, scan in self.scans(*ACTIVATION_METHODS):
+            for attr, line in scan.self_writes().items():
+                writes.setdefault(attr, (line, scan.file, method))
+        return writes
+
+    def carried_state(self) -> Dict[str, Tuple[int, str, str]]:
+        """``{attr: (line, file, method)}`` for attributes whose value
+        provably *carries across activations* — the state a checkpoint
+        must capture.  Scratch attributes (unconditionally reassigned at
+        the top of every activation before any read) are excluded:
+        restore recomputes them anyway.
+        """
+        carried: Dict[str, Tuple[int, str, str]] = {}
+        reads_by_scan: Dict[str, List[int]] = {}
+        writes_by_scan: Dict[str, List[Tuple[int, Tuple[int, str, str]]]] = {}
+
+        for index, (method, scan) in enumerate(
+                self.scans(*ACTIVATION_METHODS)):
+            for attr, events in scan.self_attr_events().items():
+                site = None
+                write_lines = events["assign"] + events["augmented"]
+                if write_lines:
+                    site = (min(write_lines), scan.file, method)
+                    writes_by_scan.setdefault(attr, []).append(
+                        (index, site))
+                if events["read"]:
+                    reads_by_scan.setdefault(attr, []).append(index)
+                if attr in carried:
+                    continue
+                if events["augmented"] and (
+                        not events["toplevel"]
+                        or min(events["augmented"])
+                        <= min(events["toplevel"])):
+                    # in-place mutation of a value that was *not*
+                    # freshly assigned earlier this activation
+                    carried[attr] = (min(events["augmented"]),
+                                     scan.file, method)
+                elif events["read"] and events["assign"]:
+                    toplevel = events["toplevel"]
+                    # a read at/before the first unconditional assign
+                    # (or any read when every assign is conditional)
+                    # observes the previous activation's value
+                    if (not toplevel
+                            or min(events["read"]) <= min(toplevel)):
+                        carried[attr] = (min(events["assign"]),
+                                         scan.file, method)
+        # cross-function flows: written in one scan, read in another
+        # (e.g. processing writes, a helper or processing_block reads)
+        for attr, sites in writes_by_scan.items():
+            if attr in carried:
+                continue
+            writer_ids = {index for index, _site in sites}
+            if any(index not in writer_ids
+                   for index in reads_by_scan.get(attr, [])):
+                carried[attr] = sites[0][1]
+        return carried
+
+    def checkpoint_covered(self) -> set:
+        """Attributes mentioned by the checkpoint hooks."""
+        covered = set()
+        for scan in (self.checkpoint, self.restore):
+            if scan is not None:
+                covered |= scan.self_reads()
+                covered |= set(scan.self_writes())
+        return covered
+
+
+def module_scans(ctx) -> List[ModuleScan]:
+    """Per-class scans for every TDF module in the context (cached)."""
+    cached = getattr(ctx, "_code_module_scans", None)
+    if cached is not None:
+        return cached
+    by_class: Dict[type, List[TdfModule]] = {}
+    for module in ctx.tdf_modules:
+        by_class.setdefault(type(module), []).append(module)
+    scans = [ModuleScan(cls, instances)
+             for cls, instances in by_class.items()]
+    ctx._code_module_scans = scans
+    return scans
+
+
+def callable_scans(ctx) -> List[Tuple[str, Callable,
+                                      Optional[ScannedFunction]]]:
+    """Scans of the extra callables attached to the context (campaign
+    ``build``/``run`` functions); the raw callable rides along for
+    value-level checks (closures, lambdas)."""
+    cached = getattr(ctx, "_code_callable_scans", None)
+    if cached is not None:
+        return cached
+    scans = [(label, fn, scan_callable(fn, label))
+             for label, fn in getattr(ctx, "code_callables", [])]
+    ctx._code_callable_scans = scans
+    return scans
+
+
+# -- static port-I/O counting ------------------------------------------------
+
+
+@dataclass
+class PortIoCount:
+    """Statically bounded scalar I/O of one port in one method."""
+
+    #: number of ``read()``/``write()`` calls per activation, or None
+    #: when a surrounding loop/branch defeats the bound.
+    calls: Optional[int]
+    #: highest sample index provably passed, or None when unknown.
+    max_index: Optional[int]
+    #: True when *every* call site was statically bounded.
+    exact: bool
+    #: line of the worst offender (used for diagnostics).
+    line: int = 0
+
+
+def _loop_bound(scan: ScannedFunction, instance: Any,
+                node: ast.For) -> Optional[Tuple[str, int]]:
+    """``for k in range(N)`` → (loop var, N) when N is statically known:
+    an int literal, ``self.<attr>`` with an int value on ``instance``,
+    or ``self.<port>.rate``."""
+    if not (isinstance(node.target, ast.Name)
+            and isinstance(node.iter, ast.Call)
+            and scan.resolve_call(node.iter) == "builtins.range"
+            and len(node.iter.args) == 1):
+        return None
+    bound = node.iter.args[0]
+    if isinstance(bound, ast.Constant) and isinstance(bound.value, int):
+        return node.target.id, bound.value
+    parts = scan._dotted(bound)
+    if parts and parts[0] == "self" and len(parts) in (2, 3):
+        value: Any = instance
+        for attr in parts[1:]:
+            value = getattr(value, attr, None)
+        if isinstance(value, int) and not isinstance(value, bool):
+            return node.target.id, value
+    return None
+
+
+def count_port_io(scan: ScannedFunction, instance: Any, port_attr: str,
+                  method_name: str) -> PortIoCount:
+    """Bound the scalar ``self.<port_attr>.read/write`` traffic of one
+    activation.  Loops over ``range(<literal>)``, ``range(self.<int>)``
+    and ``range(self.<port>.rate)`` multiply; anything else (while,
+    comprehensions, non-range iterables) makes the count unbounded.
+    Branches take the maximum of their arms, which keeps the result a
+    safe upper bound for out-of-range detection.
+    """
+    target_calls = {f"self.{port_attr}.read", f"self.{port_attr}.write"}
+    total = PortIoCount(calls=0, max_index=None, exact=True)
+
+    def merge_index(index: Optional[int], line: int) -> None:
+        if index is None:
+            total.exact = False
+            return
+        if total.max_index is None or index > total.max_index:
+            total.max_index = index
+            total.line = line
+
+    def sample_index(call: ast.Call,
+                     loop_vars: Dict[str, int]) -> Optional[int]:
+        args = list(call.args)
+        for keyword in call.keywords:
+            if keyword.arg == "sample":
+                args = [keyword.value]
+                break
+        else:
+            if not args:
+                return 0  # read()/write(v) default to sample 0
+            name = scan.resolve_call(call) or ""
+            if name.endswith(".write"):
+                args = args[1:]  # write(value[, sample])
+                if not args:
+                    return 0
+        expr = args[0]
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, int):
+            return expr.value
+        if isinstance(expr, ast.Name) and expr.id in loop_vars:
+            return loop_vars[expr.id] - 1  # max value of range var
+        return None
+
+    def calls_in(node: ast.AST) -> Iterator[ast.Call]:
+        """Calls in one statement, not descending into nested defs."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            return
+        if isinstance(node, ast.Call):
+            yield node
+        for child in ast.iter_child_nodes(node):
+            yield from calls_in(child)
+
+    def visit(nodes, loop_vars: Dict[str, int]) -> Optional[int]:
+        """Call count contributed by ``nodes`` (None = unbounded);
+        updates ``total.max_index`` / ``total.exact`` in place."""
+        count: Optional[int] = 0
+
+        def add(n: Optional[int]) -> None:
+            nonlocal count
+            count = None if (count is None or n is None) else count + n
+
+        for node in nodes:
+            if isinstance(node, ast.For):
+                bound = _loop_bound(scan, instance, node)
+                if bound is None:
+                    inner = visit(node.body, dict(loop_vars))
+                    add(None if inner != 0 else 0)
+                else:
+                    var, n = bound
+                    vars_in = dict(loop_vars)
+                    vars_in[var] = n
+                    inner = visit(node.body, vars_in)
+                    add(None if inner is None else inner * n)
+                add(visit(node.orelse, loop_vars))
+            elif isinstance(node, ast.While):
+                inner = visit(node.body, dict(loop_vars))
+                add(None if inner != 0 else 0)
+            elif isinstance(node, ast.If):
+                body = visit(node.body, loop_vars)
+                orelse = visit(node.orelse, loop_vars)
+                if body is None or orelse is None:
+                    add(None)
+                else:
+                    add(max(body, orelse))
+            elif isinstance(node, ast.Try):
+                add(visit(node.body, loop_vars))
+                for handler in node.handlers:
+                    # handler I/O is conditional: any traffic there
+                    # defeats an exact bound
+                    if visit(handler.body, loop_vars) != 0:
+                        add(None)
+                add(visit(node.orelse, loop_vars))
+                add(visit(node.finalbody, loop_vars))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                add(visit(node.body, loop_vars))
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                continue  # nested defs run on their own schedule
+            else:
+                for call in calls_in(node):
+                    if scan.resolve_call(call) in target_calls:
+                        add(1)
+                        merge_index(sample_index(call, loop_vars),
+                                    call.lineno)
+                        if total.line == 0:
+                            total.line = call.lineno
+        return count
+
+    calls = visit(scan.node.body, {})
+    total.calls = calls
+    if calls is None:
+        total.exact = False
+    return total

@@ -295,15 +295,20 @@ class VerifyContext:
         self.processes: List[Process] = []
         #: Findings made while building the context itself.
         self.setup_diagnostics: List[Diagnostic] = []
+        #: (label, callable) pairs of extra code the CODE rules lint:
+        #: campaign ``build``/``run`` functions attached via the
+        #: ``extra_code`` parameter of the verify entry points.
+        self.code_callables: List[Tuple[str, Any]] = []
 
     # -- diagnostic factory ---------------------------------------------------
 
     @staticmethod
     def diag(rule: str, severity: str, location: str, message: str,
-             hint: str = "", **data: Any) -> Diagnostic:
+             hint: str = "", file: str = "", line: int = 0,
+             **data: Any) -> Diagnostic:
         return Diagnostic(rule=rule, severity=severity,
                           location=location, message=message,
-                          hint=hint, data=data)
+                          hint=hint, data=data, file=file, line=line)
 
 
 def build_context(top: Module) -> VerifyContext:

@@ -19,7 +19,9 @@ from ..core.errors import ElaborationError
 SEVERITIES = ("error", "warning", "info")
 
 #: Version of the report JSON layout (bumped on breaking changes).
-SCHEMA_VERSION = 1
+#: v2: diagnostics carry optional ``file``/``line`` source anchors and
+#: a ``suppressed`` flag; ``counts`` gains a ``"suppressed"`` entry.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -40,6 +42,14 @@ class Diagnostic:
     hint: str = ""
     #: Structured extras (cycle member lists, computed bounds, ...).
     data: Dict[str, Any] = field(default_factory=dict)
+    #: Source file of the finding (code rules; "" when not anchored).
+    file: str = ""
+    #: 1-based source line of the finding (0 when not anchored).
+    line: int = 0
+    #: True when a ``# verify: allow[RULE]`` comment suppressed this
+    #: finding.  Suppressed diagnostics stay in the report (and its
+    #: JSON) but are excluded from errors/warnings/infos and gating.
+    suppressed: bool = False
 
     def __post_init__(self) -> None:
         if self.severity not in SEVERITIES:
@@ -49,9 +59,11 @@ class Diagnostic:
             )
 
     def format(self) -> str:
-        text = (f"{self.severity}[{self.rule}] {self.location}: "
-                f"{self.message}")
-        if self.hint:
+        label = self.severity if not self.suppressed else "suppressed"
+        text = f"{label}[{self.rule}] {self.location}: {self.message}"
+        if self.file and self.line:
+            text += f" [{self.file}:{self.line}]"
+        if self.hint and not self.suppressed:
             text += f" (hint: {self.hint})"
         return text
 
@@ -66,6 +78,12 @@ class Diagnostic:
             payload["hint"] = self.hint
         if self.data:
             payload["data"] = self.data
+        if self.file:
+            payload["file"] = self.file
+        if self.line:
+            payload["line"] = self.line
+        if self.suppressed:
+            payload["suppressed"] = True
         return payload
 
 
@@ -92,7 +110,8 @@ class VerificationReport:
         order = {severity: k for k, severity in enumerate(SEVERITIES)}
         self.diagnostics: List[Diagnostic] = sorted(
             diagnostics,
-            key=lambda d: (order[d.severity], d.rule, d.location),
+            key=lambda d: (d.suppressed, order[d.severity], d.rule,
+                           d.location),
         )
         #: Name of the verified object (top module / network / graph).
         self.target = target
@@ -103,15 +122,24 @@ class VerificationReport:
 
     @property
     def errors(self) -> List[Diagnostic]:
-        return [d for d in self.diagnostics if d.severity == "error"]
+        return [d for d in self.diagnostics
+                if d.severity == "error" and not d.suppressed]
 
     @property
     def warnings(self) -> List[Diagnostic]:
-        return [d for d in self.diagnostics if d.severity == "warning"]
+        return [d for d in self.diagnostics
+                if d.severity == "warning" and not d.suppressed]
 
     @property
     def infos(self) -> List[Diagnostic]:
-        return [d for d in self.diagnostics if d.severity == "info"]
+        return [d for d in self.diagnostics
+                if d.severity == "info" and not d.suppressed]
+
+    @property
+    def suppressed(self) -> List[Diagnostic]:
+        """Findings silenced by ``# verify: allow[RULE]`` comments —
+        counted and reported, never dropped."""
+        return [d for d in self.diagnostics if d.suppressed]
 
     @property
     def ok(self) -> bool:
@@ -126,9 +154,12 @@ class VerificationReport:
         return [d for d in self.diagnostics if d.rule == rule_id]
 
     def counts(self) -> Dict[str, int]:
-        return {severity: sum(1 for d in self.diagnostics
-                              if d.severity == severity)
-                for severity in SEVERITIES}
+        counts = {severity: sum(1 for d in self.diagnostics
+                                if d.severity == severity
+                                and not d.suppressed)
+                  for severity in SEVERITIES}
+        counts["suppressed"] = len(self.suppressed)
+        return counts
 
     def __len__(self) -> int:
         return len(self.diagnostics)
@@ -150,7 +181,12 @@ class VerificationReport:
         if not self.diagnostics:
             return head + "clean"
         parts = [f"{n} {severity}{'s' if n != 1 else ''}"
-                 for severity, n in counts.items() if n]
+                 for severity, n in counts.items()
+                 if n and severity != "suppressed"]
+        if counts["suppressed"]:
+            parts.append(f"{counts['suppressed']} suppressed")
+        if not parts:
+            return head + "clean (suppressed findings only)"
         return head + ", ".join(parts)
 
     def format_text(self, min_severity: str = "info") -> str:

@@ -7,7 +7,7 @@ type (module hierarchy, electrical network, SDF graph, or a
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.module import Module
 from ..eln.network import Network
@@ -20,12 +20,46 @@ from .context import (
 )
 from .diagnostics import Diagnostic, VerificationReport
 from .registry import ruleset_version, select_rules
+from .suppress import class_suppressed, line_suppressed
+
+#: (label, callable) pairs — campaign ``build``/``run`` functions the
+#: CODE rules lint alongside the module hierarchy.
+ExtraCode = Sequence[Tuple[str, Callable]]
+
+
+def _owner_class(ctx: VerifyContext, location: str) -> Optional[type]:
+    """Class of the deepest module whose full name prefixes
+    ``location`` (graph diagnostics anchor to instance paths)."""
+    best: Optional[Tuple[str, type]] = None
+    for module in ctx.modules:
+        name = module.full_name()
+        if location == name or location.startswith(name + "."):
+            if best is None or len(name) > len(best[0]):
+                best = (name, type(module))
+    return best[1] if best else None
+
+
+def _apply_suppression(ctx: VerifyContext,
+                       diagnostic: Diagnostic) -> None:
+    """Mark the diagnostic suppressed when an inline
+    ``# verify: allow[RULE]`` comment covers it (line level for
+    source-anchored findings, class level for graph findings)."""
+    if diagnostic.rule == "VERIFY000":
+        return  # verifier failures are never suppressible
+    if diagnostic.file and diagnostic.line:
+        if line_suppressed(diagnostic.file, diagnostic.line,
+                           diagnostic.rule):
+            diagnostic.suppressed = True
+        return
+    cls = _owner_class(ctx, diagnostic.location)
+    if class_suppressed(cls, diagnostic.rule):
+        diagnostic.suppressed = True
 
 
 def _run_rules(ctx: VerifyContext, target: str,
                select: Optional[Sequence[str]],
                ignore: Optional[Sequence[str]]) -> VerificationReport:
-    diagnostics = list(ctx.setup_diagnostics)
+    diagnostics: List[Diagnostic] = list(ctx.setup_diagnostics)
     for rule_obj in select_rules(select, ignore):
         try:
             found = rule_obj.run(ctx)
@@ -42,6 +76,7 @@ def _run_rules(ctx: VerifyContext, target: str,
             # The registry owns severities: whatever the rule body
             # stamped, the registered classification wins.
             diagnostic.severity = rule_obj.severity
+            _apply_suppression(ctx, diagnostic)
             diagnostics.append(diagnostic)
     return VerificationReport(diagnostics, target=target,
                               ruleset=ruleset_version())
@@ -50,10 +85,34 @@ def _run_rules(ctx: VerifyContext, target: str,
 def verify_model(top: Module, *,
                  select: Optional[Sequence[str]] = None,
                  ignore: Optional[Sequence[str]] = None,
+                 extra_code: Optional[ExtraCode] = None,
                  ) -> VerificationReport:
-    """Statically verify a module hierarchy."""
-    return _run_rules(build_context(top), top.full_name(),
-                      select, ignore)
+    """Statically verify a module hierarchy.
+
+    ``extra_code`` attaches (label, callable) pairs — typically the
+    campaign ``build`` function that produced ``top`` — so the CODE
+    rules lint them alongside the modules' own methods.
+    """
+    ctx = build_context(top)
+    if extra_code:
+        ctx.code_callables.extend(extra_code)
+    return _run_rules(ctx, top.full_name(), select, ignore)
+
+
+def verify_callables(callables: ExtraCode, *,
+                     select: Optional[Sequence[str]] = None,
+                     ignore: Optional[Sequence[str]] = None,
+                     target: str = "code",
+                     ) -> VerificationReport:
+    """Run the CODE rules over bare callables, with no model at all.
+
+    Used by the service to lint ``run``-style campaign functions whose
+    model never passes through the verifier.  Graph rules see an empty
+    context and stay silent.
+    """
+    ctx = VerifyContext()
+    ctx.code_callables.extend(callables)
+    return _run_rules(ctx, target, select, ignore)
 
 
 def verify_network(network: Network, *,
@@ -76,18 +135,21 @@ def verify_sdf(graph: SdfGraph, *,
 def verify(target, *,
            select: Optional[Sequence[str]] = None,
            ignore: Optional[Sequence[str]] = None,
+           extra_code: Optional[ExtraCode] = None,
            ) -> VerificationReport:
     """Verify any supported target (Module, Network, SdfGraph, or a
     Simulator — which verifies its top module)."""
     if isinstance(target, Module):
-        return verify_model(target, select=select, ignore=ignore)
+        return verify_model(target, select=select, ignore=ignore,
+                            extra_code=extra_code)
     if isinstance(target, Network):
         return verify_network(target, select=select, ignore=ignore)
     if isinstance(target, SdfGraph):
         return verify_sdf(target, select=select, ignore=ignore)
     top = getattr(target, "top", None)
     if isinstance(top, Module):
-        return verify_model(top, select=select, ignore=ignore)
+        return verify_model(top, select=select, ignore=ignore,
+                            extra_code=extra_code)
     raise TypeError(
         f"cannot verify {type(target).__name__}; expected a Module, "
         f"Network, SdfGraph, or Simulator"

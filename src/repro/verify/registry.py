@@ -145,3 +145,4 @@ def _load_builtin_rules() -> None:
     from . import rules_sdf  # noqa: F401
     from . import rules_sync  # noqa: F401
     from . import rules_tdf  # noqa: F401
+    from .code import rules_code  # noqa: F401

@@ -4,14 +4,18 @@ from __future__ import annotations
 
 from collections import Counter
 
+from typing import Iterator
+
 from ..core.errors import BindingError
 from ..core.events import Event
 from ..core.port import Port
+from .context import VerifyContext
+from .diagnostics import Diagnostic
 from .registry import rule
 
 
 @rule("CORE001", domain="core", severity="error")
-def duplicate_module_names(ctx):
+def duplicate_module_names(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """Two modules share the same hierarchical name."""
     counts = Counter(m.full_name() for m in ctx.modules)
     for name, n in counts.items():
@@ -25,7 +29,7 @@ def duplicate_module_names(ctx):
 
 
 @rule("CORE002", domain="core", severity="error")
-def unbound_de_port(ctx):
+def unbound_de_port(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A DE port is unbound or sits on a port-to-port binding cycle."""
     for module, attr, port in ctx.de_ports:
         try:
@@ -41,7 +45,7 @@ def unbound_de_port(ctx):
 
 
 @rule("CORE003", domain="core", severity="warning")
-def process_never_runs(ctx):
+def process_never_runs(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A process with no sensitivity and dont_initialize never executes."""
     for process in ctx.processes:
         if not process.static_sensitivity and process.dont_initialize:
@@ -54,7 +58,7 @@ def process_never_runs(ctx):
 
 
 @rule("CORE004", domain="core", severity="error")
-def invalid_sensitivity_entry(ctx):
+def invalid_sensitivity_entry(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A sensitivity list entry cannot be resolved to an event."""
     for process in ctx.processes:
         for entry in process.static_sensitivity:

@@ -9,7 +9,7 @@ subclass the electrical primitives.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
@@ -30,6 +30,8 @@ from ..eln.components import (
     Vsource,
 )
 from ..eln.network import GROUND, Network
+from .context import VerifyContext
+from .diagnostics import Diagnostic
 from .registry import rule
 
 #: Components whose branch equation pins a voltage between their first
@@ -108,7 +110,7 @@ def _floating_nodes(network: Network) -> set:
 
 
 @rule("ELN001", domain="eln", severity="warning")
-def dangling_node(ctx):
+def dangling_node(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A node is attached to only one component terminal."""
     for location, network in ctx.networks:
         attachments: Dict[str, List[str]] = {}
@@ -129,7 +131,7 @@ def dangling_node(ctx):
 
 
 @rule("ELN002", domain="eln", severity="error")
-def floating_subcircuit(ctx):
+def floating_subcircuit(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A connected subcircuit has no path to the ground reference."""
     for location, network in ctx.networks:
         if not network.components:
@@ -149,7 +151,7 @@ def floating_subcircuit(ctx):
 
 
 @rule("ELN003", domain="eln", severity="error")
-def voltage_source_loop(ctx):
+def voltage_source_loop(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A loop of voltage-defined branches over-determines the mesh."""
     for location, network in ctx.networks:
         uf = _UnionFind()
@@ -171,7 +173,7 @@ def voltage_source_loop(ctx):
 
 
 @rule("ELN004", domain="eln", severity="error")
-def no_dc_path_to_ground(ctx):
+def no_dc_path_to_ground(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A node has no static path to ground (I-source/C cutset)."""
     for location, network in ctx.networks:
         if not network.components:
@@ -198,7 +200,7 @@ def no_dc_path_to_ground(ctx):
 
 
 @rule("ELN005", domain="eln", severity="error")
-def structurally_singular(ctx):
+def structurally_singular(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """The MNA sparsity pattern admits no structural pivot for a row."""
     from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import maximum_bipartite_matching
@@ -229,7 +231,7 @@ def structurally_singular(ctx):
 
 
 @rule("ELN006", domain="eln", severity="warning")
-def self_shorted_component(ctx):
+def self_shorted_component(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """All terminals of a component land on the same node."""
     for location, network in ctx.networks:
         for component in network.components:
@@ -245,7 +247,7 @@ def self_shorted_component(ctx):
 
 
 @rule("ELN007", domain="eln", severity="error")
-def bad_current_control(ctx):
+def bad_current_control(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A current-controlled source references an unusable branch."""
     for location, network in ctx.networks:
         by_name = {c.name: c for c in network.components}
@@ -275,7 +277,7 @@ def bad_current_control(ctx):
 
 
 @rule("ELN008", domain="eln", severity="error")
-def empty_network(ctx):
+def empty_network(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A network contains no components."""
     for location, network in ctx.networks:
         if not network.components:

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from ..core.errors import SchedulingError
+from .context import VerifyContext
+from .diagnostics import Diagnostic
 from .registry import rule
 
 #: Edges whose statically predicted peak occupancy exceeds this many
@@ -53,7 +57,7 @@ def _edge_label(graph_location, edge):
 
 
 @rule("SDF001", domain="sdf", severity="error")
-def sdf_rate_inconsistent(ctx):
+def sdf_rate_inconsistent(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """SDF balance equations admit only the zero solution."""
     for location, graph in ctx.sdf_graphs:
         try:
@@ -68,7 +72,7 @@ def sdf_rate_inconsistent(ctx):
 
 
 @rule("SDF002", domain="sdf", severity="error")
-def sdf_deadlock(ctx):
+def sdf_deadlock(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """An SDF graph deadlocks for lack of initial tokens."""
     for location, graph in ctx.sdf_graphs:
         repetitions = _repetitions(graph)
@@ -89,7 +93,7 @@ def sdf_deadlock(ctx):
 
 
 @rule("SDF003", domain="sdf", severity="error")
-def sdf_undriven_input(ctx):
+def sdf_undriven_input(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A declared SDF input port has no edge feeding it."""
     for location, graph in ctx.sdf_graphs:
         driven = {(id(e.dst), e.dst_port) for e in graph.edges}
@@ -107,7 +111,7 @@ def sdf_undriven_input(ctx):
 
 
 @rule("SDF004", domain="sdf", severity="warning")
-def sdf_unconnected_output(ctx):
+def sdf_unconnected_output(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A declared SDF output port feeds no edge."""
     for location, graph in ctx.sdf_graphs:
         used = {(id(e.src), e.src_port) for e in graph.edges}
@@ -126,7 +130,7 @@ def sdf_unconnected_output(ctx):
 
 
 @rule("SDF005", domain="sdf", severity="warning")
-def sdf_buffer_bound(ctx):
+def sdf_buffer_bound(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """An edge's predicted peak occupancy exceeds the buffer limit."""
     for location, graph in ctx.sdf_graphs:
         repetitions = _repetitions(graph)

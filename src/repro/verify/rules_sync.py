@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from numbers import Number
 
+from typing import Iterator
+
 from ..core.errors import BindingError
+from .context import VerifyContext
+from .diagnostics import Diagnostic
 from .registry import rule
 
 
@@ -17,7 +21,7 @@ def _resolved(converter):
 
 
 @rule("SYNC001", domain="sync", severity="error")
-def converter_port_unbound(ctx):
+def converter_port_unbound(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A converter port's DE side is not bound to a signal."""
     for cluster in ctx.clusters:
         for converter in cluster.de_inputs + cluster.de_outputs:
@@ -33,7 +37,7 @@ def converter_port_unbound(ctx):
 
 
 @rule("SYNC002", domain="sync", severity="error")
-def converter_rate_indivisible(ctx):
+def converter_rate_indivisible(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A TdfDeOut rate does not divide its module's timestep."""
     for cluster in ctx.clusters:
         for converter in cluster.de_outputs:
@@ -61,7 +65,7 @@ def converter_rate_indivisible(ctx):
 
 
 @rule("SYNC003", domain="sync", severity="warning")
-def clock_sampling_mismatch(ctx):
+def clock_sampling_mismatch(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A converter input samples a clock it cannot track faithfully."""
     clock_of_signal = {id(c.signal): c for c in ctx.clocks}
     for cluster in ctx.clusters:
@@ -97,7 +101,7 @@ def clock_sampling_mismatch(ctx):
 
 
 @rule("SYNC004", domain="sync", severity="warning")
-def boundary_type_mismatch(ctx):
+def boundary_type_mismatch(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A converter input's type disagrees with its DE signal's type."""
     for cluster in ctx.clusters:
         for converter in cluster.de_inputs:

@@ -8,11 +8,15 @@ stage does not hide findings from the others.
 
 from __future__ import annotations
 
+from typing import Iterator
+
+from .context import VerifyContext
+from .diagnostics import Diagnostic
 from .registry import rule
 
 
 @rule("TDF001", domain="tdf", severity="error")
-def unbound_tdf_port(ctx):
+def unbound_tdf_port(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A TDF port is not bound to any TDF signal."""
     for module in ctx.tdf_modules:
         for port in module.tdf_ports():
@@ -26,7 +30,7 @@ def unbound_tdf_port(ctx):
 
 
 @rule("TDF002", domain="tdf", severity="error")
-def signal_without_writer(ctx):
+def signal_without_writer(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A TDF signal is read but no out-port drives it."""
     for cluster in ctx.clusters:
         for signal in cluster.signals:
@@ -42,7 +46,7 @@ def signal_without_writer(ctx):
 
 
 @rule("TDF003", domain="tdf", severity="warning")
-def signal_without_readers(ctx):
+def signal_without_readers(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A TDF signal is written but never read."""
     for cluster in ctx.clusters:
         for signal in cluster.signals:
@@ -56,7 +60,7 @@ def signal_without_readers(ctx):
 
 
 @rule("TDF004", domain="tdf", severity="error")
-def rate_inconsistent_cluster(ctx):
+def rate_inconsistent_cluster(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """TDF balance equations admit no consistent repetition vector."""
     for cluster in ctx.clusters:
         for location, detail in cluster.rate_conflicts:
@@ -69,7 +73,7 @@ def rate_inconsistent_cluster(ctx):
 
 
 @rule("TDF005", domain="tdf", severity="error")
-def no_timestep_in_cluster(ctx):
+def no_timestep_in_cluster(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """No module or port of a cluster declares a timestep."""
     for cluster in ctx.clusters:
         if cluster.repetitions is not None and cluster.timestep_missing:
@@ -86,7 +90,7 @@ def no_timestep_in_cluster(ctx):
 
 
 @rule("TDF006", domain="tdf", severity="error")
-def conflicting_timesteps(ctx):
+def conflicting_timesteps(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """Two timestep declarations imply different cluster periods."""
     for cluster in ctx.clusters:
         for location, detail in cluster.timestep_conflicts:
@@ -99,7 +103,7 @@ def conflicting_timesteps(ctx):
 
 
 @rule("TDF007", domain="tdf", severity="error")
-def timestep_not_divisible(ctx):
+def timestep_not_divisible(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """The cluster period does not divide evenly over rates."""
     for cluster in ctx.clusters:
         for location, detail in cluster.divisibility_errors:
@@ -112,7 +116,7 @@ def timestep_not_divisible(ctx):
 
 
 @rule("TDF008", domain="tdf", severity="error")
-def cluster_deadlock(ctx):
+def cluster_deadlock(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A zero-delay feedback loop makes the cluster unschedulable."""
     for cluster in ctx.clusters:
         if not cluster.deadlocked:
@@ -131,7 +135,7 @@ def cluster_deadlock(ctx):
 
 
 @rule("TDF009", domain="tdf", severity="info")
-def batching_pinned(ctx):
+def batching_pinned(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A module pins its cluster to unbatched one-period execution."""
     for cluster in ctx.clusters:
         for module in cluster.batching_pinned_by():
@@ -147,7 +151,7 @@ def batching_pinned(ctx):
 
 
 @rule("TDF010", domain="tdf", severity="error")
-def invalid_port_attributes(ctx):
+def invalid_port_attributes(ctx: VerifyContext) -> Iterator[Diagnostic]:
     """A TDF port carries a non-positive rate or negative delay."""
     for module in ctx.tdf_modules:
         for port in module.tdf_ports():

@@ -9,6 +9,7 @@ evolve it.
 """
 
 import os
+import random
 import time
 from pathlib import Path
 
@@ -32,7 +33,8 @@ QUICK = Campaign(
 
 
 def _slow_run(params):
-    time.sleep(params.get("delay", 0.05))
+    # deliberately slow, to give cancel/backpressure tests a window
+    time.sleep(params.get("delay", 0.05))  # verify: allow[CODE002]
     return {"y": params["x"] * 3.0}
 
 
@@ -56,7 +58,7 @@ SLOW_SMALL = Campaign(
 def _flaky_run(params):
     """Fails exactly once per point: first attempt drops a marker file
     and raises; the retry sees the marker and succeeds."""
-    marker_dir = os.environ["REPRO_TEST_FLAKY_DIR"]
+    marker_dir = os.environ["REPRO_TEST_FLAKY_DIR"]  # verify: allow[CODE005]
     marker = Path(marker_dir) / f"attempted_{params['x']}"
     if not marker.exists():
         marker.write_text("1")
@@ -102,4 +104,37 @@ BROKEN = Campaign(
     metrics=lambda top: {"x": 0.0},
     root_seed=404,
     code_version="svc-broken-1",
+)
+
+
+class _NoisySrc(TdfModule):
+    """TDF source whose ``processing`` draws from the process-global
+    random state — the behavioral lint (CODE001) rejects the model at
+    submit time."""
+
+    def __init__(self, name, parent=None):
+        super().__init__(name, parent)
+        self.out = TdfOut("out", rate=1)
+
+    def set_attributes(self):
+        self.set_timestep(SimTime(1, "us"))
+
+    def processing(self):
+        self.out.write(random.random())
+
+
+def _noisy_build(params):
+    top = Module("top")
+    _NoisySrc("src", top)
+    return Simulator(top)
+
+
+NOISY = Campaign(
+    name="noisy",
+    space=Sweep({"x": [0, 1]}),
+    build=_noisy_build,
+    duration=SimTime(5, "us"),
+    metrics=lambda top: {"x": 0.0},
+    root_seed=505,
+    code_version="svc-noisy-1",
 )

@@ -323,6 +323,21 @@ def test_broken_spec_rejected_with_422():
         assert client.jobs() == []
 
 
+def test_nondeterministic_spec_rejected_with_422():
+    """A model whose processing() draws from the global random state is
+    refused at submit time with the behavioral-lint diagnostic."""
+    with serve(workers=1) as (_, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(ref("noisy"))
+        assert excinfo.value.status == 422
+        payload = excinfo.value.payload
+        assert payload["campaign"] == "noisy"
+        diagnostics = json.dumps(payload["diagnostics"])
+        assert "CODE001" in diagnostics
+        assert "random.random" in diagnostics
+        assert client.jobs() == []
+
+
 def test_backpressure_returns_429():
     with serve(workers=0, max_pending_points=4) as (_, client):
         accepted = client.submit(ref("quick"), limit=4)

@@ -625,7 +625,7 @@ def test_report_sorting_counts_and_json():
     counts = report.counts()
     assert counts["error"] >= 1 and counts["warning"] >= 1
     payload = json.loads(report.to_json())
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["ok"] is False
     assert payload["ruleset"] == ruleset_version()
     assert len(payload["diagnostics"]) == len(report)
@@ -852,7 +852,7 @@ def test_cli_explicit_target_and_json_schema(tmp_path, capsys):
     model.write_text(BROKEN_MODEL)
     assert verify_main([f"{model}::NET", "--json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["ok"] is False
     assert payload["ruleset"] == ruleset_version()
     (report,) = payload["reports"]
