@@ -6,6 +6,7 @@ Usage::
                                      [--out DIR] [--root-seed N]
                                      [--limit N] [--timeout S]
                                      [--no-cache] [--list] [--columns ...]
+                                     [--observe DIR]
 
 ``SPEC.py`` is any Python file defining one or more module-level
 :class:`~repro.campaign.spec.Campaign` objects (conventionally one
@@ -54,6 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list the campaigns in the spec and exit")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the result table")
+    parser.add_argument("--observe", type=Path, default=None,
+                        metavar="DIR",
+                        help="export campaign telemetry (trace.json, "
+                             "trace.jsonl, metrics.json) to DIR — "
+                             "checkable with `python -m repro.observe "
+                             "check DIR`; serial runs include "
+                             "per-point simulation spans")
     return parser
 
 
@@ -90,6 +98,7 @@ def main(argv: List[str] = None) -> int:
         timeout=args.timeout,
         out_dir=args.out,
         use_cache=not args.no_cache,
+        observe=args.observe is not None,
     )
     results = runner.run()
     elapsed = time.perf_counter() - start
@@ -104,6 +113,9 @@ def main(argv: List[str] = None) -> int:
           f"in {elapsed:.2f}s with {max(1, args.workers)} worker(s)")
     if args.out is not None:
         print(f"records: {args.out / 'records.jsonl'}")
+    if args.observe is not None and runner.telemetry is not None:
+        paths = runner.telemetry.export(args.observe)
+        print(f"telemetry: {paths['chrome'].parent}")
     return 1 if stats["failed"] else 0
 
 

@@ -42,6 +42,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import BindingError, ElaborationError, SchedulingError
 from ..lib.seeding import seed_to_int, spawn_seed_sequences
+from ..observe import Telemetry
+from ..observe.metrics import LATENCY_BOUNDS
 from ..resilience.health import diagnostic_of
 from .cache import ResultCache, cache_key
 from .records import CampaignResults, RunRecord
@@ -117,8 +119,16 @@ def _deadline(seconds: Optional[float]):
 
 
 def _execute_point(target: RunTarget, params: Dict[str, Any],
-                   timeout: Optional[float]) -> Dict[str, Any]:
-    """Run one campaign point; never raises."""
+                   timeout: Optional[float],
+                   hub: Optional[Telemetry] = None) -> Dict[str, Any]:
+    """Run one campaign point; never raises.
+
+    When a :class:`~repro.observe.Telemetry` ``hub`` is given,
+    build-style points record their simulation spans into it (the hub
+    is installed on the freshly built simulator unless the build
+    already attached one), so an executor's per-point kernel activity
+    lands on the campaign/job trace.
+    """
     run, build, duration, metrics_fn, checkpoint_every = target
     start = time.perf_counter()
     simulator = None
@@ -132,6 +142,11 @@ def _execute_point(target: RunTarget, params: Dict[str, Any],
                 metrics = run(dict(params))
             else:
                 simulator = build(dict(params))
+                if hub is not None \
+                        and getattr(simulator, "telemetry",
+                                    None) is None:
+                    simulator.telemetry = hub
+                    simulator.kernel.install_telemetry(hub)
                 if checkpoint_every is not None:
                     simulator.run(duration,
                                   checkpoint_every=checkpoint_every)
@@ -180,11 +195,24 @@ def _execute_point(target: RunTarget, params: Dict[str, Any],
 
 
 def _execute_chunk(target: RunTarget, tasks: List[RunTask],
-                   timeout: Optional[float]) -> List[Dict[str, Any]]:
+                   timeout: Optional[float],
+                   hub: Optional[Telemetry] = None
+                   ) -> List[Dict[str, Any]]:
     """Worker entry point: execute a chunk of runs, return result dicts."""
     results = []
     for index, params, attempt in tasks:
-        outcome = _execute_point(target, params, timeout)
+        if hub is not None:
+            with hub.tracer.span("point.run", track="points",
+                                 index=index, attempt=attempt) as span:
+                outcome = _execute_point(target, params, timeout, hub)
+                span.set(status=outcome["status"])
+            hub.metrics.counter("worker.points",
+                                status=outcome["status"]).inc()
+            hub.metrics.histogram(
+                "worker.point.seconds",
+                bounds=LATENCY_BOUNDS).observe(outcome["wall_time"])
+        else:
+            outcome = _execute_point(target, params, timeout)
         outcome["index"] = index
         outcome["attempt"] = attempt
         results.append(outcome)
@@ -277,8 +305,16 @@ class CampaignRunner:
                  retries: int = 1, chunk_size: Optional[int] = None,
                  out_dir=None, use_cache: bool = True,
                  progress: Optional[Callable[[RunRecord], None]] = None,
-                 checkpoint_every=None, verify: str = "auto"):
+                 checkpoint_every=None, verify: str = "auto",
+                 observe: Any = None):
         self.campaign = campaign
+        #: Campaign-level telemetry hub (``Telemetry.coerce`` rules).
+        #: Serial execution threads it through every point, so the
+        #: exported trace carries per-point simulation spans; process
+        #: pools record dispatch spans and stats in the parent (worker
+        #: traces cross process boundaries via the campaign *service*,
+        #: not the in-process runner).
+        self.telemetry = Telemetry.coerce(observe)
         self.workers = max(1, int(workers))
         self.timeout = timeout
         self.retries = max(0, int(retries))
@@ -459,6 +495,10 @@ class CampaignRunner:
             "static": static,
             "failed": sum(1 for r in records if r.status == "failed"),
         }
+        if self.telemetry is not None:
+            for kind, value in self.stats.items():
+                self.telemetry.metrics.counter(
+                    "campaign.points", kind=kind).value = float(value)
         results = CampaignResults(records)
         if self.out_dir is not None:
             self.out_dir.mkdir(parents=True, exist_ok=True)
@@ -499,13 +539,19 @@ class CampaignRunner:
         if chunk_size is None:
             chunk_size = max(1, -(-len(tasks) // (4 * self.workers)))
         chunks = _chunked(tasks, chunk_size)
+        hub = self.telemetry
         if self.workers <= 1 or len(tasks) <= 1:
             outcomes: List[Dict[str, Any]] = []
             for chunk in chunks:
                 outcomes.extend(_execute_chunk(target, chunk,
-                                               self.timeout))
+                                               self.timeout, hub))
             return outcomes
         context = _fork_context()
+        dispatch_span = (hub.tracer.span("campaign.dispatch",
+                                         track="campaign",
+                                         chunks=len(chunks),
+                                         tasks=len(tasks))
+                         if hub is not None else None)
         with ProcessPoolExecutor(max_workers=self.workers,
                                  mp_context=context) as pool:
             futures = [pool.submit(_execute_chunk, target, chunk,
@@ -514,6 +560,8 @@ class CampaignRunner:
             outcomes = []
             for future in futures:
                 outcomes.extend(future.result())
+        if dispatch_span is not None:
+            dispatch_span.close()
         return outcomes
 
 

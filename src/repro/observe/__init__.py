@@ -44,7 +44,16 @@ from .exporters import (
     write_metrics_json,
     write_trace_jsonl,
 )
+from .fleet import (
+    MetricsAggregator,
+    TraceContext,
+    prometheus_text,
+    stitch_job_trace,
+    telemetry_payload,
+    validate_prometheus_text,
+)
 from .metrics import (
+    LATENCY_BOUNDS,
     Counter,
     Gauge,
     Histogram,
@@ -58,18 +67,25 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BOUNDS",
+    "MetricsAggregator",
     "MetricsRegistry",
     "SpanHandle",
     "Telemetry",
+    "TraceContext",
     "Tracer",
     "chrome_trace_events",
     "current",
     "find_non_finite",
     "metric_key",
+    "prometheus_text",
+    "stitch_job_trace",
     "summarize",
     "summarize_metrics_dump",
+    "telemetry_payload",
     "validate_chrome_trace",
     "validate_metrics",
+    "validate_prometheus_text",
     "write_chrome_trace",
     "write_metrics_json",
     "write_trace_jsonl",
@@ -155,6 +171,12 @@ class Telemetry:
             "jsonl": directory / "trace.jsonl",
             "metrics": directory / "metrics.json",
         }
+        # A truncated trace must be *visible* downstream, not just in
+        # the in-memory tracer: mirror the drop count into the metrics
+        # dump so `repro.observe check` and fleet aggregation see it.
+        if self.tracer.dropped:
+            self.metrics.counter("trace.events.dropped").value = \
+                float(self.tracer.dropped)
         with open(paths["chrome"], "w", encoding="utf-8") as handle:
             write_chrome_trace(self.tracer, handle)
         with open(paths["jsonl"], "w", encoding="utf-8") as handle:

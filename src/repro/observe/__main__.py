@@ -4,13 +4,18 @@ Usage::
 
     python -m repro.observe summary OUT_DIR      # human digest
     python -m repro.observe check OUT_DIR        # structural gate
+    python -m repro.observe promcheck FILE       # Prometheus text gate
 
 ``OUT_DIR`` is a :meth:`repro.observe.Telemetry.export` output
 directory (``trace.json`` + ``metrics.json``); individual file paths
 are also accepted.  ``check`` exits non-zero when the Chrome trace is
 structurally invalid (unmatched ``B``/``E`` spans, negative durations,
 non-monotonic per-track timestamps) or any metric value is NaN/Inf —
-the CI observability job gates on it.
+the CI observability job gates on it.  A *truncated* trace (the tracer
+hit its event cap and dropped events) still passes but prints a
+warning, so a silently partial trace never masquerades as a complete
+one.  ``promcheck`` validates a saved ``GET /metrics`` scrape as
+Prometheus text exposition — the CI service-smoke job gates on it.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from . import (
     summarize_metrics_dump,
     validate_chrome_trace,
     validate_metrics,
+    validate_prometheus_text,
 )
 
 
@@ -73,13 +79,32 @@ def main(argv=None) -> int:
         prog="python -m repro.observe", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("command", choices=("summary", "check"),
+    parser.add_argument("command",
+                        choices=("summary", "check", "promcheck"),
                         help="'summary' prints a digest; 'check' "
                         "validates structurally and exits non-zero "
-                        "on problems")
+                        "on problems; 'promcheck' validates a "
+                        "Prometheus text exposition file")
     parser.add_argument("path", help="telemetry export directory "
-                        "(or a trace.json / metrics.json path)")
+                        "(or a trace.json / metrics.json path; for "
+                        "promcheck, a saved /metrics scrape)")
     args = parser.parse_args(argv)
+
+    if args.command == "promcheck":
+        try:
+            text = Path(args.path).read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        prom_problems = validate_prometheus_text(text)
+        if prom_problems:
+            for problem in prom_problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        samples = sum(1 for line in text.splitlines()
+                      if line.strip() and not line.startswith("#"))
+        print(f"ok: {args.path} ({samples} sample(s))")
+        return 0
 
     trace_path, metrics_path = _resolve(args.path)
     if trace_path is None and metrics_path is None:
@@ -109,6 +134,16 @@ def main(argv=None) -> int:
             for problem in problems:
                 print(f"FAIL: {problem}", file=sys.stderr)
             return 1
+        if isinstance(trace, dict):
+            dropped = (trace.get("otherData") or {}) \
+                .get("dropped_events") or 0
+            if dropped:
+                # truncation is not a structural failure (everything
+                # recorded is still valid) but must not pass silently
+                print(f"warning: trace truncated — {dropped} "
+                      "event(s) dropped at the tracer cap "
+                      "(raise max_events to capture them)",
+                      file=sys.stderr)
         checked = [str(p) for p in (trace_path, metrics_path) if p]
         print(f"ok: {', '.join(checked)}")
         return 0

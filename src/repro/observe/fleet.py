@@ -1,0 +1,644 @@
+"""Fleet-wide observability: trace context, stitching, aggregation.
+
+:mod:`repro.observe` makes *one process*' simulation inspectable; this
+module makes the *fleet* inspectable.  The campaign service shards one
+job across a local fork pool and any number of remote pull-workers —
+without these primitives a span dies at the fork boundary and a remote
+worker's metrics never reach the operator.  Four pieces close the gap:
+
+* :class:`TraceContext` — a W3C-``traceparent``-style context
+  (``00-<32 hex trace id>-<16 hex span id>-<2 hex flags>``) minted per
+  job, re-derived per chunk, and carried through HTTP headers and the
+  fork/pickle boundary so every process records against one trace id;
+* :func:`telemetry_payload` — the size-capped, JSON-safe envelope a
+  worker ships back with its chunk results: its spans (relative to a
+  wall-clock ``epoch_unix`` so processes with different
+  ``perf_counter`` epochs can be aligned), its metrics registry dump,
+  and how many events it had to drop;
+* :func:`stitch_job_trace` — assembles those segments plus the
+  server's own queue-wait / lease / cache-hit events into **one**
+  Perfetto-loadable Chrome trace with one process track group per
+  contributing process, valid under
+  :func:`repro.observe.validate_chrome_trace`;
+* :class:`MetricsAggregator` + :func:`prometheus_text` — merge worker
+  registry snapshots into a cluster view (counters sum, gauges
+  last-write, histograms bucket-merge) and render it in the Prometheus
+  text exposition format (``GET /metrics``), validated by
+  :func:`validate_prometheus_text`.
+
+Clock model: spans are recorded against each process' own
+``perf_counter`` epoch; stitching re-bases every segment onto the wall
+clock via its ``epoch_unix``.  On one host this is exact to clock
+resolution; across hosts it inherits NTP-level skew — acceptable for
+the visualization and accounting this feeds (nothing numerical keys on
+stitched timestamps).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .metrics import Histogram, metric_key  # noqa: F401  (re-export)
+from .tracer import INSTANT, SPAN
+
+#: Per-segment span cap: a worker ships at most this many events per
+#: chunk; anything beyond is counted in the segment's
+#: ``spans_dropped`` (and surfaced in the stitched trace's
+#: ``otherData.dropped_events``), never silently lost.
+DEFAULT_SEGMENT_SPANS = 4000
+
+
+# ---------------------------------------------------------------------------
+# trace context (W3C traceparent style)
+# ---------------------------------------------------------------------------
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One position in a distributed trace.
+
+    ``trace_id`` identifies the whole job-level trace (32 hex chars);
+    ``span_id`` identifies the current hop (16 hex chars).  The wire
+    form is the W3C Trace Context ``traceparent`` header,
+    ``00-{trace_id}-{span_id}-{flags}``, so any standard tooling that
+    understands traceparent can follow the service's traces.
+    """
+
+    trace_id: str
+    span_id: str
+    flags: str = "01"
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh root context (new trace id, new span id)."""
+        return cls(trace_id=uuid.uuid4().hex,
+                   span_id=os.urandom(8).hex())
+
+    def child(self) -> "TraceContext":
+        """Same trace, new span id — one per chunk dispatch."""
+        return TraceContext(trace_id=self.trace_id,
+                            span_id=os.urandom(8).hex(),
+                            flags=self.flags)
+
+    def to_traceparent(self) -> str:
+        return f"00-{self.trace_id}-{self.span_id}-{self.flags}"
+
+    @classmethod
+    def parse(cls, header: str) -> "TraceContext":
+        """Parse a ``traceparent`` header; raises ``ValueError`` on
+        malformed input (wrong shape, all-zero ids)."""
+        match = _TRACEPARENT_RE.match((header or "").strip().lower())
+        if match is None:
+            raise ValueError(f"malformed traceparent: {header!r}")
+        if match["trace_id"] == "0" * 32 \
+                or match["span_id"] == "0" * 16:
+            raise ValueError(f"all-zero trace/span id: {header!r}")
+        return cls(trace_id=match["trace_id"],
+                   span_id=match["span_id"], flags=match["flags"])
+
+
+# ---------------------------------------------------------------------------
+# worker telemetry segments
+# ---------------------------------------------------------------------------
+
+
+def telemetry_payload(telemetry, *, worker: str,
+                      traceparent: Optional[str] = None,
+                      max_spans: int = DEFAULT_SEGMENT_SPANS
+                      ) -> Dict[str, Any]:
+    """The JSON-safe telemetry envelope one executor ships back.
+
+    ``epoch_unix`` is the wall-clock instant of the tracer's
+    ``perf_counter`` epoch, so the receiver can re-base this segment's
+    relative timestamps onto a shared timeline.  Spans beyond
+    ``max_spans`` are dropped *and counted* — a truncated segment is
+    visible, never silent.
+    """
+    tracer = telemetry.tracer
+    events = tracer.events
+    kept = events if len(events) <= max_spans else events[:max_spans]
+    spans = [[kind, name, track, start, duration, attrs]
+             for kind, name, track, start, duration, attrs in kept]
+    return {
+        "traceparent": traceparent,
+        "worker": str(worker),
+        "pid": os.getpid(),
+        "host": socket.gethostname(),
+        "epoch_unix": time.time() - (time.perf_counter()
+                                     - tracer.epoch),
+        "spans": spans,
+        "spans_dropped": tracer.dropped + (len(events) - len(kept)),
+        "metrics": telemetry.metrics.to_dict(),
+    }
+
+
+def coerce_segment(payload: Any,
+                   max_spans: int = DEFAULT_SEGMENT_SPANS
+                   ) -> Optional[Dict[str, Any]]:
+    """Normalize an untrusted segment from the wire (``None`` when it
+    is not usable).  Enforces the span cap server-side — a misbehaving
+    worker cannot balloon a job's stitched trace."""
+    if not isinstance(payload, dict):
+        return None
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        spans = []
+    dropped = payload.get("spans_dropped")
+    dropped = int(dropped) if isinstance(dropped, (int, float)) else 0
+    if len(spans) > max_spans:
+        dropped += len(spans) - max_spans
+        spans = spans[:max_spans]
+    try:
+        epoch = float(payload.get("epoch_unix") or 0.0)
+    except (TypeError, ValueError):
+        epoch = 0.0
+    metrics = payload.get("metrics")
+    return {
+        "traceparent": payload.get("traceparent"),
+        "worker": str(payload.get("worker") or "?"),
+        "pid": payload.get("pid"),
+        "host": str(payload.get("host") or "?"),
+        "epoch_unix": epoch,
+        "spans": spans,
+        "spans_dropped": dropped,
+        "metrics": metrics if isinstance(metrics, dict) else None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# trace stitching
+# ---------------------------------------------------------------------------
+
+
+def stitch_job_trace(traceparent: Optional[str],
+                     segments: Iterable[Dict[str, Any]],
+                     producer: str = "repro.observe.fleet"
+                     ) -> Dict[str, Any]:
+    """One Chrome/Perfetto trace payload from many process segments.
+
+    Each segment (see :func:`telemetry_payload`) becomes one Perfetto
+    *process* (named ``worker (host:pid)``); each of its tracks
+    becomes one named thread.  Timestamps are re-based onto a common
+    epoch (the earliest event across all segments), sorted per track,
+    and durations clamped non-negative, so the result always passes
+    :func:`repro.observe.validate_chrome_trace`.
+    """
+    normalized: List[Tuple[Dict[str, Any], float, List[Any]]] = []
+    dropped = 0
+    for raw in segments:
+        segment = coerce_segment(raw)
+        if segment is None:
+            dropped += 1
+            continue
+        dropped += segment["spans_dropped"]
+        normalized.append((segment, segment["epoch_unix"],
+                           segment["spans"]))
+
+    epoch0: Optional[float] = None
+    for _segment, epoch, spans in normalized:
+        for event in spans:
+            try:
+                absolute = epoch + float(event[3])
+            except (TypeError, ValueError, IndexError):
+                continue
+            if epoch0 is None or absolute < epoch0:
+                epoch0 = absolute
+    if epoch0 is None:
+        epoch0 = 0.0
+
+    metadata: List[Dict[str, Any]] = []
+    body: List[Dict[str, Any]] = []
+    pid_of: Dict[Tuple[str, Any, str], int] = {}
+    tid_of: Dict[int, Dict[str, int]] = {}
+    for segment, epoch, spans in normalized:
+        process = (segment["host"], segment["pid"], segment["worker"])
+        pid = pid_of.get(process)
+        if pid is None:
+            pid = len(pid_of) + 1
+            pid_of[process] = pid
+            tid_of[pid] = {}
+            metadata.append({
+                "name": "process_name", "ph": "M", "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{process[2]} "
+                                 f"({process[0]}:{process[1]})"},
+            })
+        tracks = tid_of[pid]
+        for event in spans:
+            try:
+                kind = event[0]
+                name = str(event[1])
+                track = str(event[2])
+                start = float(event[3])
+                duration = float(event[4])
+            except (TypeError, ValueError, IndexError):
+                dropped += 1
+                continue
+            attrs = event[5] if len(event) > 5 else None
+            tid = tracks.get(track)
+            if tid is None:
+                tid = len(tracks) + 1
+                tracks[track] = tid
+                metadata.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": track},
+                })
+            entry: Dict[str, Any] = {
+                "name": name, "pid": pid, "tid": tid,
+                "ts": (epoch + start - epoch0) * 1e6,
+            }
+            if isinstance(attrs, dict) and attrs:
+                entry["args"] = attrs
+            if kind == SPAN:
+                entry["ph"] = "X"
+                entry["dur"] = max(duration, 0.0) * 1e6
+            elif kind == INSTANT:
+                entry["ph"] = "i"
+                entry["s"] = "t"
+            else:
+                dropped += 1
+                continue
+            body.append(entry)
+    body.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    return {
+        "traceEvents": metadata + body,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": producer,
+            "traceparent": traceparent,
+            "processes": len(pid_of),
+            "dropped_events": dropped,
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# fleet metrics aggregation
+# ---------------------------------------------------------------------------
+
+
+class MetricsAggregator:
+    """Merge :meth:`MetricsRegistry.to_dict` snapshots into one view.
+
+    Merge semantics match the metric kinds: **counters sum** (each
+    worker counted disjoint events), **gauges last-write-win** (a gauge
+    is a point-in-time observation), **histograms bucket-merge**
+    (element-wise bucket addition when bucket bounds agree — the merged
+    quantiles are then exactly the quantiles of the pooled
+    observations; on a bounds mismatch only count/sum/min/max merge
+    and the quantiles degrade to the mean).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Dict[str, Any]] = {}
+        self.snapshots = 0
+
+    def add(self, snapshot: Any) -> None:
+        """Merge one registry snapshot (tolerates malformed input)."""
+        if not isinstance(snapshot, dict):
+            return
+        self.snapshots += 1
+        for key, value in (snapshot.get("counters") or {}).items():
+            if isinstance(value, (int, float)):
+                self._counters[key] = \
+                    self._counters.get(key, 0.0) + float(value)
+        for key, value in (snapshot.get("gauges") or {}).items():
+            if isinstance(value, (int, float)):
+                self._gauges[key] = float(value)
+        for key, value in (snapshot.get("histograms") or {}).items():
+            if isinstance(value, dict):
+                self._merge_histogram(key, value)
+
+    def _merge_histogram(self, key: str,
+                         incoming: Dict[str, Any]) -> None:
+        bounds = incoming.get("bounds")
+        buckets = incoming.get("buckets")
+        mergeable = (isinstance(bounds, (list, tuple))
+                     and isinstance(buckets, list)
+                     and len(buckets) == len(bounds) + 1)
+        count = incoming.get("count") or 0
+        total = incoming.get("sum") or 0.0
+        minimum = incoming.get("min")
+        maximum = incoming.get("max")
+        slot = self._histograms.get(key)
+        if slot is None:
+            self._histograms[key] = {
+                "count": int(count), "sum": float(total),
+                "min": minimum, "max": maximum,
+                "bounds": tuple(float(b) for b in bounds)
+                if mergeable else None,
+                "buckets": [int(b) for b in buckets]
+                if mergeable else None,
+            }
+            return
+        slot["count"] += int(count)
+        slot["sum"] += float(total)
+        if minimum is not None and (slot["min"] is None
+                                    or minimum < slot["min"]):
+            slot["min"] = minimum
+        if maximum is not None and (slot["max"] is None
+                                    or maximum > slot["max"]):
+            slot["max"] = maximum
+        if slot["buckets"] is not None and mergeable \
+                and slot["bounds"] == tuple(float(b) for b in bounds):
+            for index, value in enumerate(buckets):
+                slot["buckets"][index] += int(value)
+        else:
+            # bounds disagree (or one side is unmergeable): quantiles
+            # over pooled buckets would be wrong — keep the exact
+            # moments, drop the bucket detail
+            slot["bounds"] = None
+            slot["buckets"] = None
+
+    def _histogram_view(self, slot: Dict[str, Any]) -> Dict[str, Any]:
+        count = slot["count"]
+        mean = slot["sum"] / count if count else 0.0
+        view: Dict[str, Any] = {
+            "count": count, "sum": slot["sum"],
+            "min": slot["min"], "max": slot["max"], "mean": mean,
+        }
+        if slot["bounds"] is not None and count:
+            shadow = Histogram(slot["bounds"])
+            shadow.buckets = list(slot["buckets"])
+            shadow.count = count
+            shadow.total = slot["sum"]
+            shadow.minimum = (slot["min"] if slot["min"] is not None
+                              else float("inf"))
+            shadow.maximum = (slot["max"] if slot["max"] is not None
+                              else float("-inf"))
+            view["p50"] = shadow.quantile(0.50)
+            view["p95"] = shadow.quantile(0.95)
+            view["bounds"] = list(slot["bounds"])
+            view["buckets"] = list(slot["buckets"])
+        else:
+            view["p50"] = mean
+            view["p95"] = mean
+        return view
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A merged snapshot in :meth:`MetricsRegistry.to_dict` shape
+        (itself re-mergeable into another aggregator)."""
+        return {
+            "counters": {key: self._counters[key]
+                         for key in sorted(self._counters)},
+            "gauges": {key: self._gauges[key]
+                       for key in sorted(self._gauges)},
+            "histograms": {key: self._histogram_view(
+                self._histograms[key])
+                for key in sorted(self._histograms)},
+        }
+
+    def merged(self, *extra: Any) -> Dict[str, Any]:
+        """The merged view of this aggregator plus ``extra`` snapshots,
+        without mutating accumulated state (scrape-time composition:
+        the server merges its own live registry in per request)."""
+        clone = MetricsAggregator()
+        clone.add(self.to_dict())
+        for snapshot in extra:
+            clone.add(snapshot)
+        return clone.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_KEY_RE = re.compile(r"^(?P<name>[^\[\]]+)(\[(?P<labels>[^\]]*)\])?$")
+
+#: Counter families folded from dotted metric names into one Prometheus
+#: family with a discriminating label, so dashboards can sum and facet:
+#: ``service.points.executed[tenant=ana]`` becomes
+#: ``service_points_total{kind="executed",tenant="ana"}``.
+COUNTER_FAMILIES = (
+    ("service.points.", "service_points_total", "kind"),
+    ("service.jobs.", "service_jobs_total", "event"),
+    ("service.chunks.", "service_chunks_total", "event"),
+)
+
+
+def split_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`repro.observe.metric_key`:
+    ``"a.b[k=v,k2=v2]"`` → ``("a.b", {"k": "v", "k2": "v2"})``."""
+    match = _KEY_RE.match(key)
+    if match is None:
+        return key, {}
+    labels: Dict[str, str] = {}
+    if match["labels"]:
+        for pair in match["labels"].split(","):
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return match["name"], labels
+
+
+def sanitize_metric_name(name: str) -> str:
+    out = _NAME_SANITIZE.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label_value(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(key)}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _counter_family(name: str) -> Tuple[str, Dict[str, str]]:
+    for prefix, family, label in COUNTER_FAMILIES:
+        suffix = name[len(prefix):] if name.startswith(prefix) else ""
+        if suffix:
+            return family, {label: suffix}
+    return sanitize_metric_name(name) + "_total", {}
+
+
+def prometheus_text(snapshot: Dict[str, Any]) -> str:
+    """Render a registry/aggregator snapshot as Prometheus text
+    exposition format (version 0.0.4)."""
+    families: Dict[str, Dict[str, Any]] = {}
+
+    def family_slot(family: str, kind: str) -> List[Tuple[str, Dict[str, str], float]]:
+        slot = families.setdefault(family,
+                                   {"type": kind, "samples": []})
+        return slot["samples"]
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        name, labels = split_metric_key(key)
+        family, extra = _counter_family(name)
+        samples = family_slot(family, "counter")
+        samples.append((family, {**labels, **extra}, value))
+
+    for key, value in (snapshot.get("gauges") or {}).items():
+        name, labels = split_metric_key(key)
+        family = sanitize_metric_name(name)
+        samples = family_slot(family, "gauge")
+        samples.append((family, labels, value))
+
+    for key, dump in (snapshot.get("histograms") or {}).items():
+        if not isinstance(dump, dict):
+            continue
+        name, labels = split_metric_key(key)
+        family = sanitize_metric_name(name)
+        samples = family_slot(family, "histogram")
+        count = float(dump.get("count") or 0)
+        total = float(dump.get("sum") or 0.0)
+        bounds = dump.get("bounds")
+        buckets = dump.get("buckets")
+        if isinstance(bounds, (list, tuple)) \
+                and isinstance(buckets, list) \
+                and len(buckets) == len(bounds) + 1:
+            cumulative = 0.0
+            for bound, bucket in zip(bounds, buckets):
+                cumulative += bucket
+                samples.append((f"{family}_bucket",
+                                {**labels,
+                                 "le": _format_value(bound)},
+                                cumulative))
+        samples.append((f"{family}_bucket",
+                        {**labels, "le": "+Inf"}, count))
+        samples.append((f"{family}_sum", labels, total))
+        samples.append((f"{family}_count", labels, count))
+
+    lines: List[str] = []
+    for family in sorted(families):
+        slot = families[family]
+        lines.append(f"# TYPE {family} {slot['type']}")
+        for sample_name, labels, value in slot["samples"]:
+            lines.append(f"{sample_name}{_format_labels(labels)} "
+                         f"{_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- exposition validation (CI gate + tests) --------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>NaN|[+-]Inf|[-+]?[0-9.]+(?:[eE][-+]?[0-9]+)?)$")
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_PROM_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_labels(label_text: str) -> Optional[Dict[str, str]]:
+    """Labels from ``k="v",k2="v2"``; ``None`` when malformed."""
+    labels: Dict[str, str] = {}
+    rebuilt: List[str] = []
+    for match in _LABEL_PAIR_RE.finditer(label_text):
+        labels[match.group(1)] = match.group(2)
+        rebuilt.append(match.group(0))
+    if ",".join(rebuilt) != label_text:
+        return None
+    return labels
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Structural problems in a text exposition (empty = valid).
+
+    Checks: parseable sample lines, a ``# TYPE`` declared before a
+    family's samples, cumulative (non-decreasing) histogram buckets,
+    and a ``le="+Inf"`` bucket equal to the series' ``_count``.
+    """
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    buckets: Dict[Tuple[str, frozenset], List[Tuple[str, float]]] = {}
+    counts: Dict[Tuple[str, frozenset], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in _PROM_TYPES:
+                    problems.append(
+                        f"line {lineno}: malformed TYPE comment")
+                else:
+                    types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(
+                f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match["name"]
+        labels = _parse_labels(match["labels"] or "")
+        if labels is None:
+            problems.append(f"line {lineno}: malformed labels in "
+                            f"{line!r}")
+            continue
+        value = float(match["value"].replace("Inf", "inf"))
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[:-len(suffix)] if name.endswith(suffix) else ""
+            if stem and types.get(stem) == "histogram":
+                family = stem
+                break
+        if family not in types:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding "
+                "# TYPE")
+            continue
+        if types[family] == "histogram":
+            series = (family, frozenset(
+                item for item in labels.items() if item[0] != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without "
+                        "an le label")
+                else:
+                    buckets.setdefault(series, []).append(
+                        (labels["le"], value))
+            elif name.endswith("_count"):
+                counts[series] = value
+    for series, series_buckets in buckets.items():
+        family = series[0]
+        values = [value for _le, value in series_buckets]
+        if any(later < earlier
+               for earlier, later in zip(values, values[1:])):
+            problems.append(
+                f"histogram {family}: bucket counts are not "
+                "cumulative")
+        les = dict(series_buckets)
+        if "+Inf" not in les:
+            problems.append(
+                f"histogram {family}: missing le=\"+Inf\" bucket")
+        elif series in counts and les["+Inf"] != counts[series]:
+            problems.append(
+                f"histogram {family}: +Inf bucket "
+                f"({les['+Inf']:g}) != _count "
+                f"({counts[series]:g})")
+    return problems

@@ -29,6 +29,13 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 #: sizes, iteration counts and queue depths over 6 decades.
 DEFAULT_BOUNDS = tuple(float(2 ** k) for k in range(0, 21))
 
+#: Exponential (power-of-2) bounds for *latency* histograms: ~1 ms up
+#: to 64 s.  :data:`DEFAULT_BOUNDS` starts at 1.0, which collapses
+#: every sub-second latency into one bucket; wall-clock quantities
+#: (``job.wait_seconds``, ``job.run_seconds``, per-point run times)
+#: should use these instead.
+LATENCY_BOUNDS = tuple(2.0 ** k for k in range(-10, 7))
+
 
 def metric_key(name: str, labels: Dict[str, Any]) -> str:
     """Canonical dump key: ``name`` or ``name[k1=v1,k2=v2]``."""
@@ -118,6 +125,9 @@ class Histogram:
         return self.maximum
 
     def to_dict(self) -> Dict[str, Any]:
+        # ``bounds``/``buckets`` make the dump *mergeable*: the fleet
+        # aggregator (repro.observe.fleet) bucket-merges histograms
+        # from many worker registries into one cluster-wide view.
         return {
             "count": self.count,
             "sum": self.total,
@@ -126,6 +136,8 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
         }
 
 
@@ -158,8 +170,23 @@ class MetricsRegistry:
     def gauge(self, name: str, **labels: Any) -> Gauge:
         return self._get(name, labels, Gauge)
 
-    def histogram(self, name: str, **labels: Any) -> Histogram:
-        return self._get(name, labels, Histogram)
+    def histogram(self, name: str, *,
+                  bounds: Optional[Iterable[float]] = None,
+                  **labels: Any) -> Histogram:
+        """Get-or-create a histogram.  ``bounds`` (used only on first
+        creation — the first registration wins) selects the bucket
+        edges, e.g. :data:`LATENCY_BOUNDS` for wall-clock metrics."""
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(bounds if bounds is not None
+                               else DEFAULT_BOUNDS)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {key!r} already registered as "
+                f"{type(metric).__name__}, not Histogram")
+        return metric
 
     # -- bulk access --------------------------------------------------------
 
@@ -168,6 +195,11 @@ class MetricsRegistry:
 
     def __contains__(self, key: str) -> bool:
         return key in self._metrics
+
+    def get(self, name: str, **labels: Any) -> Optional[Any]:
+        """The metric registered under ``(name, labels)``, or ``None``
+        — a read-only lookup that never creates."""
+        return self._metrics.get(metric_key(name, labels))
 
     def names(self) -> List[str]:
         return sorted(self._metrics)

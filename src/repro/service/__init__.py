@@ -21,12 +21,26 @@ multi-tenant service:
 * :class:`~repro.service.client.ServiceClient` — a pure-stdlib
   synchronous client.
 
+Fleet observability (see :mod:`repro.observe.fleet`): jobs carry
+W3C-``traceparent``-style trace contexts across the fork and HTTP
+boundaries, executors ship telemetry segments back with their
+results, and the server serves stitched Perfetto traces
+(``GET /v1/jobs/{id}/trace``), Prometheus text exposition
+(``GET /metrics``) and per-tenant SLO accounting
+(``GET /v1/tenants/{id}/usage``).
+
 Command line: ``python -m repro.service {serve,submit,status,watch,
-worker,metrics}``.
+worker,metrics,trace,usage,top}``.
 """
 
 from .client import ServiceClient, ServiceError
-from .jobs import Job, JobRequest, SubmitError, execute_chunk_by_ref
+from .jobs import (
+    Job,
+    JobRequest,
+    SubmitError,
+    execute_chunk_by_ref,
+    execute_chunk_traced,
+)
 from .queue import PRIORITIES, FairShareQueue, QueueFull
 from .server import CampaignService, ServiceHandle, start_in_thread
 from .store import SharedResultStore
@@ -45,6 +59,7 @@ __all__ = [
     "SharedResultStore",
     "SubmitError",
     "execute_chunk_by_ref",
+    "execute_chunk_traced",
     "run_worker",
     "start_in_thread",
 ]

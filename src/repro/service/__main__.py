@@ -6,6 +6,7 @@ Usage::
                                    [--out DIR] [--store DIR]
                                    [--max-pending N] [--lease-timeout S]
                                    [--tenant-weight NAME=W ...]
+                                   [--observe on|off]
     python -m repro.service submit SPEC[::NAME] [--url U] [--tenant T]
                                    [--priority P] [--root-seed N]
                                    [--limit N] [--timeout S]
@@ -15,10 +16,17 @@ Usage::
     python -m repro.service worker [--url U] [--id ID] [--poll S]
                                    [--max-idle S] [--max-chunks N]
     python -m repro.service metrics [--url U]
+    python -m repro.service trace  JOB [--url U] [--out DIR]
+    python -m repro.service usage  TENANT [--url U]
+    python -m repro.service top    [--url U] [--interval S] [--once]
 
 ``serve`` runs the scheduler + local worker pool in the foreground;
 ``worker`` attaches any additional host to the same service; the rest
 are thin wrappers over :class:`~repro.service.client.ServiceClient`.
+``trace`` downloads a job's stitched Perfetto trace, ``usage`` prints
+a tenant's SLO accounting, and ``top`` renders a live operator view
+(queue depth, per-tenant throughput, worker leases, latency
+quantiles) refreshed from the fleet endpoints.
 """
 
 from __future__ import annotations
@@ -28,7 +36,8 @@ import json
 import logging
 import os
 import sys
-from typing import Dict, List, Optional
+import time
+from typing import Any, Dict, List, Optional
 
 from .client import ServiceClient, ServiceError
 
@@ -77,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--verify", default="auto",
                        choices=("auto", "on", "off"),
                        help="submit-time static pre-flight")
+    serve.add_argument("--observe", default="on",
+                       choices=("on", "off"),
+                       help="fleet observability: per-job trace "
+                            "stitching and worker telemetry "
+                            "collection")
 
     submit = sub.add_parser("submit", help="submit a campaign")
     submit.add_argument("spec",
@@ -122,6 +136,26 @@ def build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser("metrics", help="service metrics dump")
     metrics.add_argument("--url", default=DEFAULT_URL)
 
+    trace = sub.add_parser("trace",
+                           help="download a job's stitched trace")
+    trace.add_argument("job")
+    trace.add_argument("--url", default=DEFAULT_URL)
+    trace.add_argument("--out", default=None, metavar="DIR",
+                       help="write trace.json under DIR (default: "
+                            "print to stdout)")
+
+    usage = sub.add_parser("usage",
+                           help="per-tenant SLO accounting")
+    usage.add_argument("tenant")
+    usage.add_argument("--url", default=DEFAULT_URL)
+
+    top = sub.add_parser("top", help="live operator view")
+    top.add_argument("--url", default=DEFAULT_URL)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh cadence in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (scripts/CI)")
+
     return parser
 
 
@@ -132,6 +166,95 @@ def _spec_ref(spec: str) -> str:
         path, _, name = spec.partition("::")
         return f"{os.path.abspath(path)}::{name}"
     return os.path.abspath(spec)
+
+
+def _fmt_seconds(value: Any) -> str:
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _render_top(client: ServiceClient) -> str:
+    """One frame of the operator view, assembled from the health,
+    metrics and job-list endpoints."""
+    from ..observe.fleet import split_metric_key
+
+    health = client.health()
+    dump = client.metrics()
+    jobs = client.jobs()
+    counters = dump.get("counters", {})
+    gauges = dump.get("gauges", {})
+    histograms = dump.get("histograms", {})
+
+    tenants: Dict[str, Dict[str, Any]] = {}
+    for key, value in counters.items():
+        name, labels = split_metric_key(key)
+        tenant = labels.get("tenant")
+        if tenant is None or "kind" in labels \
+                or not name.startswith("service.points."):
+            continue
+        kind = name.rsplit(".", 1)[1]
+        tenants.setdefault(tenant, {})[kind] = value
+    for key, value in histograms.items():
+        name, labels = split_metric_key(key)
+        tenant = labels.get("tenant")
+        if tenant is None or not isinstance(value, dict):
+            continue
+        slot = tenants.setdefault(tenant, {})
+        if name == "service.point.seconds":
+            slot["p50"] = value.get("p50")
+            slot["p95"] = value.get("p95")
+        elif name == "service.queue.wait_seconds":
+            slot["wait_p95"] = value.get("p95")
+    for key, value in gauges.items():
+        name, labels = split_metric_key(key)
+        if name == "queue.depth" and "tenant" in labels:
+            tenants.setdefault(labels["tenant"], {})["depth"] = value
+
+    lines = [
+        f"repro.service top — v{health.get('version', '?')} | "
+        f"jobs {health.get('jobs', 0)} | queue depth "
+        f"{health.get('queue_depth', 0)} | local workers "
+        f"{health.get('local_workers', 0)}",
+        "",
+        f"{'tenant':<12} {'depth':>6} {'exec':>7} {'cached':>7} "
+        f"{'dedup':>7} {'failed':>7} {'p50':>9} {'p95':>9} "
+        f"{'wait p95':>9}",
+    ]
+    for tenant in sorted(tenants):
+        slot = tenants[tenant]
+        lines.append(
+            f"{tenant:<12} {int(slot.get('depth', 0)):>6} "
+            f"{int(slot.get('executed', 0)):>7} "
+            f"{int(slot.get('cached', 0)):>7} "
+            f"{int(slot.get('deduped', 0)):>7} "
+            f"{int(slot.get('failed', 0)):>7} "
+            f"{_fmt_seconds(slot.get('p50')):>9} "
+            f"{_fmt_seconds(slot.get('p95')):>9} "
+            f"{_fmt_seconds(slot.get('wait_p95')):>9}")
+    workers = sorted(
+        (labels.get("worker", "?"), int(value))
+        for key, value in gauges.items()
+        for name, labels in (split_metric_key(key),)
+        if name == "workers.active_leases")
+    if workers:
+        lines += ["", "workers (active leases):"]
+        for name, count in workers:
+            lines.append(f"  {name:<40} {count}")
+    recent = sorted(jobs,
+                    key=lambda j: j.get("submitted_at") or 0)[-5:]
+    if recent:
+        lines += ["", "recent jobs:"]
+        for job in recent:
+            lines.append(
+                f"  {job['id']} {job['state']:<9} "
+                f"{job['tenant']:<12} "
+                f"{job['completed']}/{job['total']}")
+    return "\n".join(lines)
 
 
 def _watch(client: ServiceClient, job_id: str) -> None:
@@ -163,7 +286,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_pending_points=args.max_pending,
             lease_timeout=args.lease_timeout,
             tenant_weights=_parse_weights(args.tenant_weight),
-            verify=args.verify)
+            verify=args.verify, observe=args.observe)
         print(f"campaign service on http://{args.host}:{args.port} "
               f"({args.workers} local worker(s))", flush=True)
         try:
@@ -220,6 +343,39 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(json.dumps(client.metrics(), indent=2,
                              sort_keys=True))
             return 0
+        if args.command == "trace":
+            trace = client.job_trace(args.job)
+            spans = sum(1 for event in trace.get("traceEvents", [])
+                        if event.get("ph") in ("X", "i"))
+            other = trace.get("otherData", {})
+            if args.out:
+                os.makedirs(args.out, exist_ok=True)
+                path = os.path.join(args.out, "trace.json")
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(trace, handle, sort_keys=True)
+                    handle.write("\n")
+                print(f"trace {args.job}: {spans} span(s) from "
+                      f"{other.get('processes', 0)} process(es) -> "
+                      f"{path}")
+            else:
+                print(json.dumps(trace, sort_keys=True))
+            return 0
+        if args.command == "usage":
+            print(json.dumps(client.usage(args.tenant), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.command == "top":
+            while True:
+                frame = _render_top(client)
+                if not args.once:
+                    # clear + home, like top(1)
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                if args.once:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
     except ServiceError as exc:
         print(json.dumps({"status": exc.status,
                           "response": exc.payload},

@@ -89,7 +89,8 @@ class ServiceClient:
                timeout: Optional[float] = None,
                retries: Optional[int] = None,
                chunk_size: Optional[int] = None,
-               description: str = "") -> Dict[str, Any]:
+               description: str = "",
+               observe: Optional[bool] = None) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"spec": spec, "tenant": tenant,
                                    "priority": priority}
         for name, value in (("root_seed", root_seed),
@@ -100,6 +101,8 @@ class ServiceClient:
                 payload[name] = value
         if description:
             payload["description"] = description
+        if observe is not None:
+            payload["observe"] = observe
         return self._request("POST", "/v1/jobs", payload)
 
     def jobs(self, tenant: Optional[str] = None) -> List[Dict]:
@@ -118,8 +121,35 @@ class ServiceClient:
     def telemetry(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}/telemetry")
 
+    def job_trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's stitched Chrome/Perfetto trace payload."""
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
+    def usage(self, tenant: str) -> Dict[str, Any]:
+        """Per-tenant SLO accounting."""
+        return self._request("GET", f"/v1/tenants/{tenant}/usage")
+
     def metrics(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/metrics")
+
+    def prometheus(self, timeout: Optional[float] = -1.0) -> str:
+        """The raw ``GET /metrics`` Prometheus text exposition."""
+        if timeout == -1.0:
+            timeout = self.timeout
+        connection = self._connect(timeout)
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    data = json.loads(raw.decode()) if raw else {}
+                except json.JSONDecodeError:
+                    data = raw.decode(errors="replace")
+                raise ServiceError(response.status, data)
+            return raw.decode("utf-8")
+        finally:
+            connection.close()
 
     def wait(self, job_id: str, timeout: Optional[float] = None,
              poll: float = 0.1) -> Dict[str, Any]:
@@ -170,9 +200,13 @@ class ServiceClient:
 
     def complete(self, worker: str, job_id: str, chunk_id: str,
                  outcomes: List[Dict[str, Any]],
-                 timeout: Optional[float] = -1.0) -> Dict[str, Any]:
-        return self._request(
-            "POST", "/v1/workers/complete",
-            {"worker": worker, "job_id": job_id,
-             "chunk_id": chunk_id, "outcomes": outcomes},
-            timeout=timeout)
+                 timeout: Optional[float] = -1.0,
+                 telemetry: Optional[Dict[str, Any]] = None
+                 ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "worker": worker, "job_id": job_id,
+            "chunk_id": chunk_id, "outcomes": outcomes}
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
+        return self._request("POST", "/v1/workers/complete", payload,
+                             timeout=timeout)

@@ -25,6 +25,8 @@ from ..campaign.runner import (
     outcome_to_json,
 )
 from ..campaign.spec import Campaign
+from ..observe import Telemetry
+from ..observe.fleet import DEFAULT_SEGMENT_SPANS, telemetry_payload
 from .queue import PRIORITIES
 
 #: Job lifecycle states.
@@ -54,6 +56,9 @@ class JobRequest:
     retries: int = 1
     chunk_size: Optional[int] = None
     description: str = ""
+    #: per-job telemetry opt-out; effective only when the *server* has
+    #: observability on (``serve --observe on``, the default)
+    observe: bool = True
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "JobRequest":
@@ -92,6 +97,7 @@ class JobRequest:
                 raise SubmitError(f"retries must be an int; "
                                   f"got {retries!r}")
         request.description = str(payload.get("description") or "")
+        request.observe = bool(payload.get("observe", True))
         return request
 
     def to_dict(self) -> Dict[str, Any]:
@@ -100,7 +106,7 @@ class JobRequest:
             "priority": self.priority, "root_seed": self.root_seed,
             "limit": self.limit, "timeout": self.timeout,
             "retries": self.retries, "chunk_size": self.chunk_size,
-            "description": self.description,
+            "description": self.description, "observe": self.observe,
         }
 
 
@@ -118,12 +124,19 @@ class Chunk:
     deadline: Optional[float] = None   # lease expiry (monotonic)
     cancelled: bool = False
     leases: int = 0
+    #: trace context for this dispatch (the job context's child),
+    #: carried to executors via the lease payload / pickle stream
+    traceparent: Optional[str] = None
+    #: wall-clock instants bounding the queue-wait span
+    created_wall: float = 0.0
+    started_wall: float = 0.0
 
     def lease(self, worker: str, timeout: float) -> None:
         self.state = "leased"
         self.worker = worker
         self.deadline = time.monotonic() + timeout
         self.leases += 1
+        self.started_wall = time.time()
 
     def requeue(self) -> None:
         self.state = "queued"
@@ -158,6 +171,13 @@ class Job:
         #: tagged with a monotonically increasing ``seq``.
         self.completed: List[Dict[str, Any]] = []
         self.subscribers: List[Any] = []   # asyncio.Queue per stream
+        #: fleet-observability state (set by the server at admission):
+        #: the job's root trace context and the telemetry segments
+        #: collected from every executor, stitched on demand into one
+        #: Perfetto trace by ``GET /v1/jobs/{id}/trace``.
+        self.trace_context: Optional[Any] = None
+        self.segments: List[Dict[str, Any]] = []
+        self.segments_dropped = 0
         self.counts: Dict[str, int] = {
             "total": len(records), "completed": 0, "ok": 0,
             "failed": 0, "cached": 0, "deduped": 0, "executed": 0,
@@ -173,13 +193,19 @@ class Job:
                     chunk_size: Optional[int]) -> List[Chunk]:
         size = chunk_size or self.request.chunk_size \
             or DEFAULT_CHUNK_SIZE
-        return [
+        now = time.time()
+        chunks = [
             Chunk(chunk_id=self.next_chunk_id(), job_id=self.id,
                   tenant=self.request.tenant,
                   priority=self.request.priority,
-                  tasks=tasks[i:i + size])
+                  tasks=tasks[i:i + size], created_wall=now)
             for i in range(0, len(tasks), size)
         ]
+        if self.trace_context is not None:
+            for chunk in chunks:
+                chunk.traceparent = \
+                    self.trace_context.child().to_traceparent()
+        return chunks
 
     # -- status --------------------------------------------------------------
 
@@ -232,3 +258,37 @@ def execute_chunk_by_ref(spec_ref: str, tasks: List[RunTask],
     tasks = [(int(i), dict(p), int(a)) for i, p, a in tasks]
     outcomes = _execute_chunk(target, tasks, timeout)
     return [outcome_to_json(outcome) for outcome in outcomes]
+
+
+def execute_chunk_traced(spec_ref: str, tasks: List[RunTask],
+                         timeout: Optional[float],
+                         traceparent: Optional[str] = None,
+                         worker: str = "",
+                         max_spans: int = DEFAULT_SEGMENT_SPANS
+                         ) -> Dict[str, Any]:
+    """:func:`execute_chunk_by_ref` plus a telemetry segment.
+
+    The executor builds a chunk-local :class:`~repro.observe.Telemetry`
+    hub (so fork-pool workers, remote pull-workers and the server's own
+    threads never share mutable telemetry state), runs the chunk
+    through the campaign machinery with that hub installed — per-point
+    ``point.run`` spans plus each point's simulation spans — and
+    returns ``{"outcomes": [...], "telemetry": segment}`` where the
+    segment (:func:`~repro.observe.fleet.telemetry_payload`) carries
+    the spans, metrics and wall-clock epoch needed for stitching.
+    """
+    campaign = resolve_spec_ref(spec_ref)
+    target = (campaign.run, campaign.build, campaign.duration,
+              campaign.metrics, None)
+    tasks = [(int(i), dict(p), int(a)) for i, p, a in tasks]
+    hub = Telemetry(max_events=max_spans)
+    with hub.tracer.span("chunk.run", track="chunk",
+                         tasks=len(tasks)):
+        outcomes = _execute_chunk(target, tasks, timeout, hub)
+    return {
+        "outcomes": [outcome_to_json(outcome)
+                     for outcome in outcomes],
+        "telemetry": telemetry_payload(hub, worker=worker,
+                                       traceparent=traceparent,
+                                       max_spans=max_spans),
+    }

@@ -30,10 +30,29 @@ GET    /v1/jobs/{id}/stream            per-point records as JSONL
                                        (``?sse=1`` for SSE framing)
 GET    /v1/jobs/{id}/results           aggregates + fingerprint
 GET    /v1/jobs/{id}/telemetry         merged per-point engine telemetry
+GET    /v1/jobs/{id}/trace             stitched Perfetto trace (fleet
+                                       spans from every executor)
+GET    /v1/tenants/{id}/usage          per-tenant SLO accounting
 GET    /v1/metrics                     service metrics registry dump
+GET    /metrics                        Prometheus text exposition
+                                       (fleet-merged; unversioned per
+                                       Prometheus convention)
 POST   /v1/workers/lease               pull one chunk (204 when idle)
 POST   /v1/workers/complete            return chunk outcomes
+                                       (+ optional telemetry segment)
 ====== =============================== =================================
+
+Fleet observability (``observe="on"``, the default): each admitted job
+mints a W3C-``traceparent``-style trace context; every chunk dispatch
+derives a child context carried to executors through the lease payload
+and the fork/pickle boundary.  Executors run chunks through
+:func:`~repro.service.jobs.execute_chunk_traced`, shipping a
+size-capped telemetry segment (spans + metrics + wall-clock epoch)
+back with their outcomes; the server adds its own queue-wait / lease
+spans and cache-hit instants and stitches everything into one
+Perfetto-loadable trace per job.  Worker metric registries are merged
+(counter sum, gauge last-write, histogram bucket-merge) into the
+cluster view behind ``GET /metrics``.
 
 Determinism contract: seeds are planned once, server-side, into each
 point's params; identical points (same campaign name, params incl.
@@ -49,6 +68,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import os
+import socket
 import threading
 import time
 import uuid
@@ -63,6 +83,17 @@ from ..campaign.records import CampaignResults, JsonlAppender, RunRecord
 from ..campaign.runner import _fork_context, plan_records
 from ..campaign.spec import Campaign, FixedPoints
 from ..observe import MetricsRegistry
+from ..observe.fleet import (
+    DEFAULT_SEGMENT_SPANS,
+    MetricsAggregator,
+    TraceContext,
+    coerce_segment,
+    prometheus_text,
+    split_metric_key,
+    stitch_job_trace,
+)
+from ..observe.metrics import LATENCY_BOUNDS
+from ..observe.tracer import INSTANT, SPAN
 from .http import (
     HttpError,
     Request,
@@ -81,6 +112,7 @@ from .jobs import (
     JobRequest,
     SubmitError,
     execute_chunk_by_ref,
+    execute_chunk_traced,
 )
 from .queue import FairShareQueue
 
@@ -93,6 +125,11 @@ DEFAULT_LEASE_TIMEOUT = 60.0
 #: Poll cadence for results claimed by *another* service process
 #: sharing the store.
 EXTERNAL_POLL_SECONDS = 0.2
+
+#: Segments retained per job for trace stitching; beyond it incoming
+#: segments are dropped (and counted) — one pathological job cannot
+#: hold the server's memory hostage.
+MAX_JOB_SEGMENTS = 512
 
 
 def _pool_warmup() -> None:
@@ -111,7 +148,8 @@ class CampaignService:
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  tenant_weights: Optional[Dict[str, float]] = None,
                  fsync: bool = False, verify: str = "auto",
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 observe: str = "on"):
         self.host = host
         self.port = port
         self.workers = max(0, int(workers))
@@ -120,6 +158,15 @@ class CampaignService:
         if verify not in ("auto", "on", "off"):
             raise ValueError("verify must be 'auto', 'on' or 'off'")
         self.verify = verify
+        if observe not in ("on", "off"):
+            raise ValueError("observe must be 'on' or 'off'")
+        #: fleet observability master switch: trace contexts, stitched
+        #: job traces and worker telemetry collection (per-job opt-out
+        #: via the submit payload's ``observe: false``)
+        self.observe = observe == "on"
+        #: merged view of every worker telemetry segment's metrics;
+        #: ``GET /metrics`` composes it with the live registry
+        self.fleet = MetricsAggregator()
         self.owner = f"svc-{os.getpid()}-{uuid.uuid4().hex[:8]}"
 
         from .store import SharedResultStore
@@ -141,6 +188,7 @@ class CampaignService:
         self._appenders: Dict[str, JsonlAppender] = {}
         self._job_seq = 0
         self._local_busy = 0
+        self._seen_workers: set = set()
         self._pool: Optional[ProcessPoolExecutor] = None
         self._tasks: set = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -236,7 +284,12 @@ class CampaignService:
                    self._h_results)
         router.add("GET", "/v1/jobs/(?P<job_id>[^/]+)/telemetry",
                    self._h_telemetry)
+        router.add("GET", "/v1/jobs/(?P<job_id>[^/]+)/trace",
+                   self._h_trace)
+        router.add("GET", "/v1/tenants/(?P<tenant>[^/]+)/usage",
+                   self._h_usage)
         router.add("GET", "/v1/metrics", self._h_metrics)
+        router.add("GET", "/metrics", self._h_prometheus)
         router.add("POST", "/v1/workers/lease", self._h_lease)
         router.add("POST", "/v1/workers/complete", self._h_complete)
         return router
@@ -246,6 +299,59 @@ class CampaignService:
         if job is None:
             raise HttpError(404, f"no such job: {job_id}")
         return job
+
+    # ------------------------------------------------------------------
+    # fleet observability: the server's own trace segment per job
+    # ------------------------------------------------------------------
+
+    def _start_trace(self, job: Job) -> None:
+        """Mint the job's trace context and open the server's own
+        telemetry segment (segment 0 of the stitched trace).
+
+        Server events are recorded with *absolute* wall-clock
+        timestamps under ``epoch_unix = 0.0`` — the stitcher re-bases
+        every segment onto the earliest event, so server and worker
+        planes land on one timeline regardless of each process'
+        ``perf_counter`` epoch.
+        """
+        job.trace_context = TraceContext.mint()
+        job.segments.append({
+            "traceparent": job.trace_context.to_traceparent(),
+            "worker": "server",
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "epoch_unix": 0.0,
+            "spans": [],
+            "spans_dropped": 0,
+            "metrics": None,
+        })
+
+    def _server_event(self, job: Job, kind: str, name: str,
+                      track: str, start_wall: float, duration: float,
+                      **attrs: Any) -> None:
+        if job.trace_context is None or not job.segments:
+            return
+        segment = job.segments[0]
+        if len(segment["spans"]) >= DEFAULT_SEGMENT_SPANS:
+            segment["spans_dropped"] += 1
+            return
+        segment["spans"].append(
+            [kind, name, track, start_wall, duration, attrs or None])
+
+    def _add_segment(self, job: Job, payload: Any) -> None:
+        """Adopt an executor's telemetry segment: keep its spans for
+        stitching (bounded) and fold its metrics into the fleet view."""
+        segment = coerce_segment(payload)
+        if segment is None:
+            return
+        if segment["metrics"] is not None:
+            self.fleet.add(segment["metrics"])
+        if job.trace_context is None:
+            return
+        if len(job.segments) >= MAX_JOB_SEGMENTS:
+            job.segments_dropped += 1
+            return
+        job.segments.append(segment)
 
     # ------------------------------------------------------------------
     # submission
@@ -313,8 +419,16 @@ class CampaignService:
         path, _ = split_spec_ref(request.spec)
         job.exec_ref = f"{path}::{campaign.name}"
         self.jobs[job_id] = job
+        if self.observe and request.observe:
+            self._start_trace(job)
+            self._server_event(job, INSTANT, "job.submit", "jobs",
+                               time.time(), 0.0, job_id=job_id,
+                               tenant=request.tenant,
+                               campaign=campaign.name)
         self._open_appender(job)
         self.metrics.counter("service.jobs.submitted").inc()
+        self.metrics.counter("service.jobs.submitted",
+                             tenant=request.tenant).inc()
 
         for index, hit in cached_hits:
             self._finalize_from_record(job, index, hit,
@@ -452,9 +566,28 @@ class CampaignService:
         counter = {"cached": "cached", "dedup": "deduped",
                    "executed": "executed"}[source]
         job.counts[counter] += 1
+        tenant = job.request.tenant
         self.metrics.counter(f"service.points.{counter}").inc()
+        self.metrics.counter(f"service.points.{counter}",
+                             tenant=tenant).inc()
         if status == "failed":
             self.metrics.counter("service.points.failed").inc()
+            self.metrics.counter("service.points.failed",
+                                 tenant=tenant).inc()
+            # per-kind detail lives under its own family: folding the
+            # failure kind into service.points.* would collide with
+            # the exposition's kind="failed" discriminator label
+            self.metrics.counter(
+                "service.point.failures", tenant=tenant,
+                kind=failure_kind or "unknown").inc()
+        if source == "executed":
+            self.metrics.histogram(
+                "service.point.seconds", bounds=LATENCY_BOUNDS,
+                tenant=tenant).observe(float(wall_time))
+        else:
+            self._server_event(job, INSTANT, "cache.hit", "cache",
+                              time.time(), 0.0, index=index,
+                              source=source)
 
         entry = record.to_dict()
         entry["seq"] = len(job.completed)
@@ -478,8 +611,18 @@ class CampaignService:
         job.finished_monotonic = time.monotonic()
         run_seconds = job.run_seconds()
         if run_seconds is not None:
-            self.metrics.histogram("job.run_seconds").observe(
-                run_seconds)
+            self.metrics.histogram(
+                "job.run_seconds",
+                bounds=LATENCY_BOUNDS).observe(run_seconds)
+        self._server_event(job, SPAN, "job.run", "jobs",
+                           job.submitted_at,
+                           time.time() - job.submitted_at,
+                           job_id=job.id,
+                           tenant=job.request.tenant, state=state,
+                           **{key: job.counts[key]
+                              for key in ("total", "cached",
+                                          "deduped", "executed",
+                                          "failed")})
         self.metrics.counter(
             "service.jobs.cancelled" if state == CANCELLED
             else "service.jobs.completed").inc()
@@ -496,8 +639,9 @@ class CampaignService:
                 job.state = RUNNING
             wait = job.wait_seconds()
             if wait is not None:
-                self.metrics.histogram("job.wait_seconds").observe(
-                    wait)
+                self.metrics.histogram(
+                    "job.wait_seconds",
+                    bounds=LATENCY_BOUNDS).observe(wait)
 
     def _on_point_outcome(self, job: Job,
                           outcome: Dict[str, Any]) -> None:
@@ -517,7 +661,9 @@ class CampaignService:
             retry = Chunk(chunk_id=job.next_chunk_id(),
                           job_id=job.id, tenant=job.request.tenant,
                           priority=job.request.priority,
-                          tasks=[(index, record.params, attempt + 1)])
+                          tasks=[(index, record.params, attempt + 1)],
+                          created_wall=time.time())
+            self._trace_chunk(job, retry)
             self.chunks[retry.chunk_id] = retry
             self.queue.push(retry, force=True)
             self.metrics.counter("service.points.retried").inc()
@@ -545,9 +691,31 @@ class CampaignService:
                 self._finalize_from_record(follower, findex, result,
                                            source="dedup")
 
+    @staticmethod
+    def _trace_chunk(job: Job, chunk: Chunk) -> None:
+        """Derive a child trace context for an ad-hoc (retry/requeue/
+        promotion) chunk; batch chunks get theirs in ``make_chunks``."""
+        if job.trace_context is not None:
+            chunk.traceparent = \
+                job.trace_context.child().to_traceparent()
+
+    def _record_queue_wait(self, job: Job, chunk: Chunk) -> None:
+        """Queue-wait accounting at the moment a chunk leaves the
+        queue for an executor (local pool slot or remote lease)."""
+        now = time.time()
+        created = chunk.created_wall or now
+        wait = max(0.0, now - created)
+        self.metrics.histogram(
+            "service.queue.wait_seconds", bounds=LATENCY_BOUNDS,
+            tenant=chunk.tenant).observe(wait)
+        self._server_event(job, SPAN, "queue.wait", "queue",
+                           created, wait, chunk=chunk.chunk_id,
+                           tenant=chunk.tenant)
+
     def _complete_chunk(self, chunk: Chunk,
                         outcomes: List[Dict[str, Any]],
-                        worker: str) -> bool:
+                        worker: str,
+                        telemetry: Any = None) -> bool:
         if chunk.state == "done":
             self.metrics.counter("service.chunks.duplicate").inc()
             return False
@@ -557,6 +725,15 @@ class CampaignService:
         job = self.jobs.get(chunk.job_id)
         if job is None:
             return False
+        if telemetry is not None:
+            self._add_segment(job, telemetry)
+        if chunk.started_wall:
+            self._server_event(
+                job, SPAN, "chunk.lease", "leases",
+                chunk.started_wall,
+                max(0.0, time.time() - chunk.started_wall),
+                chunk=chunk.chunk_id, worker=worker,
+                tasks=len(chunk.tasks))
         returned = set()
         for outcome in outcomes:
             if not isinstance(outcome, dict) or "index" not in outcome:
@@ -570,7 +747,9 @@ class CampaignService:
         if missing and not job.terminal:
             requeued = Chunk(chunk_id=job.next_chunk_id(),
                              job_id=job.id, tenant=chunk.tenant,
-                             priority=chunk.priority, tasks=missing)
+                             priority=chunk.priority, tasks=missing,
+                             created_wall=time.time())
+            self._trace_chunk(job, requeued)
             self.chunks[requeued.chunk_id] = requeued
             self.queue.push(requeued, force=True)
             self.metrics.counter("service.chunks.requeued").inc()
@@ -584,6 +763,19 @@ class CampaignService:
                        for job in self.jobs.values()}:
             self.metrics.gauge("queue.depth", tenant=tenant).set(
                 self.queue.depth(tenant))
+        # worker liveness: active leases per executor name (zeroing
+        # previously-seen workers so a vanished host reads 0, not its
+        # last value)
+        leases: Dict[str, int] = {}
+        for chunk in self.chunks.values():
+            if chunk.state == "leased" and chunk.worker:
+                leases[chunk.worker] = leases.get(chunk.worker, 0) + 1
+        self._seen_workers.update(leases)
+        for worker in self._seen_workers:
+            self.metrics.gauge("workers.active_leases",
+                               worker=worker).set(
+                leases.get(worker, 0))
+        self.metrics.gauge("workers.busy_local").set(self._local_busy)
 
     # ------------------------------------------------------------------
     # local execution
@@ -618,16 +810,27 @@ class CampaignService:
         # breaking) is their lifecycle, not the lease reaper
         chunk.state = "leased"
         chunk.worker = "local"
+        chunk.started_wall = time.time()
         self._mark_started(job)
+        self._record_queue_wait(job, chunk)
         self._local_busy += 1
         self.metrics.counter("service.chunks.leased").inc()
         self._spawn(self._run_local(job, chunk))
 
     async def _run_local(self, job: Job, chunk: Chunk) -> None:
+        telemetry = None
         try:
-            outcomes = await self._loop.run_in_executor(
-                self._pool, execute_chunk_by_ref, job.exec_ref,
-                chunk.tasks, job.request.timeout)
+            if job.trace_context is not None:
+                traced = await self._loop.run_in_executor(
+                    self._pool, execute_chunk_traced, job.exec_ref,
+                    chunk.tasks, job.request.timeout,
+                    chunk.traceparent, "pool")
+                outcomes = traced["outcomes"]
+                telemetry = traced["telemetry"]
+            else:
+                outcomes = await self._loop.run_in_executor(
+                    self._pool, execute_chunk_by_ref, job.exec_ref,
+                    chunk.tasks, job.request.timeout)
         except Exception as exc:
             logger.exception("local pool failed on chunk %s",
                              chunk.chunk_id)
@@ -645,7 +848,8 @@ class CampaignService:
                 for index, _params, attempt in chunk.tasks]
         finally:
             self._local_busy -= 1
-        self._complete_chunk(chunk, outcomes, worker="local")
+        self._complete_chunk(chunk, outcomes, worker="local",
+                             telemetry=telemetry)
 
     # ------------------------------------------------------------------
     # remote workers (pull-based work stealing)
@@ -664,6 +868,7 @@ class CampaignService:
             return Response.no_content()
         chunk.lease(worker, self.lease_timeout)
         self._mark_started(job)
+        self._record_queue_wait(job, chunk)
         self.metrics.counter("service.chunks.leased").inc()
         self._observe_queue_depth()
         return Response.json({
@@ -674,6 +879,7 @@ class CampaignService:
                       for index, params, attempt in chunk.tasks],
             "timeout": job.request.timeout,
             "lease_timeout": self.lease_timeout,
+            "traceparent": chunk.traceparent,
         })
 
     async def _h_complete(self, request: Request) -> Response:
@@ -688,7 +894,8 @@ class CampaignService:
             self.metrics.counter("service.chunks.duplicate").inc()
             return Response.json({"accepted": False})
         accepted = self._complete_chunk(
-            chunk, outcomes, worker=str(payload.get("worker") or "?"))
+            chunk, outcomes, worker=str(payload.get("worker") or "?"),
+            telemetry=payload.get("telemetry"))
         return Response.json({"accepted": accepted})
 
     async def _reaper_loop(self) -> None:
@@ -752,7 +959,9 @@ class CampaignService:
         chunk = Chunk(chunk_id=job.next_chunk_id(), job_id=job_id,
                       tenant=job.request.tenant,
                       priority=job.request.priority,
-                      tasks=[(index, job.records[index].params, 1)])
+                      tasks=[(index, job.records[index].params, 1)],
+                      created_wall=time.time())
+        self._trace_chunk(job, chunk)
         self.chunks[chunk.chunk_id] = chunk
         self.queue.push(chunk, force=True)
         self._wakeup()
@@ -921,6 +1130,88 @@ class CampaignService:
     async def _h_metrics(self, request: Request) -> Response:
         self._observe_queue_depth()
         return Response.json(self.metrics.to_dict())
+
+    # ------------------------------------------------------------------
+    # fleet observability endpoints
+    # ------------------------------------------------------------------
+
+    async def _h_prometheus(self, request: Request) -> Response:
+        """Prometheus text exposition of the fleet-merged metrics:
+        the server's live registry composed (non-destructively) with
+        every worker segment's registry collected so far."""
+        self._observe_queue_depth()
+        text = prometheus_text(
+            self.fleet.merged(self.metrics.to_dict()))
+        return Response(
+            200, text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8")
+
+    async def _h_trace(self, request: Request,
+                       job_id: str) -> Response:
+        job = self._job_or_404(job_id)
+        if job.trace_context is None:
+            raise HttpError(
+                404, f"no trace for job {job_id} (observability is "
+                     "off for this job)")
+        trace = stitch_job_trace(job.trace_context.to_traceparent(),
+                                 job.segments)
+        other = trace["otherData"]
+        other["job"] = job.id
+        other["state"] = job.state
+        other["dropped_segments"] = job.segments_dropped
+        return Response.json(trace)
+
+    async def _h_usage(self, request: Request,
+                       tenant: str) -> Response:
+        """Per-tenant SLO accounting, assembled from the tenant-labeled
+        counters/histograms this server maintains at finalization."""
+        jobs = [job for job in self.jobs.values()
+                if job.request.tenant == tenant]
+        if not jobs:
+            raise HttpError(404, f"no jobs for tenant: {tenant}")
+
+        def counter_value(name: str, **labels: Any) -> float:
+            metric = self.metrics.get(name, **labels)
+            return float(metric.value) if metric is not None else 0.0
+
+        points = {kind: counter_value(f"service.points.{kind}",
+                                      tenant=tenant)
+                  for kind in ("executed", "cached", "deduped",
+                               "failed", )}
+        completed = (points["executed"] + points["cached"]
+                     + points["deduped"])
+        hits = points["cached"] + points["deduped"]
+        failure_kinds: Dict[str, float] = {}
+        for key in self.metrics.names():
+            name, labels = split_metric_key(key)
+            if name == "service.point.failures" \
+                    and labels.get("tenant") == tenant \
+                    and "kind" in labels:
+                failure_kinds[labels["kind"]] = counter_value(
+                    name, **labels)
+        histograms = {}
+        for short, name in (("queue_wait_seconds",
+                             "service.queue.wait_seconds"),
+                            ("point_seconds",
+                             "service.point.seconds")):
+            metric = self.metrics.get(name, tenant=tenant)
+            histograms[short] = (metric.to_dict()
+                                 if metric is not None else None)
+        return Response.json({
+            "tenant": tenant,
+            "jobs": {
+                "total": len(jobs),
+                "by_state": {
+                    state: sum(1 for job in jobs
+                               if job.state == state)
+                    for state in (QUEUED, RUNNING, DONE, CANCELLED)},
+            },
+            "points": points,
+            "cache_hit_ratio": (hits / completed) if completed else 0.0,
+            "failure_kinds": failure_kinds,
+            "queue_depth": self.queue.depth(tenant),
+            **histograms,
+        })
 
 
 # ----------------------------------------------------------------------

@@ -533,3 +533,205 @@ def test_service_metrics_expose_queue_and_job_timings(tmp_path):
         assert histograms["job.wait_seconds"]["count"] >= 1
         assert histograms["job.run_seconds"]["count"] >= 1
         assert metrics["counters"]["service.jobs.completed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# fleet observability: stitched traces, /metrics, per-tenant usage
+# ---------------------------------------------------------------------------
+
+
+def prom_value(text, line_prefix):
+    """The sample value for an exact series prefix, or None."""
+    for line in text.splitlines():
+        if line.startswith(line_prefix + " "):
+            return float(line.split()[-1])
+    return None
+
+
+class TestFleetObservability:
+    def test_two_process_job_one_stitched_trace(self, tmp_path):
+        from repro.observe import validate_chrome_trace
+        from repro.observe.fleet import TraceContext
+
+        with serve(workers=1) as (handle, client):
+            job = client.submit(ref("slow"), tenant="ana",
+                                chunk_size=1)
+            stop = threading.Event()
+            worker = threading.Thread(
+                target=run_worker, args=(handle.url,),
+                kwargs={"worker_id": "pull-1", "poll": 0.02,
+                        "stop_when": stop.is_set}, daemon=True)
+            worker.start()
+            try:
+                done = client.wait(job["id"], timeout=30)
+            finally:
+                stop.set()
+                worker.join(timeout=10)
+            assert done["state"] == "done"
+
+            trace = client.job_trace(job["id"])
+            assert validate_chrome_trace(trace) == []
+
+            other = trace["otherData"]
+            # one job, one trace id, carried across every boundary
+            context = TraceContext.parse(other["traceparent"])
+            assert len(context.trace_id) == 32
+            # spans from at least two processes (the server plus an
+            # executor; with both planes active, three)
+            assert other["processes"] >= 2
+            process_names = {
+                event["args"]["name"]
+                for event in trace["traceEvents"]
+                if event.get("ph") == "M"
+                and event["name"] == "process_name"}
+            assert any(name.startswith("server")
+                       for name in process_names)
+            assert any(not name.startswith("server")
+                       for name in process_names)
+
+            names = {event["name"]
+                     for event in trace["traceEvents"]
+                     if event.get("ph") in ("X", "i")}
+            # the documented service span taxonomy (TUTORIAL §12)
+            assert {"job.submit", "job.run", "queue.wait",
+                    "chunk.run", "point.run"} <= names
+
+            # the worker plane contributed real point spans
+            point_spans = [event for event in trace["traceEvents"]
+                           if event.get("ph") == "X"
+                           and event["name"] == "point.run"]
+            assert len(point_spans) == 8
+            assert all(event["dur"] >= 0 for event in point_spans)
+
+    def test_lease_carries_job_trace_context(self):
+        from repro.observe.fleet import TraceContext
+
+        with serve(workers=0) as (_, client):
+            job = client.submit(ref("quick"), chunk_size=4)
+            lease = client.lease("w1")
+            context = TraceContext.parse(lease["traceparent"])
+            trace = client.job_trace(job["id"])
+            job_context = TraceContext.parse(
+                trace["otherData"]["traceparent"])
+            # chunk context is a child: same trace, different span
+            assert context.trace_id == job_context.trace_id
+            assert context.span_id != job_context.span_id
+
+    def test_prometheus_reconciles_with_job_records(self, tmp_path):
+        from repro.observe import validate_prometheus_text
+
+        out_dir = tmp_path / "out"
+        with serve(workers=1, out_dir=out_dir) as (_, client):
+            job = client.submit(ref("quick"), tenant="ana")
+            done = client.wait(job["id"], timeout=10)
+            assert done["state"] == "done"
+
+            log = out_dir / "jobs" / job["id"] / "records.jsonl"
+            records = [json.loads(line)
+                       for line in log.read_text().splitlines()]
+            executed = sum(1 for record in records
+                           if record["source"] == "executed")
+
+            text = client.prometheus()
+            assert validate_prometheus_text(text) == []
+            assert prom_value(
+                text, 'service_points_total{kind="executed"}') \
+                == executed
+            assert prom_value(
+                text, 'service_points_total'
+                '{kind="executed",tenant="ana"}') == executed
+            assert prom_value(
+                text, 'service_jobs_total{event="completed"}') == 1
+            assert prom_value(
+                text, 'service_point_seconds_count{tenant="ana"}') \
+                == executed
+
+    def test_usage_endpoint_accounts_per_tenant(self, tmp_path):
+        with serve(workers=1,
+                   store_dir=tmp_path / "store") as (_, client):
+            first = client.submit(ref("quick"), tenant="ana")
+            client.wait(first["id"], timeout=10)
+            second = client.submit(ref("quick"), tenant="ana")
+            client.wait(second["id"], timeout=10)
+
+            usage = client.usage("ana")
+            assert usage["tenant"] == "ana"
+            assert usage["jobs"]["total"] == 2
+            assert usage["points"]["executed"] == 8
+            assert usage["points"]["cached"] == 8
+            assert usage["points"]["failed"] == 0
+            assert usage["cache_hit_ratio"] == pytest.approx(0.5)
+            # the cached job never queued a chunk, so only the first
+            # job's dispatch contributes queue-wait observations
+            assert usage["queue_wait_seconds"]["count"] >= 1
+            assert usage["point_seconds"]["count"] == 8
+
+            with pytest.raises(ServiceError) as excinfo:
+                client.usage("nobody")
+            assert excinfo.value.status == 404
+
+    def test_usage_counts_failures_by_kind(self, tmp_path,
+                                           monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_FLAKY_DIR", str(tmp_path))
+        with serve(workers=1) as (_, client):
+            job = client.submit(ref("flaky"), tenant="bob",
+                                retries=0, chunk_size=1)
+            done = client.wait(job["id"], timeout=15)
+            assert done["failed"] == 2
+            usage = client.usage("bob")
+            assert usage["points"]["failed"] == 2
+            assert sum(usage["failure_kinds"].values()) \
+                == usage["points"]["failed"]
+
+    def test_observe_off_serverwide_disables_tracing(self):
+        with serve(workers=1, observe="off") as (_, client):
+            job = client.submit(ref("quick"))
+            client.wait(job["id"], timeout=10)
+            with pytest.raises(ServiceError) as excinfo:
+                client.job_trace(job["id"])
+            assert excinfo.value.status == 404
+            # lease/complete still work untraced, and /metrics still
+            # serves the server's own registry
+            assert "service_jobs_total" in client.prometheus()
+
+    def test_observe_off_per_job(self):
+        with serve(workers=0) as (_, client):
+            job = client.submit(ref("quick"), chunk_size=8,
+                                observe=False)
+            lease = client.lease("w1")
+            assert lease.get("traceparent") is None
+            outcomes = execute_chunk_by_ref(
+                lease["spec"],
+                [tuple(task) for task in lease["tasks"]],
+                lease.get("timeout"))
+            client.complete("w1", lease["job_id"],
+                            lease["chunk_id"], outcomes)
+            client.wait(job["id"], timeout=10)
+            with pytest.raises(ServiceError) as excinfo:
+                client.job_trace(job["id"])
+            assert excinfo.value.status == 404
+
+    def test_traced_overhead_within_documented_bound(self):
+        import time as time_module
+
+        def timed_run(observe, repeats=3):
+            best = float("inf")
+            for _ in range(repeats):
+                with serve(workers=1,
+                           observe=observe) as (_, client):
+                    start = time_module.perf_counter()
+                    job = client.submit(ref("quick"))
+                    client.wait(job["id"], timeout=10, poll=0.02)
+                    best = min(best,
+                               time_module.perf_counter() - start)
+            return best
+
+        # Same contract as tests/test_observe.py::TestOverhead, at
+        # the service tier: tracing every chunk and shipping segments
+        # stays within 2x of the untraced service (absolute floor
+        # absorbs scheduler/poll jitter on a sub-second job).
+        disabled = timed_run("off")
+        enabled = timed_run("on")
+        assert enabled <= max(2.0 * disabled, disabled + 0.25), (
+            f"fleet telemetry overhead too high: {enabled:.4f}s vs "
+            f"{disabled:.4f}s untraced")
